@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Ablation study of the design choices DESIGN.md §5 calls out, beyond
+ * the paper's own Figures 5-7: the I-cache transfer filter, the sector
+ * order table, semi-exclusivity, the BTBP, the FIT, and tag width.
+ *
+ * Run on a capacity-bound subset of the suites (the three DayTrader /
+ * WASDB class traces) to keep the runtime proportionate.
+ */
+
+#include "bench_util.hh"
+
+namespace
+{
+
+using namespace zbp;
+
+struct Variant
+{
+    std::string name;
+    core::MachineParams cfg;
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace zbp;
+    const double scale = bench::scaleFromEnv();
+
+    const char *suites[] = {"daytrader_db", "wasdb_cbw2", "cicsdb2"};
+    std::vector<trace::Trace> traces;
+    for (const char *s : suites) {
+        bench::progressLine(std::string("generating ") + s);
+        traces.push_back(
+                workload::makeSuiteTrace(workload::findSuite(s), scale));
+    }
+
+    std::vector<Variant> variants;
+    variants.push_back({"baseline (no BTB2)", sim::configNoBtb2()});
+    variants.push_back({"zEC12 (BTB2 enabled)", sim::configBtb2()});
+    {
+        auto c = sim::configBtb2();
+        c.engine.icacheFilter = false;
+        variants.push_back({"no I-cache filter (all misses full)", c});
+    }
+    {
+        auto c = sim::configBtb2();
+        c.sot.enabled = false;
+        variants.push_back({"no sector order table (sequential)", c});
+    }
+    {
+        auto c = sim::configBtb2();
+        c.engine.semiExclusive = false;
+        variants.push_back({"no semi-exclusive LRU demotion", c});
+    }
+    {
+        auto c = sim::configBtb2();
+        c.search.fitEntries = 0;
+        variants.push_back({"no FIT (slower re-index)", c});
+    }
+    {
+        auto c = sim::configBtb2();
+        c.btbp.rows = 512; // 3072-entry BTBP
+        variants.push_back({"4x BTBP (residency headroom)", c});
+    }
+    {
+        auto c = sim::configBtb2();
+        c.btb1.tagBits = 6;
+        c.btbp.tagBits = 6;
+        c.btb2.tagBits = 6;
+        variants.push_back({"6-bit tags (aliasing)", c});
+    }
+
+    stats::TextTable t("Ablations: CPI per variant (lower is better)");
+    std::vector<std::string> header = {"variant"};
+    for (const char *s : suites)
+        header.push_back(s);
+    header.push_back("avg imp% vs no-BTB2");
+    t.setHeader(header);
+
+    std::vector<double> base_cpi;
+    for (const auto &v : variants) {
+        std::vector<std::string> row = {v.name};
+        double sum_imp = 0.0;
+        for (std::size_t i = 0; i < traces.size(); ++i) {
+            bench::progressLine(v.name + " / " + traces[i].name());
+            const auto r = sim::runOne(v.cfg, traces[i]);
+            row.push_back(stats::TextTable::num(r.cpi, 3));
+            if (base_cpi.size() <= i)
+                base_cpi.push_back(r.cpi);
+            else
+                sum_imp += (base_cpi[i] - r.cpi) / base_cpi[i] * 100.0;
+        }
+        row.push_back(&v == &variants.front()
+                              ? std::string("--")
+                              : stats::TextTable::num(
+                                        sum_imp / traces.size(), 2));
+        t.addRow(row);
+    }
+    bench::progressDone();
+
+    t.addNote("filter/SOT/semi-exclusivity are efficiency features: "
+              "removing them mostly costs BTB2 bandwidth and pollution, "
+              "visible as a smaller improvement");
+    t.print();
+    return 0;
+}

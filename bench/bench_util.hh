@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shared plumbing for the paper-reproduction bench binaries: length
+ * scaling, progress output and common formatting.
+ *
+ * Every binary honours ZBP_LEN_SCALE (default 1.0) so the whole harness
+ * can be shortened for smoke runs (e.g. ZBP_LEN_SCALE=0.1).
+ */
+
+#ifndef ZBP_BENCH_BENCH_UTIL_HH
+#define ZBP_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+#include <unistd.h>
+
+#include "zbp/sim/simulator.hh"
+#include "zbp/stats/table.hh"
+#include "zbp/workload/suites.hh"
+
+namespace zbp::bench
+{
+
+inline double
+scaleFromEnv()
+{
+    const double s = workload::envLengthScale();
+    std::printf("[zbp] trace length scale: %.3g "
+                "(set ZBP_LEN_SCALE to change)\n", s);
+    return s;
+}
+
+inline void
+progressLine(const std::string &what)
+{
+    if (!isatty(1))
+        return; // keep piped/teed output clean
+    std::printf("[zbp] running: %-40s\r", what.c_str());
+    std::fflush(stdout);
+}
+
+inline void
+progressDone()
+{
+    if (isatty(1))
+        std::printf("%60s\r", "");
+}
+
+} // namespace zbp::bench
+
+#endif // ZBP_BENCH_BENCH_UTIL_HH

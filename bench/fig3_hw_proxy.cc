@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 3 proxy: the paper reports *hardware* system performance
+ * gains from enabling the BTB2 — 5.3% for WASDB+CBW2 on one core and
+ * 3.4% for Web CICS/DB2 on four cores — and notes the single-core
+ * simulation predicted more (8.5%) because only the L1 caches were
+ * finite in the model.
+ *
+ * Substitution (DESIGN.md §2): we run (a) the WASDB+CBW2 suite on the
+ * single-core model, and (b) a 4-way time-sliced multiprogrammed
+ * CICS/DB2 workload — four independently generated instances in
+ * disjoint address spaces sharing one core's predictor — which stands
+ * in for the capacity pressure of the paper's multi-core run.
+ */
+
+#include "bench_util.hh"
+
+#include "zbp/workload/multiprogram.hh"
+
+int
+main()
+{
+    using namespace zbp;
+    const double scale = bench::scaleFromEnv();
+
+    stats::TextTable t("Figure 3 proxy: BTB2 benefit on "
+                       "hardware-measured workloads");
+    t.setHeader({"workload", "cores (paper)", "BTB2 improvement %",
+                 "paper hw %"});
+
+    // (a) WASDB+CBW2, single core.
+    {
+        bench::progressLine("WASDB+CBW2 single-core");
+        const auto trace = workload::makeSuiteTrace(
+                workload::findSuite("wasdb_cbw2"), scale);
+        const auto base = sim::runOne(sim::configNoBtb2(), trace);
+        const auto with = sim::runOne(sim::configBtb2(), trace);
+        t.addRow({"WASDB+CBW2", "1",
+                  stats::TextTable::num(cpu::cpiImprovement(base, with), 2),
+                  "5.3 (sim 8.5)"});
+    }
+
+    // (b) Web CICS/DB2, 4-way time-sliced proxy for the 4-core run.
+    {
+        std::vector<trace::Trace> threads;
+        for (unsigned i = 0; i < 4; ++i) {
+            bench::progressLine("CICS/DB2 instance " + std::to_string(i));
+            auto spec = workload::findSuite("cicsdb2");
+            // Disjoint address spaces and distinct behaviour per
+            // instance.
+            spec.build.seed += 1000 * (i + 1);
+            spec.build.base += Addr{i} << 32;
+            spec.gen.seed += 77 * (i + 1);
+            spec.gen.dispatcherBase += Addr{i} << 32;
+            spec.gen.length /= 4; // keep total run length comparable
+            threads.push_back(workload::makeSuiteTrace(spec, scale));
+        }
+        const auto trace = workload::multiprogram(threads, 100'000,
+                                                  "web_cicsdb2_x4");
+        bench::progressLine("Web CICS/DB2 4-way time-sliced");
+        const auto base = sim::runOne(sim::configNoBtb2(), trace);
+        const auto with = sim::runOne(sim::configBtb2(), trace);
+        t.addRow({"Web CICS/DB2 (4-way time-sliced proxy)", "4",
+                  stats::TextTable::num(cpu::cpiImprovement(base, with), 2),
+                  "3.4"});
+    }
+    bench::progressDone();
+
+    t.addNote("hardware gains are smaller than single-core simulated "
+              "gains (finite real memory system); the multiprogrammed "
+              "proxy adds the analogous capacity pressure");
+    t.print();
+    return 0;
+}

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Figure 7 reproduction: average CPI improvement for various numbers
+ * of BTB2 search trackers (hardware: 3).
+ */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace zbp;
+    const double scale = bench::scaleFromEnv();
+
+    sim::SuiteRunner runner(scale);
+    runner.setProgress(bench::progressLine);
+
+    stats::TextTable t("Figure 7: average CPI improvement vs number of "
+                       "BTB2 search trackers");
+    t.setHeader({"trackers", "avg improvement %", "hardware"});
+    for (unsigned n : {1u, 2u, 3u, 4u, 6u, 8u}) {
+        const double imp =
+                runner.averageImprovement(sim::configTrackers(n));
+        t.addRow({std::to_string(n), stats::TextTable::num(imp, 2),
+                  n == 3 ? "<== zEC12" : ""});
+    }
+    bench::progressDone();
+    t.addNote("paper shape: benefit saturates around 3 trackers");
+    t.print();
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The paper's §6 "Future work" directions, implemented and measured:
+ *
+ *  - SRAM vs eDRAM second level: the BTB2 read cadence (rows per N
+ *    cycles) models a denser but slower memory technology;
+ *  - wider BTB2 congruence classes (64 B / 128 B of code per row):
+ *    more tag-matching branches per search at the cost of congruence
+ *    class overflow in dense code;
+ *  - multi-block transfers: chase the transferred branches' most
+ *    popular target block with one bounded follow-on search.
+ *
+ * Run on the same capacity-bound subset as the ablation bench.
+ */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace zbp;
+    const double scale = bench::scaleFromEnv();
+
+    const char *suites[] = {"daytrader_db", "wasdb_cbw2", "cicsdb2"};
+    std::vector<trace::Trace> traces;
+    for (const char *s : suites) {
+        bench::progressLine(std::string("generating ") + s);
+        traces.push_back(
+                workload::makeSuiteTrace(workload::findSuite(s), scale));
+    }
+
+    struct Variant
+    {
+        std::string name;
+        core::MachineParams cfg;
+    };
+    std::vector<Variant> variants;
+    variants.push_back({"no BTB2 (baseline)", sim::configNoBtb2()});
+    variants.push_back({"zEC12: SRAM, 32 B class, single block",
+                        sim::configBtb2()});
+    for (unsigned cad : {2u, 4u}) {
+        auto c = sim::configBtb2();
+        c.engine.rowReadInterval = cad;
+        variants.push_back({"eDRAM-class BTB2: 1 row / " +
+                                    std::to_string(cad) + " cycles",
+                            c});
+    }
+    {
+        auto c = sim::configBtb2();
+        c.engine.rowReadInterval = 2;
+        c.btb2.rows = 8192; // denser technology buys 2x capacity
+        variants.push_back({"eDRAM-class BTB2: 48k, 1 row / 2 cycles",
+                            c});
+    }
+    for (unsigned rb : {64u, 128u}) {
+        auto c = sim::configBtb2();
+        c.btb2.rowBytes = rb;
+        variants.push_back({std::to_string(rb) +
+                                    " B congruence class",
+                            c});
+    }
+    {
+        auto c = sim::configBtb2();
+        c.engine.multiBlockTransfer = true;
+        variants.push_back({"multi-block transfers (depth 1)", c});
+    }
+    {
+        auto c = sim::configBtb2();
+        c.engine.multiBlockTransfer = true;
+        c.engine.maxChainedBlocks = 3;
+        variants.push_back({"multi-block transfers (depth 3)", c});
+    }
+
+    stats::TextTable t("Future work (§6): measured CPI per variant");
+    std::vector<std::string> header = {"variant"};
+    for (const char *s : suites)
+        header.push_back(s);
+    header.push_back("avg imp% vs no-BTB2");
+    t.setHeader(header);
+
+    std::vector<double> base_cpi;
+    for (const auto &v : variants) {
+        std::vector<std::string> row = {v.name};
+        double sum_imp = 0.0;
+        for (std::size_t i = 0; i < traces.size(); ++i) {
+            bench::progressLine(v.name + " / " + traces[i].name());
+            const auto r = sim::runOne(v.cfg, traces[i]);
+            row.push_back(stats::TextTable::num(r.cpi, 3));
+            if (base_cpi.size() <= i)
+                base_cpi.push_back(r.cpi);
+            else
+                sum_imp += (base_cpi[i] - r.cpi) / base_cpi[i] * 100.0;
+        }
+        row.push_back(&v == &variants.front()
+                              ? std::string("--")
+                              : stats::TextTable::num(
+                                        sum_imp / traces.size(), 2));
+        t.addRow(row);
+    }
+    bench::progressDone();
+
+    t.addNote("paper §6: 'a multi-level BTB allows for designing ... "
+              "the BTB2 in a higher density memory technology'; the "
+              "eDRAM rows trade transfer rate for capacity");
+    t.print();
+    return 0;
+}

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the hot structures: first-level
+ * search, BTB install, BTB2 row read, SOT tracking/steering, PHT/CTB
+ * lookups, trace generation, and whole-model simulation throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "zbp/core/hierarchy.hh"
+#include "zbp/cpu/core_model.hh"
+#include "zbp/preload/sector_order_table.hh"
+#include "zbp/sim/configs.hh"
+#include "zbp/workload/generator.hh"
+#include "zbp/workload/program_builder.hh"
+
+namespace
+{
+
+using namespace zbp;
+
+void
+BM_Btb1SearchFrom(benchmark::State &state)
+{
+    btb::SetAssocBtb t("btb1", btb::btb1Config());
+    for (Addr ia = 0; ia < 4096 * 8; ia += 24)
+        t.install(btb::BtbEntry::freshTaken(ia, ia + 64));
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(t.searchFrom(a));
+        a = (a + 32) & 0xFFFF;
+    }
+}
+BENCHMARK(BM_Btb1SearchFrom);
+
+void
+BM_Btb1Install(benchmark::State &state)
+{
+    btb::SetAssocBtb t("btb1", btb::btb1Config());
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+                t.install(btb::BtbEntry::freshTaken(a, a + 8)));
+        a += 30;
+    }
+}
+BENCHMARK(BM_Btb1Install);
+
+void
+BM_Btb2ReadRow(benchmark::State &state)
+{
+    btb::SetAssocBtb t("btb2", btb::btb2Config());
+    for (Addr ia = 0; ia < 4096 * 32; ia += 20)
+        t.install(btb::BtbEntry::freshTaken(ia, ia + 64));
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(t.readRow(a));
+        a = (a + 32) & 0x1FFFF;
+    }
+}
+BENCHMARK(BM_Btb2ReadRow);
+
+void
+BM_FirstLevelSearch(benchmark::State &state)
+{
+    core::BranchPredictorHierarchy bp{core::MachineParams{}};
+    for (Addr ia = 0; ia < 4096 * 8; ia += 24)
+        bp.btb1().install(btb::BtbEntry::freshTaken(ia, ia + 64));
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(bp.searchFirstLevel(a));
+        a = (a + 32) & 0xFFFF;
+    }
+}
+BENCHMARK(BM_FirstLevelSearch);
+
+void
+BM_SotInstructionCompleted(benchmark::State &state)
+{
+    preload::SectorOrderTable sot{preload::SotParams{}};
+    Addr a = 0;
+    for (auto _ : state) {
+        sot.instructionCompleted(a);
+        a += 97; // wanders across sectors and blocks
+    }
+}
+BENCHMARK(BM_SotInstructionCompleted);
+
+void
+BM_SotOrder(benchmark::State &state)
+{
+    preload::SectorOrderTable sot{preload::SotParams{}};
+    for (Addr a = 0; a < 1 << 20; a += 300)
+        sot.instructionCompleted(a);
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sot.order(a));
+        a = (a + 4096) & 0xFFFFF;
+    }
+}
+BENCHMARK(BM_SotOrder);
+
+void
+BM_PhtLookup(benchmark::State &state)
+{
+    dir::Pht pht;
+    dir::HistoryState h;
+    for (int i = 0; i < 4000; ++i) {
+        pht.update(Addr{0x1000} + i * 6, h, i % 2 != 0, true);
+        h.push(Addr{0x1000} + i * 6, i % 2 != 0);
+    }
+    Addr a = 0x1000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pht.lookup(a, h));
+        a += 6;
+    }
+}
+BENCHMARK(BM_PhtLookup);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    workload::BuildParams bp;
+    bp.numFunctions = 500;
+    const auto prog = workload::buildProgram(bp);
+    workload::GenParams gp;
+    gp.length = 100'000;
+    for (auto _ : state) {
+        gp.seed += 1;
+        benchmark::DoNotOptimize(
+                workload::generateTrace(prog, gp, "bm"));
+    }
+    state.SetItemsProcessed(
+            static_cast<std::int64_t>(state.iterations()) * 100'000);
+}
+BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);
+
+void
+BM_SimulateBtb2(benchmark::State &state)
+{
+    workload::BuildParams bp;
+    bp.numFunctions = 800;
+    const auto prog = workload::buildProgram(bp);
+    workload::GenParams gp;
+    gp.length = 50'000;
+    const auto trace = workload::generateTrace(prog, gp, "bm");
+    for (auto _ : state) {
+        cpu::CoreModel model(sim::configBtb2());
+        benchmark::DoNotOptimize(model.run(trace));
+    }
+    state.SetItemsProcessed(
+            static_cast<std::int64_t>(state.iterations()) * 50'000);
+}
+BENCHMARK(BM_SimulateBtb2)->Unit(benchmark::kMillisecond);
+
+void
+BM_SimulateNoBtb2(benchmark::State &state)
+{
+    workload::BuildParams bp;
+    bp.numFunctions = 800;
+    const auto prog = workload::buildProgram(bp);
+    workload::GenParams gp;
+    gp.length = 50'000;
+    const auto trace = workload::generateTrace(prog, gp, "bm");
+    for (auto _ : state) {
+        cpu::CoreModel model(sim::configNoBtb2());
+        benchmark::DoNotOptimize(model.run(trace));
+    }
+    state.SetItemsProcessed(
+            static_cast<std::int64_t>(state.iterations()) * 50'000);
+}
+BENCHMARK(BM_SimulateNoBtb2)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

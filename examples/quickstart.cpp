@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Quickstart: build a capacity-stressing synthetic workload, simulate
+ * it with and without the BTB2, and print the headline comparison.
+ *
+ * This is the 60-second tour of the public API:
+ *   workload::makeSuiteTrace                -> one of the paper's traces
+ *   sim::configNoBtb2 / configBtb2 /
+ *   configLargeBtb1                         -> pick a Table 3 machine
+ *   sim::runOne                             -> simulate
+ */
+
+#include <cstdio>
+
+#include "zbp/sim/simulator.hh"
+#include "zbp/stats/table.hh"
+#include "zbp/trace/trace_stats.hh"
+#include "zbp/workload/suites.hh"
+
+int
+main()
+{
+    using namespace zbp;
+
+    // The z/OS DayTrader DBServ workload — the trace on which the paper
+    // reports its maximum BTB2 benefit.  Scaled to half length so the
+    // example runs in a few seconds.
+    const auto &spec = workload::findSuite("daytrader_db");
+    const trace::Trace t = workload::makeSuiteTrace(spec, 0.75);
+
+    const auto st = trace::computeStats(t);
+    std::printf("trace '%s': %llu instructions, %llu unique branches "
+                "(%llu ever taken)\n\n",
+                spec.paperName.c_str(),
+                static_cast<unsigned long long>(st.instructions),
+                static_cast<unsigned long long>(st.uniqueBranchIas),
+                static_cast<unsigned long long>(st.uniqueTakenIas));
+
+    const cpu::SimResult base = sim::runOne(sim::configNoBtb2(), t);
+    const cpu::SimResult two = sim::runOne(sim::configBtb2(), t);
+    const cpu::SimResult big = sim::runOne(sim::configLargeBtb1(), t);
+
+    stats::TextTable tab("quickstart: one level vs two level prediction");
+    tab.setHeader({"config", "CPI", "bad branch %", "capacity surprises",
+                   "BTB2 transfers"});
+    auto row = [&tab](const char *name, const cpu::SimResult &r) {
+        tab.addRow({name, stats::TextTable::num(r.cpi, 3),
+                    stats::TextTable::pct(r.badFraction() * 100.0),
+                    std::to_string(r.surpriseCapacity),
+                    std::to_string(r.btb2Transfers)});
+    };
+    row("1: no BTB2", base);
+    row("2: BTB2 enabled (zEC12)", two);
+    row("3: unrealistic 24k BTB1", big);
+
+    tab.addNote("CPI improvement from the BTB2: " +
+                stats::TextTable::pct(cpu::cpiImprovement(base, two)) +
+                "  (large-BTB1 ceiling: " +
+                stats::TextTable::pct(cpu::cpiImprovement(base, big)) +
+                ")");
+    tab.print();
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * One branch-target-buffer entry.
+ *
+ * Every level of the hierarchy (BTB1, BTBP, BTB2) stores "the same type
+ * of content" (paper §3.1): tag information, a 2-bit bimodal direction
+ * state, the predicted-taken target address, and the gate bits that
+ * allow the PHT / CTB auxiliary predictors to override direction /
+ * target for branches that have shown multiple directions or targets.
+ *
+ * The model stores the full branch instruction address; how many of its
+ * bits participate in a tag match is a per-structure configuration knob
+ * (tagBits) so tag-aliasing studies remain possible.
+ */
+
+#ifndef ZBP_BTB_BTB_ENTRY_HH
+#define ZBP_BTB_BTB_ENTRY_HH
+
+#include "zbp/common/types.hh"
+#include "zbp/util/saturating_counter.hh"
+
+namespace zbp::btb
+{
+
+/** Branch prediction metadata for one branch instruction. */
+struct BtbEntry
+{
+    bool valid = false;
+    Addr ia = 0;            ///< branch instruction address
+    Addr target = 0;        ///< last-known taken target
+    Bimodal2 dir{};         ///< 2-bit bimodal direction state
+    bool phtAllowed = false; ///< PHT may override the direction
+    bool ctbAllowed = false; ///< CTB may override the target
+
+    /** Reset to an invalid entry. */
+    void
+    clear()
+    {
+        *this = BtbEntry{};
+    }
+
+    /** Fresh entry for a branch first observed taken to @p tgt. */
+    static BtbEntry
+    freshTaken(Addr branch_ia, Addr tgt)
+    {
+        BtbEntry e;
+        e.valid = true;
+        e.ia = branch_ia;
+        e.target = tgt;
+        e.dir.set(Bimodal2::kWeakTaken);
+        return e;
+    }
+};
+
+} // namespace zbp::btb
+
+#endif // ZBP_BTB_BTB_ENTRY_HH

@@ -1,0 +1,219 @@
+#include "zbp/btb/set_assoc_btb.hh"
+
+#include <algorithm>
+
+namespace zbp::btb
+{
+
+BtbConfig
+btb1Config()
+{
+    // 4k branches: 1k rows x 4 ways, 32 B rows (IA bits 49:58).
+    return BtbConfig{1024, 4, 32, 40};
+}
+
+BtbConfig
+btbpConfig()
+{
+    // 768 branches: 128 rows x 6 ways, 32 B rows (IA bits 52:58).
+    return BtbConfig{128, 6, 32, 40};
+}
+
+BtbConfig
+btb2Config()
+{
+    // 24k branches: 4k rows x 6 ways, 32 B rows (IA bits 47:58).
+    return BtbConfig{4096, 6, 32, 40};
+}
+
+SetAssocBtb::SetAssocBtb(std::string name, const BtbConfig &cfg_)
+    : btbName(std::move(name)), cfg(cfg_)
+{
+    ZBP_ASSERT(isPowerOf2(cfg.rows), "BTB rows must be a power of two");
+    ZBP_ASSERT(isPowerOf2(cfg.rowBytes), "rowBytes must be a power of two");
+    ZBP_ASSERT(cfg.ways >= 1, "BTB needs at least one way");
+    ZBP_ASSERT(cfg.tagBits >= 1 && cfg.tagBits <= 58, "bad tagBits");
+    slots.resize(cfg.entries());
+    lru.reserve(cfg.rows);
+    for (std::uint32_t r = 0; r < cfg.rows; ++r)
+        lru.emplace_back(cfg.ways);
+}
+
+BtbEntry *
+SetAssocBtb::rowPtr(std::uint32_t row)
+{
+    return &slots[static_cast<std::size_t>(row) * cfg.ways];
+}
+
+const BtbEntry *
+SetAssocBtb::rowPtr(std::uint32_t row) const
+{
+    return &slots[static_cast<std::size_t>(row) * cfg.ways];
+}
+
+bool
+SetAssocBtb::tagMatch(Addr entry_ia, Addr ia) const
+{
+    // Both addresses are in the same row by construction; the tag is the
+    // low tagBits of the address above the row-index field, plus the
+    // byte offset within the row (distinguishing branches in one row).
+    const std::uint64_t span = std::uint64_t{cfg.rows} * cfg.rowBytes;
+    const std::uint64_t tag_a = (entry_ia / span) & maskBits(cfg.tagBits);
+    const std::uint64_t tag_b = (ia / span) & maskBits(cfg.tagBits);
+    return tag_a == tag_b;
+}
+
+std::vector<BtbHit>
+SetAssocBtb::searchFrom(Addr search_addr) const
+{
+    const std::uint32_t row = rowOf(search_addr);
+    const BtbEntry *r = rowPtr(row);
+    std::vector<BtbHit> hits;
+    for (std::uint32_t w = 0; w < cfg.ways; ++w) {
+        const BtbEntry &e = r[w];
+        if (!e.valid || !tagMatch(e.ia, search_addr))
+            continue;
+        // Same-row offset comparison: only branches at or after the
+        // search point are candidates.
+        if ((e.ia % cfg.rowBytes) < (search_addr % cfg.rowBytes))
+            continue;
+        hits.push_back({row, w, &e});
+    }
+    std::sort(hits.begin(), hits.end(),
+              [this](const BtbHit &a, const BtbHit &b) {
+                  const auto oa = a.entry->ia % cfg.rowBytes;
+                  const auto ob = b.entry->ia % cfg.rowBytes;
+                  return oa != ob ? oa < ob : a.way < b.way;
+              });
+    return hits;
+}
+
+std::vector<BtbHit>
+SetAssocBtb::readRow(Addr row_addr) const
+{
+    const std::uint32_t row = rowOf(row_addr);
+    const BtbEntry *r = rowPtr(row);
+    std::vector<BtbHit> hits;
+    for (std::uint32_t w = 0; w < cfg.ways; ++w) {
+        const BtbEntry &e = r[w];
+        if (e.valid && tagMatch(e.ia, row_addr))
+            hits.push_back({row, w, &e});
+    }
+    return hits;
+}
+
+std::optional<BtbHit>
+SetAssocBtb::lookup(Addr ia) const
+{
+    const std::uint32_t row = rowOf(ia);
+    const BtbEntry *r = rowPtr(row);
+    for (std::uint32_t w = 0; w < cfg.ways; ++w) {
+        const BtbEntry &e = r[w];
+        if (e.valid && tagMatch(e.ia, ia) &&
+            (e.ia % cfg.rowBytes) == (ia % cfg.rowBytes)) {
+            return BtbHit{row, w, &e};
+        }
+    }
+    return std::nullopt;
+}
+
+BtbEntry &
+SetAssocBtb::at(std::uint32_t row, std::uint32_t way)
+{
+    ZBP_ASSERT(row < cfg.rows && way < cfg.ways, "slot out of range");
+    return rowPtr(row)[way];
+}
+
+const BtbEntry &
+SetAssocBtb::at(std::uint32_t row, std::uint32_t way) const
+{
+    ZBP_ASSERT(row < cfg.rows && way < cfg.ways, "slot out of range");
+    return rowPtr(row)[way];
+}
+
+std::optional<BtbEntry>
+SetAssocBtb::install(const BtbEntry &e, bool make_mru)
+{
+    ZBP_ASSERT(e.valid, "installing an invalid entry");
+    const std::uint32_t row = rowOf(e.ia);
+    BtbEntry *r = rowPtr(row);
+
+    // Same-branch update in place.
+    for (std::uint32_t w = 0; w < cfg.ways; ++w) {
+        if (r[w].valid && tagMatch(r[w].ia, e.ia) &&
+            (r[w].ia % cfg.rowBytes) == (e.ia % cfg.rowBytes)) {
+            r[w] = e;
+            if (make_mru)
+                lru[row].touch(w);
+            else
+                lru[row].demote(w);
+            ++nUpdates;
+            return std::nullopt;
+        }
+    }
+
+    // Prefer an invalid way; otherwise replace LRU.
+    std::uint32_t victim_way = cfg.ways;
+    for (std::uint32_t w = 0; w < cfg.ways; ++w) {
+        if (!r[w].valid) {
+            victim_way = w;
+            break;
+        }
+    }
+    std::optional<BtbEntry> displaced;
+    if (victim_way == cfg.ways) {
+        victim_way = lru[row].lru();
+        displaced = r[victim_way];
+        ++nEvictions;
+    }
+    r[victim_way] = e;
+    if (make_mru)
+        lru[row].touch(victim_way);
+    else
+        lru[row].demote(victim_way);
+    ++nInstalls;
+    return displaced;
+}
+
+void
+SetAssocBtb::touch(Addr ia)
+{
+    if (auto hit = lookup(ia))
+        lru[hit->row].touch(hit->way);
+}
+
+void
+SetAssocBtb::demote(std::uint32_t row, std::uint32_t way)
+{
+    ZBP_ASSERT(row < cfg.rows && way < cfg.ways, "slot out of range");
+    lru[row].demote(way);
+}
+
+bool
+SetAssocBtb::invalidate(Addr ia)
+{
+    if (auto hit = lookup(ia)) {
+        rowPtr(hit->row)[hit->way].clear();
+        lru[hit->row].demote(hit->way);
+        return true;
+    }
+    return false;
+}
+
+void
+SetAssocBtb::reset()
+{
+    for (auto &s : slots)
+        s.clear();
+}
+
+std::uint64_t
+SetAssocBtb::validCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : slots)
+        n += s.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace zbp::btb

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Generic set-associative branch target buffer.
+ *
+ * Rows span a fixed number of instruction bytes (32 B on zEC12, so e.g.
+ * "instruction address bits 49:58 index the BTB1" reduces to
+ * (ia >> 5) mod rows); a row holds several ways; each way is one branch
+ * (a BtbEntry).  A row can therefore hold several branches from the same
+ * 32-byte chunk of code, which is what lets the first-level search make
+ * up to two not-taken predictions per row per cycle (paper §3.2).
+ *
+ * The class exposes the LRU surgery the semi-exclusive hierarchy needs:
+ * install into the LRU way, explicit demote-to-LRU (BTB2 hits), and
+ * promote-to-MRU (BTB1 victims written into the BTB2).
+ */
+
+#ifndef ZBP_BTB_SET_ASSOC_BTB_HH
+#define ZBP_BTB_SET_ASSOC_BTB_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "zbp/btb/btb_entry.hh"
+#include "zbp/common/bitfield.hh"
+#include "zbp/stats/stats.hh"
+#include "zbp/util/lru.hh"
+
+namespace zbp::btb
+{
+
+/** Geometry of one BTB level. */
+struct BtbConfig
+{
+    std::uint32_t rows = 1024;   ///< power of two
+    std::uint32_t ways = 4;
+    std::uint32_t rowBytes = 32; ///< instruction bytes covered per row
+    /** Tag bits above the row index participating in a match; smaller
+     * values re-introduce the aliasing the paper discusses. */
+    unsigned tagBits = 40;
+
+    std::uint64_t entries() const { return std::uint64_t{rows} * ways; }
+};
+
+/** zEC12 BTB1: 4k branches, 1k x 4, IA bits 49:58. */
+BtbConfig btb1Config();
+/** zEC12 BTBP: 768 branches, 128 x 6, IA bits 52:58. */
+BtbConfig btbpConfig();
+/** zEC12 BTB2: 24k branches, 4k x 6, IA bits 47:58. */
+BtbConfig btb2Config();
+
+/** Reference to an entry found in the structure. */
+struct BtbHit
+{
+    std::uint32_t row;
+    std::uint32_t way;
+    const BtbEntry *entry;
+};
+
+/** Generic tagged set-associative BTB. */
+class SetAssocBtb
+{
+  public:
+    SetAssocBtb(std::string name, const BtbConfig &cfg);
+
+    const BtbConfig &config() const { return cfg; }
+    const std::string &name() const { return btbName; }
+
+    /** Row number for @p ia. */
+    std::uint32_t
+    rowOf(Addr ia) const
+    {
+        return static_cast<std::uint32_t>((ia / cfg.rowBytes) &
+                                          (cfg.rows - 1));
+    }
+
+    /** Does @p entry_ia tag-match a lookup of @p ia (same row assumed)? */
+    bool tagMatch(Addr entry_ia, Addr ia) const;
+
+    /**
+     * Search the row of @p search_addr for valid, tag-matching branches
+     * located at or after @p search_addr, in ascending address order.
+     * This is the first-level search primitive: one call models one
+     * row access of the b0..b3 pipeline.
+     */
+    std::vector<BtbHit> searchFrom(Addr search_addr) const;
+
+    /** All valid tag-matching branches anywhere in the row of @p addr
+     * (BTB2 bulk read primitive: one row per cycle). */
+    std::vector<BtbHit> readRow(Addr row_addr) const;
+
+    /** Exact-address lookup (update path). Returns nullopt on miss. */
+    std::optional<BtbHit> lookup(Addr ia) const;
+
+    /** Mutable access for in-place update of a known slot. */
+    BtbEntry &at(std::uint32_t row, std::uint32_t way);
+    const BtbEntry &at(std::uint32_t row, std::uint32_t way) const;
+
+    /**
+     * Install @p e, replacing an existing entry for the same branch if
+     * present, otherwise the LRU way.  The new/updated way is made MRU
+     * unless @p make_mru is false (in which case it is made LRU —
+     * used for low-priority installs).
+     *
+     * @return the displaced valid entry, if any.
+     */
+    std::optional<BtbEntry> install(const BtbEntry &e, bool make_mru = true);
+
+    /** Promote the way holding @p ia to MRU (on use). */
+    void touch(Addr ia);
+
+    /** Demote a specific slot to LRU (semi-exclusivity, paper §3.3). */
+    void demote(std::uint32_t row, std::uint32_t way);
+
+    /** Is @p way the MRU way of @p row? (Taken predictions from the MRU
+     * column re-index one cycle earlier, paper Table 1.) */
+    bool
+    isMru(std::uint32_t row, std::uint32_t way) const
+    {
+        return lru[row].mru() == way;
+    }
+
+    /** Invalidate the entry for @p ia if present. @return true if hit. */
+    bool invalidate(Addr ia);
+
+    /** Invalidate everything. */
+    void reset();
+
+    /** Number of currently valid entries (O(size); for tests/stats). */
+    std::uint64_t validCount() const;
+
+    void
+    registerStats(stats::Group &g) const
+    {
+        g.add("installs", nInstalls, "entries written");
+        g.add("evictions", nEvictions, "valid entries displaced");
+        g.add("updates", nUpdates, "in-place entry updates");
+    }
+
+  private:
+    BtbEntry *rowPtr(std::uint32_t row);
+    const BtbEntry *rowPtr(std::uint32_t row) const;
+
+    std::string btbName;
+    BtbConfig cfg;
+    std::vector<BtbEntry> slots; ///< rows x ways
+    std::vector<LruState> lru;
+
+    stats::Counter nInstalls;
+    stats::Counter nEvictions;
+    stats::Counter nUpdates;
+};
+
+} // namespace zbp::btb
+
+#endif // ZBP_BTB_SET_ASSOC_BTB_HH

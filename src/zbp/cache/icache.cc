@@ -1,0 +1,85 @@
+#include "zbp/cache/icache.hh"
+
+namespace zbp::cache
+{
+
+ICache::ICache(const ICacheParams &p) : prm(p)
+{
+    ZBP_ASSERT(isPowerOf2(prm.lineBytes), "line size must be pow2");
+    ZBP_ASSERT(prm.ways >= 1, "need at least one way");
+    ZBP_ASSERT(prm.sizeBytes % (prm.lineBytes * prm.ways) == 0,
+               "size not divisible by line*ways");
+    numSets = prm.sizeBytes / (prm.lineBytes * prm.ways);
+    ZBP_ASSERT(isPowerOf2(numSets), "set count must be pow2");
+    lines.resize(static_cast<std::size_t>(numSets) * prm.ways);
+    lru.reserve(numSets);
+    for (std::uint32_t s = 0; s < numSets; ++s)
+        lru.emplace_back(prm.ways);
+}
+
+std::uint64_t
+ICache::setIndex(Addr addr) const
+{
+    return (addr / prm.lineBytes) & (numSets - 1);
+}
+
+Addr
+ICache::tagOf(Addr addr) const
+{
+    return addr / prm.lineBytes / numSets;
+}
+
+bool
+ICache::probe(Addr addr) const
+{
+    const auto set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    const Line *row = &lines[set * prm.ways];
+    for (std::uint32_t w = 0; w < prm.ways; ++w)
+        if (row[w].valid && row[w].tag == tag)
+            return true;
+    return false;
+}
+
+bool
+ICache::access(Addr addr, Cycle now)
+{
+    const auto set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Line *row = &lines[set * prm.ways];
+    for (std::uint32_t w = 0; w < prm.ways; ++w) {
+        if (row[w].valid && row[w].tag == tag) {
+            lru[set].touch(w);
+            ++nHits;
+            return true;
+        }
+    }
+
+    // Miss: install into the LRU way and record the 4 KB block.
+    const unsigned victim = lru[set].lru();
+    row[victim].valid = true;
+    row[victim].tag = tag;
+    lru[set].touch(victim);
+    blockMiss[addr >> 12] = now;
+    ++nMisses;
+    return false;
+}
+
+bool
+ICache::blockMissedRecently(Addr addr, Cycle now) const
+{
+    const auto it = blockMiss.find(addr >> 12);
+    if (it == blockMiss.end())
+        return false;
+    return now >= it->second && now - it->second <= prm.missRecordTtl;
+}
+
+void
+ICache::reset()
+{
+    for (auto &l : lines)
+        l.valid = false;
+    blockMiss.clear();
+}
+
+} // namespace zbp::cache

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Bit-field helpers in both LSB-0 and the paper's MSB-0 numbering.
+ *
+ * The HPCA'13 paper specifies all index fields in IBM's big-endian MSB-0
+ * convention, e.g. "instruction address bits 49:58 are used to index the
+ * BTB1".  fieldMsb0(addr, 49, 58) returns exactly that 10-bit value, so
+ * code can quote the paper literally.
+ */
+
+#ifndef ZBP_COMMON_BITFIELD_HH
+#define ZBP_COMMON_BITFIELD_HH
+
+#include <cstdint>
+
+#include "zbp/common/log.hh"
+#include "zbp/common/types.hh"
+
+namespace zbp
+{
+
+/** A mask with the low @p bits bits set. @p bits may be 0..64. */
+constexpr std::uint64_t
+maskBits(unsigned bits)
+{
+    return bits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << bits) - 1);
+}
+
+/**
+ * Extract an inclusive LSB-0 bit range [lo, hi] from @p value.
+ * bit 0 is the least significant bit.
+ */
+constexpr std::uint64_t
+fieldLsb0(std::uint64_t value, unsigned hi, unsigned lo)
+{
+    return (value >> lo) & maskBits(hi - lo + 1);
+}
+
+/**
+ * Extract an inclusive MSB-0 bit range [msb_hi, msb_lo] from a 64-bit
+ * value, where bit 0 is the *most* significant bit (IBM z convention).
+ *
+ * Example: the BTB1 index "instruction address bits 49:58" is
+ * fieldMsb0(ia, 49, 58): 10 bits whose least significant paper-bit 58
+ * corresponds to LSB-0 bit 63 - 58 = 5 (each BTB row spans 32 bytes).
+ *
+ * @param value     the 64-bit word
+ * @param msb_first the most significant paper bit of the field
+ * @param msb_last  the least significant paper bit of the field
+ *                  (msb_first <= msb_last)
+ */
+constexpr std::uint64_t
+fieldMsb0(std::uint64_t value, unsigned msb_first, unsigned msb_last)
+{
+    const unsigned lo = 63 - msb_last;
+    const unsigned hi = 63 - msb_first;
+    return fieldLsb0(value, hi, lo);
+}
+
+/** Number of bits in the inclusive MSB-0 field [msb_first, msb_last]. */
+constexpr unsigned
+fieldWidthMsb0(unsigned msb_first, unsigned msb_last)
+{
+    return msb_last - msb_first + 1;
+}
+
+/** True if @p v is a power of two (and non-zero). */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)); v must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned r = 0;
+    while (v >>= 1)
+        ++r;
+    return r;
+}
+
+/** ceil(log2(v)); v must be non-zero. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return isPowerOf2(v) ? floorLog2(v) : floorLog2(v) + 1;
+}
+
+/** Align @p addr down to a multiple of @p align (power of two). */
+constexpr Addr
+alignDown(Addr addr, std::uint64_t align)
+{
+    return addr & ~(align - 1);
+}
+
+/** Align @p addr up to a multiple of @p align (power of two). */
+constexpr Addr
+alignUp(Addr addr, std::uint64_t align)
+{
+    return (addr + align - 1) & ~(align - 1);
+}
+
+static_assert(fieldMsb0(0xFFFF'FFFF'FFFF'FFFFull, 49, 58) == 0x3FF,
+              "BTB1 index field must be 10 bits");
+static_assert(fieldMsb0(0x20, 49, 58) == 1,
+              "address 0x20 (one 32B row up) must index row 1");
+static_assert(fieldMsb0(0xFFFF'FFFF'FFFF'FFFFull, 52, 58) == 0x7F,
+              "BTBP index field must be 7 bits");
+static_assert(fieldMsb0(0xFFFF'FFFF'FFFF'FFFFull, 47, 58) == 0xFFF,
+              "BTB2 index field must be 12 bits");
+
+} // namespace zbp
+
+#endif // ZBP_COMMON_BITFIELD_HH

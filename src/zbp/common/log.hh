@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Minimal gem5-flavoured status/error reporting.
+ *
+ * panic()  — an internal invariant was violated (simulator bug); aborts.
+ * fatal()  — the user asked for something impossible (bad config); exits.
+ * warn()   — suspicious but survivable.
+ * inform() — plain status output.
+ */
+
+#ifndef ZBP_COMMON_LOG_HH
+#define ZBP_COMMON_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace zbp
+{
+
+namespace detail
+{
+
+template <typename... Args>
+std::string
+formatMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] inline void
+abortWith(const char *kind, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", kind, msg.c_str());
+    std::abort();
+}
+
+[[noreturn]] inline void
+exitWith(const char *kind, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", kind, msg.c_str());
+    std::exit(1);
+}
+
+} // namespace detail
+
+/** Abort: an invariant that should never fail regardless of user input. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::abortWith("panic", detail::formatMessage(
+            std::forward<Args>(args)...));
+}
+
+/** Exit(1): the user configured something the simulator cannot honour. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::exitWith("fatal", detail::formatMessage(
+            std::forward<Args>(args)...));
+}
+
+/** Non-fatal warning on stderr. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    std::fprintf(stderr, "warn: %s\n",
+                 detail::formatMessage(std::forward<Args>(args)...).c_str());
+}
+
+/** Informational message on stdout. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    std::fprintf(stdout, "info: %s\n",
+                 detail::formatMessage(std::forward<Args>(args)...).c_str());
+}
+
+/** panic() unless @p cond holds. */
+#define ZBP_ASSERT(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::zbp::panic("assertion '", #cond, "' failed at ", __FILE__,    \
+                         ":", __LINE__, ": ", ##__VA_ARGS__);               \
+        }                                                                   \
+    } while (0)
+
+} // namespace zbp
+
+#endif // ZBP_COMMON_LOG_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Deterministic, seedable random number generation for workload synthesis.
+ *
+ * We deliberately avoid std::mt19937 + std::uniform_int_distribution in
+ * the generators because distribution implementations differ between
+ * standard libraries; experiments must replay bit-identically anywhere.
+ * SplitMix64 is tiny, fast, and has well-understood statistical quality.
+ */
+
+#ifndef ZBP_COMMON_RNG_HH
+#define ZBP_COMMON_RNG_HH
+
+#include <cstdint>
+
+#include "zbp/common/log.hh"
+
+namespace zbp
+{
+
+/** SplitMix64 pseudo random generator with convenience draws. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) : state(seed) {}
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        ZBP_ASSERT(bound != 0, "Rng::below(0)");
+        // Lemire-style rejection-free multiply-shift; bias is
+        // negligible for the bounds used here (< 2^32).
+        return static_cast<std::uint64_t>(
+                (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        ZBP_ASSERT(lo <= hi, "Rng::range lo > hi");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Bernoulli draw with probability @p p (clamped to [0,1]). */
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        // 53-bit uniform double in [0,1).
+        const double u = static_cast<double>(next() >> 11) * 0x1.0p-53;
+        return u < p;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /**
+     * Zipf-like skewed pick in [0, n): low indices are much more likely.
+     * Used to give synthetic workloads the hot/cold code distribution
+     * commercial traces exhibit.  @p s in (0, ~2]; larger = more skew.
+     */
+    std::uint64_t
+    zipfish(std::uint64_t n, double s)
+    {
+        ZBP_ASSERT(n != 0, "Rng::zipfish(0)");
+        // Inverse-power transform of a uniform draw; not an exact Zipf
+        // sampler but monotone, cheap and deterministic.
+        const double u = uniform();
+        double x = u;
+        for (double k = s; k > 0.0; k -= 1.0)
+            x *= (k >= 1.0) ? u : 1.0 - k * (1.0 - u);
+        auto idx = static_cast<std::uint64_t>(x * static_cast<double>(n));
+        return idx >= n ? n - 1 : idx;
+    }
+
+    /** Re-seed in place. */
+    void seed(std::uint64_t s) { state = s; }
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace zbp
+
+#endif // ZBP_COMMON_RNG_HH

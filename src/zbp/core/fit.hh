@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Fast Index Table (FIT).
+ *
+ * Paper §3.2: a 64-branch structure that accelerates re-indexing of the
+ * first-level search after a predicted-taken branch, enabling
+ * predictions every other cycle (and every cycle for a tight single-
+ * taken-branch loop).  The FIT learns, for a taken branch, where the
+ * search will land next; the acceleration only applies when the learned
+ * target still matches the prediction actually made.
+ */
+
+#ifndef ZBP_CORE_FIT_HH
+#define ZBP_CORE_FIT_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "zbp/common/types.hh"
+#include "zbp/stats/stats.hh"
+
+namespace zbp::core
+{
+
+/** Fully associative, true-LRU branch -> next-search-index cache. */
+class FastIndexTable
+{
+  public:
+    explicit FastIndexTable(unsigned entries = 64) : capacity(entries) {}
+
+    /**
+     * Query at prediction time: does the FIT know this taken branch and
+     * does its remembered target match @p predicted_target?
+     */
+    bool
+    hit(Addr branch_ia, Addr predicted_target)
+    {
+        auto it = map.find(branch_ia);
+        if (it == map.end())
+            return false;
+        order.splice(order.begin(), order, it->second); // promote to MRU
+        if (it->second->target != predicted_target) {
+            ++nMismatch;
+            return false;
+        }
+        ++nHits;
+        return true;
+    }
+
+    /** Learn/refresh a taken branch's next-search target. */
+    void
+    learn(Addr branch_ia, Addr target)
+    {
+        auto it = map.find(branch_ia);
+        if (it != map.end()) {
+            it->second->target = target;
+            order.splice(order.begin(), order, it->second);
+            return;
+        }
+        if (capacity == 0)
+            return;
+        if (map.size() >= capacity) {
+            map.erase(order.back().ia);
+            order.pop_back();
+        }
+        order.push_front(Node{branch_ia, target});
+        map[branch_ia] = order.begin();
+    }
+
+    void
+    reset()
+    {
+        map.clear();
+        order.clear();
+    }
+
+    std::size_t size() const { return map.size(); }
+
+    void
+    registerStats(stats::Group &g) const
+    {
+        g.add("hits", nHits, "accelerated re-indexes");
+        g.add("mismatches", nMismatch, "FIT target stale at prediction");
+    }
+
+  private:
+    struct Node
+    {
+        Addr ia;
+        Addr target;
+    };
+
+    unsigned capacity;
+    std::list<Node> order; ///< front = MRU
+    std::unordered_map<Addr, std::list<Node>::iterator> map;
+
+    stats::Counter nHits;
+    stats::Counter nMismatch;
+};
+
+} // namespace zbp::core
+
+#endif // ZBP_CORE_FIT_HH

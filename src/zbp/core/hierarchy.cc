@@ -1,0 +1,272 @@
+#include "zbp/core/hierarchy.hh"
+
+#include <algorithm>
+
+namespace zbp::core
+{
+
+BranchPredictorHierarchy::BranchPredictorHierarchy(const MachineParams &p)
+    : prm(p),
+      btb1Ptr(std::make_unique<btb::SetAssocBtb>("btb1", p.btb1)),
+      btbpPtr(std::make_unique<btb::SetAssocBtb>("btbp", p.btbp)),
+      btb2Ptr(std::make_unique<btb::SetAssocBtb>("btb2", p.btb2)),
+      phtTable(p.phtEntries),
+      ctbTable(p.ctbEntries),
+      sbht(p.surpriseBhtEntries),
+      fitTable(p.search.fitEntries)
+{
+}
+
+std::vector<Candidate>
+BranchPredictorHierarchy::searchFirstLevel(Addr search_addr) const
+{
+    std::vector<Candidate> out;
+
+    auto consume = [&](const btb::SetAssocBtb &t, PredictionSource src) {
+        for (const auto &h : t.searchFrom(search_addr)) {
+            const Addr row_base =
+                    alignDown(search_addr, t.config().rowBytes);
+            const Addr perceived =
+                    row_base + (h.entry->ia % t.config().rowBytes);
+            // Collapse duplicates across levels (same perceived IA):
+            // BTB1 is consumed first and wins.
+            const bool dup = std::any_of(
+                    out.begin(), out.end(), [&](const Candidate &c) {
+                        return c.perceivedIa == perceived;
+                    });
+            if (dup)
+                continue;
+            Candidate c;
+            c.entry = *h.entry;
+            c.source = src;
+            c.perceivedIa = perceived;
+            // MRU-way information affects re-index timing (Table 1).
+            c.inMruWay = src == PredictionSource::kBtb1 &&
+                         t.isMru(h.row, h.way);
+            out.push_back(c);
+        }
+    };
+
+    consume(*btb1Ptr, PredictionSource::kBtb1);
+    consume(*btbpPtr, PredictionSource::kBtbp);
+
+    std::sort(out.begin(), out.end(),
+              [](const Candidate &a, const Candidate &b) {
+                  return a.perceivedIa < b.perceivedIa;
+              });
+    return out;
+}
+
+Prediction
+BranchPredictorHierarchy::makePrediction(const Candidate &c,
+                                         std::uint64_t seq)
+{
+    Prediction p;
+    p.seq = seq;
+    p.ia = c.perceivedIa;
+    p.source = c.source;
+    p.hist = specHist;
+
+    // Direction: bimodal state, PHT override when the entry's gate bit
+    // allows it and the PHT has a tag hit.
+    bool taken = c.entry.dir.taken();
+    if (c.entry.phtAllowed) {
+        if (auto d = phtTable.lookup(p.ia, specHist)) {
+            if (*d != taken)
+                ++nPhtOverrides;
+            taken = *d;
+            p.usedPht = true;
+        }
+    }
+    p.taken = taken;
+
+    // Target: entry target, CTB override when gated on.
+    if (taken) {
+        p.target = c.entry.target;
+        if (c.entry.ctbAllowed) {
+            if (auto t = ctbTable.lookup(p.ia, specHist)) {
+                if (*t != p.target)
+                    ++nCtbOverrides;
+                p.target = *t;
+                p.usedCtb = true;
+            }
+        }
+    }
+
+    // Speculative history update (paper §3.2).  Direction counters are
+    // trained at resolve time only: wrong-path predictions never
+    // resolve, and letting them update the 2-bit counters was measured
+    // to pollute hot entries badly.
+    specHist.push(p.ia, taken);
+    const btb::BtbEntry updated = c.entry;
+
+    if (c.source == PredictionSource::kBtbp) {
+        // Content moves BTBP -> BTB1 upon making a prediction from the
+        // BTBP; the BTB1 victim goes to both the BTBP (victim buffer)
+        // and the BTB2 (LRU way, made MRU) (paper §3.1, §3.3).
+        btbpPtr->invalidate(updated.ia);
+        auto victim = btb1Ptr->install(updated);
+        ++nPromotions;
+        if (victim) {
+            btbpPtr->install(*victim);
+            if (prm.btb2Enabled) {
+                btb2Ptr->install(*victim);
+                ++nVictimsToBtb2;
+            }
+        }
+    } else {
+        // In-place speculative counter update + recency.
+        if (auto h = btb1Ptr->lookup(updated.ia)) {
+            btb1Ptr->at(h->row, h->way).dir = updated.dir;
+            btb1Ptr->touch(updated.ia);
+        }
+    }
+
+    ++nPredictions;
+    return p;
+}
+
+void
+BranchPredictorHierarchy::trainAfterResolve(btb::BtbEntry &entry,
+                                            const Prediction *pred,
+                                            const dir::HistoryState &hist,
+                                            trace::InstKind kind,
+                                            bool taken, Addr target)
+{
+    const bool bimodal_was_wrong = entry.dir.taken() != taken;
+
+    // Direction training toward the resolved outcome.
+    entry.dir.update(taken);
+
+    // PHT: train when gated on; allocate + gate on when the bimodal
+    // state mispredicted (multi-directional behaviour detected).
+    if (kind == trace::InstKind::kCondBranch) {
+        if (entry.phtAllowed) {
+            phtTable.update(entry.ia, hist, taken, bimodal_was_wrong);
+        } else if (bimodal_was_wrong) {
+            phtTable.update(entry.ia, hist, taken, true);
+            entry.phtAllowed = true;
+        }
+    }
+
+    // CTB: a taken branch whose target moved is a changing-target
+    // branch; gate the CTB on and keep it trained.
+    if (taken && target != kNoAddr) {
+        if (entry.target != target) {
+            ctbTable.update(entry.ia, hist, target);
+            entry.ctbAllowed = true;
+            entry.target = target;
+        } else if (entry.ctbAllowed) {
+            ctbTable.update(entry.ia, hist, target);
+        }
+    }
+}
+
+void
+BranchPredictorHierarchy::resolvePredicted(const Prediction &pred,
+                                           trace::InstKind kind,
+                                           bool actual_taken,
+                                           Addr actual_target, Cycle now)
+{
+    (void)now;
+    sbht.update(pred.ia, kind, actual_taken);
+    archHist.push(pred.ia, actual_taken);
+
+    // The entry may have moved between levels since prediction time;
+    // find it wherever it lives now.
+    btb::SetAssocBtb *home = nullptr;
+    std::optional<btb::BtbHit> h = btb1Ptr->lookup(pred.ia);
+    if (h) {
+        home = btb1Ptr.get();
+    } else {
+        h = btbpPtr->lookup(pred.ia);
+        if (h)
+            home = btbpPtr.get();
+    }
+    if (home == nullptr)
+        return; // evicted in flight; nothing to train
+
+    btb::BtbEntry &entry = home->at(h->row, h->way);
+    trainAfterResolve(entry, &pred, pred.hist, kind, actual_taken,
+                      actual_target);
+}
+
+void
+BranchPredictorHierarchy::resolveSurprise(Addr ia, trace::InstKind kind,
+                                          bool taken, Addr target,
+                                          Cycle now)
+{
+    sbht.update(ia, kind, taken);
+    archHist.push(ia, taken);
+
+    // The branch may actually be present but was missed by the search
+    // flow (latency); train it in place.
+    if (auto h = btb1Ptr->lookup(ia)) {
+        trainAfterResolve(btb1Ptr->at(h->row, h->way), nullptr, archHist,
+                          kind, taken, target);
+        return;
+    }
+    if (auto h = btbpPtr->lookup(ia)) {
+        trainAfterResolve(btbpPtr->at(h->row, h->way), nullptr, archHist,
+                          kind, taken, target);
+        return;
+    }
+
+    // Ever-taken branches are installed: surprise installs write the
+    // BTBP and the BTB2 (paper §3.1).
+    if (taken && target != kNoAddr) {
+        const auto e = btb::BtbEntry::freshTaken(ia, target);
+        btbpPtr->install(e);
+        if (prm.btb2Enabled)
+            btb2Ptr->install(e);
+        installCycle[ia] = now;
+        ++nSurpriseInstalls;
+    }
+}
+
+void
+BranchPredictorHierarchy::preload(Addr ia, Addr target)
+{
+    btbpPtr->install(btb::BtbEntry::freshTaken(ia, target));
+    ++nPreloads;
+}
+
+std::optional<Cycle>
+BranchPredictorHierarchy::lastInstall(Addr ia) const
+{
+    const auto it = installCycle.find(ia);
+    if (it == installCycle.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+BranchPredictorHierarchy::reset()
+{
+    btb1Ptr->reset();
+    btbpPtr->reset();
+    btb2Ptr->reset();
+    phtTable.reset();
+    ctbTable.reset();
+    sbht.reset();
+    fitTable.reset();
+    specHist.clear();
+    archHist.clear();
+    installCycle.clear();
+}
+
+void
+BranchPredictorHierarchy::registerStats(stats::Group &g) const
+{
+    g.add("predictions", nPredictions, "dynamic predictions formed");
+    g.add("promotions", nPromotions, "BTBP->BTB1 content moves");
+    g.add("victimsToBtb2", nVictimsToBtb2, "BTB1 victims written to BTB2");
+    g.add("surpriseInstalls", nSurpriseInstalls,
+          "taken surprise branches installed");
+    g.add("preloads", nPreloads, "software preload installs");
+    g.add("phtOverrides", nPhtOverrides, "PHT direction overrides");
+    g.add("ctbOverrides", nCtbOverrides, "CTB target overrides");
+    btb1Ptr->registerStats(g);
+}
+
+} // namespace zbp::core

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * BranchPredictorHierarchy — owns every prediction structure and
+ * implements the content-movement flows of the paper:
+ *
+ *  - parallel BTB1 + BTBP search (the "first level predictor");
+ *  - BTBP -> BTB1 promotion upon making a prediction from the BTBP,
+ *    with the BTB1 victim written to both the BTBP (victim buffer) and
+ *    the BTB2 (semi-exclusive: installed in the LRU way, made MRU);
+ *  - surprise installs to BTBP + BTB2;
+ *  - branch preload instructions to the BTBP;
+ *  - PHT/CTB gated overrides and their resolve-time training;
+ *  - speculative vs architectural global history.
+ *
+ * The *timing* of the search lives in SearchPipeline; the *movement of
+ * content* lives here so it can be unit-tested cycle-free.
+ */
+
+#ifndef ZBP_CORE_HIERARCHY_HH
+#define ZBP_CORE_HIERARCHY_HH
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "zbp/btb/set_assoc_btb.hh"
+#include "zbp/core/fit.hh"
+#include "zbp/core/params.hh"
+#include "zbp/core/prediction.hh"
+#include "zbp/dir/ctb.hh"
+#include "zbp/dir/history.hh"
+#include "zbp/dir/pht.hh"
+#include "zbp/dir/surprise_bht.hh"
+#include "zbp/trace/instruction.hh"
+
+namespace zbp::core
+{
+
+/** A first-level search hit, pre-prediction. */
+struct Candidate
+{
+    btb::BtbEntry entry;      ///< copy of the matched entry
+    PredictionSource source;
+    /** The address the search logic believes the branch is at: the
+     * searched row base plus the entry's in-row offset.  Differs from
+     * entry.ia only under tag aliasing. */
+    Addr perceivedIa;
+    bool inMruWay;            ///< BTB1 MRU-way hit (affects timing)
+};
+
+/** The full first+second level branch prediction state. */
+class BranchPredictorHierarchy
+{
+  public:
+    explicit BranchPredictorHierarchy(const MachineParams &p);
+
+    // --- structure access -------------------------------------------
+    btb::SetAssocBtb &btb1() { return *btb1Ptr; }
+    btb::SetAssocBtb &btbp() { return *btbpPtr; }
+    btb::SetAssocBtb &btb2() { return *btb2Ptr; }
+    const btb::SetAssocBtb &btb1() const { return *btb1Ptr; }
+    const btb::SetAssocBtb &btbp() const { return *btbpPtr; }
+    const btb::SetAssocBtb &btb2() const { return *btb2Ptr; }
+    FastIndexTable &fit() { return fitTable; }
+    dir::SurpriseBht &surpriseBht() { return sbht; }
+    dir::HistoryState &specHistory() { return specHist; }
+    dir::HistoryState &archHistory() { return archHist; }
+    dir::Pht &pht() { return phtTable; }
+    dir::Ctb &ctb() { return ctbTable; }
+
+    // --- search side -------------------------------------------------
+    /**
+     * Read the BTB1 and BTBP rows of @p search_addr in parallel and
+     * return the matching branches at or after the search point, in
+     * ascending perceived-address order (duplicates collapsed, BTB1
+     * copy preferred).
+     */
+    std::vector<Candidate> searchFirstLevel(Addr search_addr) const;
+
+    /**
+     * Turn a candidate into a broadcast prediction: choose direction
+     * (bimodal, PHT-overridden when gated on), choose target (entry,
+     * CTB-overridden when gated on), apply the speculative history and
+     * speculative bimodal update, and — when the candidate came from the
+     * BTBP — perform the BTBP -> BTB1 promotion with its victim flows.
+     *
+     * The caller supplies seq and fills in availableAt (timing).
+     */
+    Prediction makePrediction(const Candidate &c, std::uint64_t seq);
+
+    // --- resolve side ------------------------------------------------
+    /** Resolve a dynamically predicted branch. */
+    void resolvePredicted(const Prediction &pred, trace::InstKind kind,
+                          bool actual_taken, Addr actual_target,
+                          Cycle now);
+
+    /** Resolve a surprise branch (installs it when taken). */
+    void resolveSurprise(Addr ia, trace::InstKind kind, bool taken,
+                         Addr target, Cycle now);
+
+    /** Software branch preload (z BPP/BPRP-like): hint into the BTBP. */
+    void preload(Addr ia, Addr target);
+
+    /** Restart: re-synchronize speculative history with architectural
+     * state (mispredict or surprise-taken redirect). */
+    void restartSpeculation() { specHist.copyFrom(archHist); }
+
+    /** When was @p ia last installed into the hierarchy (for the
+     * latency-vs-capacity surprise classification)? */
+    std::optional<Cycle> lastInstall(Addr ia) const;
+
+    /** Full wipe (between benchmark repetitions). */
+    void reset();
+
+    void registerStats(stats::Group &g) const;
+
+    const MachineParams &params() const { return prm; }
+
+  private:
+    void trainAfterResolve(btb::BtbEntry &entry, const Prediction *pred,
+                           const dir::HistoryState &hist,
+                           trace::InstKind kind, bool taken, Addr target);
+
+    MachineParams prm;
+    std::unique_ptr<btb::SetAssocBtb> btb1Ptr;
+    std::unique_ptr<btb::SetAssocBtb> btbpPtr;
+    std::unique_ptr<btb::SetAssocBtb> btb2Ptr;
+    dir::Pht phtTable;
+    dir::Ctb ctbTable;
+    dir::SurpriseBht sbht;
+    FastIndexTable fitTable;
+    dir::HistoryState specHist;
+    dir::HistoryState archHist;
+
+    std::unordered_map<Addr, Cycle> installCycle;
+
+    stats::Counter nPredictions;
+    stats::Counter nPromotions;
+    stats::Counter nVictimsToBtb2;
+    stats::Counter nSurpriseInstalls;
+    stats::Counter nPreloads;
+    stats::Counter nPhtOverrides;
+    stats::Counter nCtbOverrides;
+};
+
+} // namespace zbp::core
+
+#endif // ZBP_CORE_HIERARCHY_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The record describing one dynamic branch prediction as broadcast by
+ * the first-level search pipeline to instruction fetch and decode.
+ */
+
+#ifndef ZBP_CORE_PREDICTION_HH
+#define ZBP_CORE_PREDICTION_HH
+
+#include <cstdint>
+
+#include "zbp/common/types.hh"
+#include "zbp/dir/history.hh"
+
+namespace zbp::core
+{
+
+/** Which first-level structure supplied the BTB entry. */
+enum class PredictionSource : std::uint8_t
+{
+    kBtb1,
+    kBtbp,
+};
+
+/** One branch prediction in flight. */
+struct Prediction
+{
+    std::uint64_t seq = 0;   ///< monotonically increasing id
+    Addr ia = 0;             ///< perceived branch address
+    bool taken = false;      ///< predicted direction
+    Addr target = kNoAddr;   ///< predicted target (taken only)
+    Cycle availableAt = 0;   ///< broadcast cycle (b4/b5/b6)
+    PredictionSource source = PredictionSource::kBtb1;
+    bool usedPht = false;    ///< direction came from the PHT
+    bool usedCtb = false;    ///< target came from the CTB
+
+    /** Snapshot of the speculative history *before* this branch was
+     * applied; carried with the prediction so PHT/CTB training at
+     * resolve time uses the same index the lookup used. */
+    dir::HistoryState hist;
+};
+
+} // namespace zbp::core
+
+#endif // ZBP_CORE_PREDICTION_HH

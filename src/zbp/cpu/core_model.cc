@@ -1,0 +1,651 @@
+#include "zbp/cpu/core_model.hh"
+
+#include <algorithm>
+
+namespace zbp::cpu
+{
+
+/** Forward-progress watchdog: far beyond any legitimate stall. */
+constexpr Cycle kWatchdogCycles = 5000;
+
+double
+cpiImprovement(const SimResult &base, const SimResult &test)
+{
+    if (base.cpi == 0.0)
+        return 0.0;
+    return (base.cpi - test.cpi) / base.cpi * 100.0;
+}
+
+CoreModel::CoreModel(const core::MachineParams &p) : prm(p)
+{
+    bp = std::make_unique<core::BranchPredictorHierarchy>(prm);
+    l1i = std::make_unique<cache::ICache>(prm.icache);
+    if (prm.dcacheEnabled)
+        l1d = std::make_unique<cache::ICache>(prm.dcache);
+    sotTable = std::make_unique<preload::SectorOrderTable>(prm.sot);
+    if (prm.btb2Enabled) {
+        eng = std::make_unique<preload::Btb2Engine>(
+                prm.engine, bp->btb2(), bp->btbp(), *sotTable, *l1i);
+    }
+    pipe = std::make_unique<core::SearchPipeline>(prm.search, *bp,
+                                                  eng.get());
+}
+
+CoreModel::~CoreModel() = default;
+
+void
+CoreModel::startRun(const trace::Trace &t)
+{
+    tr = &t;
+    fetchIdx = 0;
+    decodeIdx = 0;
+    fetchBuf.clear();
+    fetchStall = FetchStall::kNone;
+    fetchResumeAt = kNoCycle;
+    fetchBlockedUntil = 0;
+    decodeBlockedUntil = 0;
+    events.clear();
+    nTaken = 0;
+    nBranches = 0;
+    nDataAccesses = 0;
+    nWatchdogResets = 0;
+    fetchSeqCursor = 0;
+    lastRestartCycle = 0;
+}
+
+void
+CoreModel::scheduleRestart(Addr addr, Cycle at)
+{
+    ResolveEvent ev;
+    ev.at = at;
+    ev.kind = ResolveEvent::Kind::kRestart;
+    ev.restartAddr = addr;
+    events.push_back(ev);
+}
+
+void
+CoreModel::processEvents(Cycle now)
+{
+    while (!events.empty() && events.front().at <= now) {
+        const ResolveEvent ev = events.front();
+        events.pop_front();
+        switch (ev.kind) {
+          case ResolveEvent::Kind::kPredicted:
+            bp->resolvePredicted(ev.pred, ev.ikind, ev.taken, ev.target,
+                                 ev.at);
+            break;
+          case ResolveEvent::Kind::kSurprise:
+            bp->resolveSurprise(ev.ia, ev.ikind, ev.taken, ev.target,
+                                ev.at);
+            break;
+          case ResolveEvent::Kind::kRestart:
+            pipe->restart(ev.restartAddr, ev.at);
+            bp->restartSpeculation();
+            lastRestartCycle = ev.at;
+            break;
+        }
+    }
+}
+
+void
+CoreModel::fetchTick(Cycle now)
+{
+    const auto &t = *tr;
+    if (fetchIdx >= t.size())
+        return;
+
+    // Stall resolution.
+    if (fetchStall == FetchStall::kWaitPrediction) {
+        // Waiting on a usable taken prediction for the branch just
+        // fetched (trace[fetchIdx - 1]).
+        ZBP_ASSERT(fetchIdx >= 1, "wait-prediction stall with no branch");
+        const auto &br = t[fetchIdx - 1];
+        const core::Prediction *p = findFetchPredFor(br.ia);
+        if (p != nullptr && p->availableAt <= now) {
+            if (p->taken && p->target == br.target) {
+                // The prediction caught up and steers fetch onward.
+                fetchSeqCursor = p->seq;
+                fetchStall = FetchStall::kNone;
+                fetchResumeAt = kNoCycle;
+            } else {
+                // Wrong direction or target: fetch goes down the bogus
+                // path until the decode/resolve restart.
+                fetchSeqCursor = p->seq;
+                fetchStall = FetchStall::kWaitResume;
+                return;
+            }
+        } else if (fetchResumeAt != kNoCycle && now >= fetchResumeAt) {
+            fetchStall = FetchStall::kNone;
+            fetchResumeAt = kNoCycle;
+        } else {
+            return;
+        }
+    }
+    if (fetchStall == FetchStall::kWaitResume) {
+        if (fetchResumeAt != kNoCycle && now >= fetchResumeAt) {
+            fetchStall = FetchStall::kNone;
+            fetchResumeAt = kNoCycle;
+        } else {
+            return;
+        }
+    }
+    if (now < fetchBlockedUntil)
+        return;
+
+    unsigned budget = prm.cpu.fetchBytesPerCycle;
+    const std::uint32_t line_bytes = prm.icache.lineBytes;
+
+    while (budget > 0 && fetchIdx < t.size() &&
+           fetchBuf.size() < prm.cpu.fetchBufferInsts) {
+        const auto &inst = t[fetchIdx];
+        if (inst.length > budget)
+            break;
+
+        // Instruction cache: touch the line(s) the instruction spans.
+        const Addr first_line = alignDown(inst.ia, line_bytes);
+        const Addr last_line =
+                alignDown(inst.ia + inst.length - 1, line_bytes);
+        for (Addr line = first_line; line <= last_line;
+             line += line_bytes) {
+            if (line == lastFetchLine)
+                continue;
+            lastFetchLine = line;
+            if (!l1i->access(line, now)) {
+                if (eng)
+                    eng->noteICacheMiss(line, now);
+                fetchBlockedUntil = now + prm.icache.missLatency;
+                return; // retry this instruction after the fill
+            }
+        }
+
+        budget -= inst.length;
+        fetchBuf.push_back({fetchIdx, now + prm.cpu.fetchToDecode});
+        ++fetchIdx;
+
+        // Control flow: consume the prediction stream *in order*.  Only
+        // the next unconsumed prediction may attach to this instruction;
+        // deeper queue entries belong to later path positions (possibly
+        // future dynamic occurrences of the same branch).
+        bool redirected = false;
+        const core::Prediction *p;
+        while ((p = nextFetchPred()) != nullptr && p->ia >= inst.ia &&
+               p->ia < inst.ia + inst.length) {
+            if (!p->taken) {
+                // Not-taken predictions never steer fetch.
+                fetchSeqCursor = p->seq;
+                continue;
+            }
+            if (p->availableAt > now) {
+                if (inst.branch() && inst.taken)
+                    break; // handled by the wait-prediction stall below
+                // A late taken prediction pointing into a sequential
+                // instruction cannot redirect fetch in time; skip it.
+                fetchSeqCursor = p->seq;
+                continue;
+            }
+            // Usable taken prediction.
+            fetchSeqCursor = p->seq;
+            if (inst.branch() && inst.taken && p->ia == inst.ia &&
+                p->target == inst.target) {
+                // Seamless prediction-steered redirect: the next trace
+                // instruction *is* the target.
+                lastFetchLine = kNoAddr;
+                redirected = true;
+                break;
+            }
+            // Phantom or wrong direction/target: fetch follows the
+            // bogus target until the restart decode will arrange.
+            fetchStall = FetchStall::kWaitResume;
+            return;
+        }
+        if (redirected)
+            return;
+
+        if (inst.branch() && inst.taken) {
+            // The in-order scan found nothing, but the prediction may
+            // sit deeper in the queue behind stragglers emitted after
+            // fetch already passed their instructions.
+            const core::Prediction *bp_ = findFetchPredFor(inst.ia);
+            if (bp_ != nullptr && bp_->availableAt <= now) {
+                fetchSeqCursor = bp_->seq;
+                if (bp_->taken && bp_->target == inst.target) {
+                    lastFetchLine = kNoAddr;
+                    return; // seamless redirect
+                }
+                fetchStall = FetchStall::kWaitResume;
+                return;
+            }
+            // No usable prediction (yet): wait for one, or for the
+            // decode/resolve redirect.
+            fetchStall = FetchStall::kWaitPrediction;
+            lastFetchLine = kNoAddr;
+            return;
+        }
+    }
+}
+
+const core::Prediction *
+CoreModel::nextFetchPred() const
+{
+    for (const auto &p : pipe->queue())
+        if (p.seq > fetchSeqCursor)
+            return &p;
+    return nullptr;
+}
+
+const core::Prediction *
+CoreModel::findFetchPredFor(Addr ia) const
+{
+    // Predictions can be emitted behind fetch (the search catching up
+    // after a restart); skip such stragglers and take the first
+    // unconsumed prediction for this branch address.
+    for (const auto &p : pipe->queue())
+        if (p.seq > fetchSeqCursor && p.ia == ia)
+            return &p;
+    return nullptr;
+}
+
+void
+CoreModel::decodeTick(Cycle now)
+{
+    if (now < decodeBlockedUntil)
+        return;
+    const auto &t = *tr;
+    for (unsigned w = 0; w < prm.cpu.decodeWidth; ++w) {
+        if (decodeIdx >= t.size())
+            return;
+        if (fetchBuf.empty())
+            return;
+        const FetchedInst &f = fetchBuf.front();
+        ZBP_ASSERT(f.idx == decodeIdx, "fetch/decode desynchronized");
+        if (f.ready > now)
+            return;
+        fetchBuf.pop_front();
+        const auto &inst = t[decodeIdx];
+        ++decodeIdx;
+        decodeOne(inst, now);
+        if (inst.dataAddr != kNoAddr && l1d) {
+            // Finite L1 D-cache (Table 5: 96 KB, 6-way): an operand
+            // miss stalls the in-order consume for the L2 latency.
+            // Identical across configurations, so CPI differences stay
+            // branch-driven.
+            ++nDataAccesses;
+            if (!l1d->access(inst.dataAddr, now)) {
+                const Cycle until = now + prm.dcache.missLatency +
+                                    prm.cpu.dcacheMissExtra;
+                if (until > decodeBlockedUntil)
+                    decodeBlockedUntil = until;
+            }
+        } else if (prm.cpu.dataStallProb > 0.0) {
+            // Fallback for traces without operand addresses:
+            // deterministic background stall.
+            std::uint64_t h = inst.ia * 0x9E3779B97F4A7C15ull +
+                              decodeIdx * 0xBF58476D1CE4E5B9ull;
+            h ^= h >> 29;
+            const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+            if (u < prm.cpu.dataStallProb) {
+                const Cycle until = now + prm.cpu.dataStallCycles;
+                if (until > decodeBlockedUntil)
+                    decodeBlockedUntil = until;
+            }
+        }
+        if (now < decodeBlockedUntil)
+            return; // a restart stopped this decode group
+    }
+}
+
+void
+CoreModel::decodeOne(const trace::Instruction &inst, Cycle now)
+{
+    // Completion-time pattern tracking for the Sector Order Table
+    // (approximated at decode; the model retires in order).
+    sotTable->instructionCompleted(inst.ia);
+
+    // Pop predictions that land inside this instruction.
+    auto &q = pipe->queue();
+    const core::Prediction *mine = nullptr;
+    core::Prediction mine_copy;
+    while (!q.empty()) {
+        const core::Prediction &p = q.front();
+        // Predictions arrive in path order, so a front entry at or past
+        // the end of this instruction belongs to a later instruction; a
+        // front entry *before* this instruction is stale (an aliasing
+        // phantom that fell inside another instruction's bytes).
+        if (p.ia >= inst.ia + inst.length)
+            break;
+        if (p.ia == inst.ia && inst.branch()) {
+            mine_copy = p;
+            mine = &mine_copy;
+            q.pop_front();
+            break;
+        }
+        // Phantom: a prediction for an address that is not a branch
+        // (only possible under tag aliasing).
+        const bool phantom_taken = p.taken;
+        q.pop_front();
+        outcomes.record(Outcome::kPhantom);
+        if (phantom_taken) {
+            // Fetch and the search both went to a bogus target; restart
+            // them on the fallthrough path right away (decode-time
+            // detection of the bogus branch).
+            pipe->restart(inst.nextIa(), now);
+            bp->restartSpeculation();
+            lastRestartCycle = now;
+            redirectFetchAfter(now + 1);
+            decodeBlockedUntil = now + 1;
+            return;
+        }
+    }
+
+    if (!inst.branch())
+        return;
+
+    ++nBranches;
+    if (inst.taken)
+        ++nTaken;
+
+    if (mine != nullptr)
+        handlePredictedBranch(inst, *mine, now);
+    else
+        handleSurpriseBranch(inst, now);
+}
+
+void
+CoreModel::handlePredictedBranch(const trace::Instruction &inst,
+                                 const core::Prediction &p, Cycle now)
+{
+    (void)outcomes.seenBefore(inst.ia);
+    const Cycle resolve_at = now + prm.cpu.decodeToResolve;
+
+    // Schedule resolve-time training for the prediction either way.
+    ResolveEvent ev;
+    ev.at = resolve_at;
+    ev.kind = ResolveEvent::Kind::kPredicted;
+    ev.pred = p;
+    ev.ikind = inst.kind;
+    ev.taken = inst.taken;
+    ev.target = inst.taken ? inst.target : kNoAddr;
+    events.push_back(ev);
+
+    if (p.availableAt > now) {
+        // The prediction exists but broadcast too late: the branch is
+        // handled as a surprise (paper: "prediction falling behind
+        // decode" — a latency miss).
+        const bool guess = bp->surpriseBht().guessTaken(inst.ia, inst.kind);
+        const bool bad = guess || inst.taken;
+        outcomes.record(bad ? Outcome::kSurpriseLatency
+                            : Outcome::kSurpriseBenign);
+        applySurpriseTiming(inst, guess, now);
+        // The search pipeline committed to the (late) prediction's
+        // path; if that disagrees with reality it needs a restart even
+        // when the surprise handling itself didn't schedule one.
+        if (!inst.taken && p.taken)
+            scheduleRestart(inst.nextIa(), resolve_at);
+        return;
+    }
+
+    const bool dir_ok = p.taken == inst.taken;
+    const bool tgt_ok = !inst.taken || !p.taken || p.target == inst.target;
+
+    if (dir_ok && tgt_ok) {
+        outcomes.record(Outcome::kCorrect);
+        return;
+    }
+
+    outcomes.record(dir_ok ? Outcome::kMispredictTarget
+                           : Outcome::kMispredictDir);
+
+    // Resolve-time restart: decode drains, fetch and search resume on
+    // the corrected path after the restart penalty.
+    decodeBlockedUntil = resolve_at + prm.cpu.restartPenalty;
+    scheduleRestart(inst.nextIa(), resolve_at);
+    redirectFetchAfter(resolve_at + 1);
+}
+
+Outcome
+CoreModel::classifySurprise(const trace::Instruction &inst,
+                            bool late_prediction, Cycle now)
+{
+    const bool seen = outcomes.seenBefore(inst.ia);
+    if (!seen)
+        return Outcome::kSurpriseCompulsory;
+    if (late_prediction)
+        return Outcome::kSurpriseLatency;
+    // "Latency" covers predictions falling behind decode and surprise
+    // installs whose table write had not landed yet (paper §5.1).  The
+    // search falls behind right after a restart; an entry that is
+    // present but unpredicted outside that window is a capacity miss
+    // the content-movement machinery failed to serve in time.
+    if (auto t = bp->lastInstall(inst.ia)) {
+        if (now - *t <= prm.cpu.installLatencyWindow)
+            return Outcome::kSurpriseLatency;
+    }
+    const bool present =
+            bp->btb1().lookup(inst.ia).has_value() ||
+            bp->btbp().lookup(inst.ia).has_value();
+    if (present && now - lastRestartCycle <= prm.cpu.installLatencyWindow)
+        return Outcome::kSurpriseLatency;
+    return Outcome::kSurpriseCapacity;
+}
+
+void
+CoreModel::handleSurpriseBranch(const trace::Instruction &inst, Cycle now)
+{
+    const bool guess = bp->surpriseBht().guessTaken(inst.ia, inst.kind);
+    const bool bad = guess || inst.taken;
+    outcomes.record(bad ? classifySurprise(inst, false, now)
+                        : Outcome::kSurpriseBenign);
+
+    if (prm.decodeTimeMissReports && eng)
+        eng->noteBtb1Miss(inst.ia, now);
+
+    const Cycle resolve_at = now + prm.cpu.decodeToResolve;
+    ResolveEvent ev;
+    ev.at = resolve_at;
+    ev.kind = ResolveEvent::Kind::kSurprise;
+    ev.ia = inst.ia;
+    ev.ikind = inst.kind;
+    ev.taken = inst.taken;
+    ev.target = inst.taken ? inst.target : kNoAddr;
+    events.push_back(ev);
+
+    applySurpriseTiming(inst, guess, now);
+}
+
+void
+CoreModel::applySurpriseTiming(const trace::Instruction &inst, bool guess,
+                               Cycle now)
+{
+    const Cycle resolve_at = now + prm.cpu.decodeToResolve;
+    const bool direct = inst.kind == trace::InstKind::kCondBranch ||
+                        inst.kind == trace::InstKind::kUncondBranch ||
+                        inst.kind == trace::InstKind::kCall;
+
+    if (guess && direct) {
+        if (inst.taken) {
+            // Decode-time redirect: the statically guessed target of a
+            // direct branch is the real target.  Fetch resumes next
+            // cycle; the bubble is the fetch-to-decode refill.
+            pipe->restart(inst.target, now);
+            bp->restartSpeculation();
+            lastRestartCycle = now;
+            redirectFetchAfter(now + 1);
+            return;
+        }
+        // Guessed taken but falls through: the decode-time redirect
+        // went down the (wrong) taken path; resolve brings it back.
+        decodeBlockedUntil = resolve_at + prm.cpu.restartPenalty;
+        scheduleRestart(inst.nextIa(), resolve_at);
+        redirectFetchAfter(resolve_at + 1);
+        return;
+    }
+
+    if (guess) {
+        // Indirect or return: the target is only known at resolve.
+        if (inst.taken) {
+            decodeBlockedUntil = resolve_at + 1;
+            scheduleRestart(inst.target, resolve_at);
+        } else {
+            decodeBlockedUntil = resolve_at + prm.cpu.restartPenalty;
+            scheduleRestart(inst.nextIa(), resolve_at);
+        }
+        redirectFetchAfter(resolve_at + 1);
+        return;
+    }
+
+    // Guessed not-taken.
+    if (!inst.taken)
+        return; // truly benign: sequential flow was correct
+
+    // Resolved taken: full restart.
+    decodeBlockedUntil = resolve_at + prm.cpu.restartPenalty;
+    scheduleRestart(inst.target, resolve_at);
+    redirectFetchAfter(resolve_at + 1);
+}
+
+void
+CoreModel::redirectFetchAfter(Cycle resume_at)
+{
+    // The instructions already fetched past the current decode point
+    // were (conceptually) squashed by a redirect; refetch them when the
+    // pipeline restarts.
+    while (!fetchBuf.empty())
+        fetchBuf.pop_back();
+    fetchIdx = decodeIdx;
+    fetchStall = FetchStall::kWaitResume;
+    fetchResumeAt = resume_at;
+    lastFetchLine = kNoAddr;
+    // Refetched instructions must re-see their still-queued
+    // predictions: rewind the fetch cursor to just before the oldest
+    // prediction decode has not consumed yet.
+    if (!pipe->queue().empty())
+        fetchSeqCursor = pipe->queue().front().seq - 1;
+}
+
+SimResult
+CoreModel::run(const trace::Trace &t)
+{
+    ZBP_ASSERT(!t.empty(), "cannot simulate an empty trace");
+    startRun(t);
+
+    pipe->restart(t[0].ia, 0);
+    bp->restartSpeculation();
+
+    Cycle cycle = 0;
+    const Cycle max_cycles = 1000 + t.size() * 300;
+    Cycle last_progress_at = 0;
+    std::size_t last_decode_idx = 0;
+    while (decodeIdx < t.size()) {
+        processEvents(cycle);
+        pipe->tick(cycle);
+        if (eng)
+            eng->tick(cycle);
+        fetchTick(cycle);
+        decodeTick(cycle);
+        if (decodeIdx != last_decode_idx) {
+            last_decode_idx = decodeIdx;
+            last_progress_at = cycle;
+        } else if (cycle - last_progress_at > kWatchdogCycles) {
+            // Pathological livelock (possible under heavy tag aliasing:
+            // phantom-prediction storms whose queue entries never align
+            // with decoded instructions).  Real machines recover from
+            // bogus-branch corner cases with a full pipeline reset;
+            // model the same and charge a restart penalty.
+            pipe->restart(t[decodeIdx].ia, cycle);
+            bp->restartSpeculation();
+            fetchBuf.clear();
+            fetchIdx = decodeIdx;
+            fetchStall = FetchStall::kNone;
+            fetchResumeAt = kNoCycle;
+            lastFetchLine = kNoAddr;
+            decodeBlockedUntil = cycle + prm.cpu.restartPenalty;
+            ++nWatchdogResets;
+            last_progress_at = cycle;
+        }
+        ++cycle;
+        if (cycle > max_cycles) {
+            std::fprintf(stderr, "cursor=%llu buf=%zu events=%zu "
+                         "dBlocked=%llu fBlocked=%llu\n",
+                         (unsigned long long)fetchSeqCursor,
+                         fetchBuf.size(), events.size(),
+                         (unsigned long long)decodeBlockedUntil,
+                         (unsigned long long)fetchBlockedUntil);
+            for (std::size_t i = 0; i < pipe->queue().size() && i < 8; ++i) {
+                const auto &p = pipe->queue()[i];
+                std::fprintf(stderr,
+                             "q[%zu] seq=%llu ia=%llx taken=%d tgt=%llx "
+                             "avail=%llu\n", i,
+                             (unsigned long long)p.seq,
+                             (unsigned long long)p.ia, p.taken,
+                             (unsigned long long)p.target,
+                             (unsigned long long)p.availableAt);
+            }
+            panic("simulation wedged: cycle ", cycle, " decodeIdx ",
+                  decodeIdx, " of ", t.size(), " fetchIdx ", fetchIdx,
+                  " stall ", static_cast<int>(fetchStall),
+                  " fetchResumeAt ", fetchResumeAt,
+                  " searchAddr ", pipe->searchAddress(),
+                  " active ", pipe->active());
+        }
+    }
+    pipe->halt();
+
+    SimResult r;
+    r.traceName = t.name();
+    r.cycles = cycle;
+    r.instructions = t.size();
+    r.cpi = static_cast<double>(cycle) / static_cast<double>(t.size());
+    r.branches = nBranches;
+    r.takenBranches = nTaken;
+    r.correct = outcomes.count(Outcome::kCorrect);
+    r.mispredictDir = outcomes.count(Outcome::kMispredictDir);
+    r.mispredictTarget = outcomes.count(Outcome::kMispredictTarget);
+    r.surpriseCompulsory = outcomes.count(Outcome::kSurpriseCompulsory);
+    r.surpriseLatency = outcomes.count(Outcome::kSurpriseLatency);
+    r.surpriseCapacity = outcomes.count(Outcome::kSurpriseCapacity);
+    r.surpriseBenign = outcomes.count(Outcome::kSurpriseBenign);
+    r.phantoms = outcomes.count(Outcome::kPhantom);
+    r.watchdogResets = nWatchdogResets;
+    r.icacheMisses = l1i->misses();
+    r.dcacheMisses = l1d ? l1d->misses() : 0;
+    r.dataAccesses = nDataAccesses;
+    r.btb1MissReports = pipe->missReportCount();
+    r.predictionsMade = pipe->predictionCount();
+    if (eng) {
+        r.btb2RowReads = eng->rowReads();
+        r.btb2Transfers = eng->hitsTransferred();
+        r.btb2FullSearches = eng->fullSearchCount();
+        r.btb2PartialSearches = eng->partialSearchCount();
+    }
+
+    // Full stats dump.
+    stats::Group gh("hierarchy");
+    bp->registerStats(gh);
+    stats::Group gp("searchPipeline");
+    pipe->registerStats(gp);
+    stats::Group gi("icache");
+    l1i->registerStats(gi);
+    stats::Group gd("dcache");
+    if (l1d)
+        l1d->registerStats(gd);
+    stats::Group gs("sot");
+    sotTable->registerStats(gs);
+    stats::Group go("outcomes");
+    outcomes.registerStats(go);
+    std::string text;
+    gh.dump(text);
+    gp.dump(text);
+    gi.dump(text);
+    gd.dump(text);
+    gs.dump(text);
+    go.dump(text);
+    if (eng) {
+        stats::Group ge("btb2Engine");
+        eng->registerStats(ge);
+        ge.dump(text);
+    }
+    r.statsText = std::move(text);
+    return r;
+}
+
+} // namespace zbp::cpu

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * The cycle-driven zEC12-like core timing model.
+ *
+ * The model reproduces the paper's study methodology (§4): a trace of
+ * retired instructions drives a core with finite L1 I-cache (everything
+ * beyond is an infinite L2 with fixed latency), an asynchronous
+ * lookahead first-level branch predictor, optional BTB2 bulk-transfer
+ * machinery, a 16 B/cycle prediction-steered fetch stage, a 3-wide
+ * decode, and fixed-depth resolution.  CPI differences between
+ * configurations come from the same penalty categories the paper
+ * analyzes: restart penalties for mispredictions, redirect penalties
+ * for surprise-taken branches, and exposed I-cache misses.
+ *
+ * Wrong-path behaviour: after a wrong prediction the lookahead
+ * predictor keeps searching from the wrong address (so wrong-path BTB2
+ * transfers and pollution occur) until the resolve-time restart; fetch
+ * idles from the wrong branch until the restart (wrong-path fetch
+ * bytes are not modelled — see DESIGN.md).
+ */
+
+#ifndef ZBP_CPU_CORE_MODEL_HH
+#define ZBP_CPU_CORE_MODEL_HH
+
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "zbp/cache/icache.hh"
+#include "zbp/core/hierarchy.hh"
+#include "zbp/core/params.hh"
+#include "zbp/core/search_pipeline.hh"
+#include "zbp/cpu/outcome.hh"
+#include "zbp/preload/btb2_engine.hh"
+#include "zbp/preload/sector_order_table.hh"
+#include "zbp/trace/trace.hh"
+
+namespace zbp::cpu
+{
+
+/** Everything a simulation run reports. */
+struct SimResult
+{
+    std::string traceName;
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    double cpi = 0.0;
+
+    std::uint64_t branches = 0;
+    std::uint64_t takenBranches = 0;
+
+    // Outcome taxonomy (Figure 4).
+    std::uint64_t correct = 0;
+    std::uint64_t mispredictDir = 0;
+    std::uint64_t mispredictTarget = 0;
+    std::uint64_t surpriseCompulsory = 0;
+    std::uint64_t surpriseLatency = 0;
+    std::uint64_t surpriseCapacity = 0;
+    std::uint64_t surpriseBenign = 0;
+    std::uint64_t phantoms = 0;
+
+    // Machinery counters.
+    std::uint64_t icacheMisses = 0;
+    std::uint64_t dcacheMisses = 0;
+    std::uint64_t dataAccesses = 0;
+    std::uint64_t btb1MissReports = 0;
+    std::uint64_t btb2RowReads = 0;
+    std::uint64_t btb2Transfers = 0;
+    std::uint64_t btb2FullSearches = 0;
+    std::uint64_t btb2PartialSearches = 0;
+    std::uint64_t predictionsMade = 0;
+    std::uint64_t watchdogResets = 0;
+
+    /** Full text dump of every registered stat group. */
+    std::string statsText;
+
+    double
+    badOutcomes() const
+    {
+        return static_cast<double>(mispredictDir + mispredictTarget +
+                                   surpriseCompulsory + surpriseLatency +
+                                   surpriseCapacity + phantoms);
+    }
+
+    double
+    badFraction() const
+    {
+        const double b = static_cast<double>(branches);
+        return b == 0.0 ? 0.0 : badOutcomes() / b;
+    }
+};
+
+/** Percent CPI improvement of @p test over @p base (positive = faster). */
+double cpiImprovement(const SimResult &base, const SimResult &test);
+
+/** One simulated machine, runnable over one trace. */
+class CoreModel
+{
+  public:
+    explicit CoreModel(const core::MachineParams &p);
+    ~CoreModel();
+
+    CoreModel(const CoreModel &) = delete;
+    CoreModel &operator=(const CoreModel &) = delete;
+
+    /** Simulate @p t to completion and return the results. */
+    SimResult run(const trace::Trace &t);
+
+    /** Component access for white-box tests. */
+    core::BranchPredictorHierarchy &hierarchy() { return *bp; }
+    core::SearchPipeline &pipeline() { return *pipe; }
+    preload::Btb2Engine *engine() { return eng.get(); }
+    cache::ICache &icache() { return *l1i; }
+    cache::ICache *dcache() { return l1d.get(); }
+    preload::SectorOrderTable &sot() { return *sotTable; }
+
+  private:
+    struct FetchedInst
+    {
+        std::size_t idx;
+        Cycle ready;
+    };
+
+    enum class FetchStall : std::uint8_t
+    {
+        kNone,
+        kWaitPrediction, ///< taken branch, no usable prediction yet
+        kWaitResume,     ///< wrong path / redirect: resume cycle pending
+    };
+
+    struct ResolveEvent
+    {
+        Cycle at;
+        enum class Kind : std::uint8_t
+        {
+            kPredicted,
+            kSurprise,
+            kRestart,
+        } kind;
+        core::Prediction pred;   ///< kPredicted
+        Addr ia = 0;             ///< kSurprise
+        trace::InstKind ikind = trace::InstKind::kNonBranch;
+        bool taken = false;
+        Addr target = kNoAddr;
+        Addr restartAddr = 0;    ///< kRestart
+    };
+
+    // Per-run helpers.
+    void startRun(const trace::Trace &t);
+    void processEvents(Cycle now);
+    void fetchTick(Cycle now);
+    void decodeTick(Cycle now);
+    void decodeOne(const trace::Instruction &inst, Cycle now);
+    void handlePredictedBranch(const trace::Instruction &inst,
+                               const core::Prediction &p, Cycle now);
+    void handleSurpriseBranch(const trace::Instruction &inst, Cycle now);
+    void applySurpriseTiming(const trace::Instruction &inst, bool guess,
+                             Cycle now);
+    Outcome classifySurprise(const trace::Instruction &inst,
+                             bool late_prediction, Cycle now);
+    void scheduleRestart(Addr addr, Cycle at);
+    void redirectFetchAfter(Cycle resume_at);
+
+    /** The next prediction fetch has not yet consumed (the prediction
+     * stream is consumed strictly in emission order). */
+    const core::Prediction *nextFetchPred() const;
+
+    /** First unconsumed prediction whose address is exactly @p ia. */
+    const core::Prediction *findFetchPredFor(Addr ia) const;
+
+    core::MachineParams prm;
+    std::unique_ptr<core::BranchPredictorHierarchy> bp;
+    std::unique_ptr<cache::ICache> l1i;
+    std::unique_ptr<cache::ICache> l1d;
+    std::unique_ptr<preload::SectorOrderTable> sotTable;
+    std::unique_ptr<preload::Btb2Engine> eng;
+    std::unique_ptr<core::SearchPipeline> pipe;
+
+    // Run state.
+    const trace::Trace *tr = nullptr;
+    std::size_t fetchIdx = 0;
+    std::size_t decodeIdx = 0;
+    std::deque<FetchedInst> fetchBuf;
+    FetchStall fetchStall = FetchStall::kNone;
+    Cycle fetchResumeAt = kNoCycle;
+    Cycle fetchBlockedUntil = 0; ///< I-cache miss wait
+    Addr lastFetchLine = kNoAddr; ///< one-entry line access filter
+    std::uint64_t fetchSeqCursor = 0; ///< last prediction seq fetch used
+    Cycle decodeBlockedUntil = 0;
+    Cycle lastRestartCycle = 0;
+    std::deque<ResolveEvent> events;
+    OutcomeTracker outcomes;
+    std::uint64_t nTaken = 0;
+    std::uint64_t nBranches = 0;
+    std::uint64_t nDataAccesses = 0;
+    std::uint64_t nWatchdogResets = 0;
+
+};
+
+} // namespace zbp::cpu
+
+#endif // ZBP_CPU_CORE_MODEL_HH

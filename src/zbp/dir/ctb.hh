@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Changing Target Buffer — tagged, path-indexed target predictor for
+ * branches with multiple targets (returns, indirect calls/jumps,
+ * dispatch tables).
+ *
+ * Per the paper (§3.1): 2,048 entries, indexed from the instruction
+ * addresses of the 12 previous taken branches, tagged with branch
+ * instruction address bits; gated per branch by a bit in the BTB entry.
+ */
+
+#ifndef ZBP_DIR_CTB_HH
+#define ZBP_DIR_CTB_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "zbp/common/bitfield.hh"
+#include "zbp/common/types.hh"
+#include "zbp/dir/history.hh"
+
+namespace zbp::dir
+{
+
+/** Tagged changing-target table. */
+class Ctb
+{
+  public:
+    explicit Ctb(std::uint32_t entries = 2048, unsigned tag_bits = 10)
+        : tagBits(tag_bits), table(entries)
+    {
+        ZBP_ASSERT(isPowerOf2(entries), "CTB entries must be pow2");
+        indexBits = floorLog2(entries);
+    }
+
+    /** Path-correlated target for @p ia, or nullopt on tag miss. */
+    std::optional<Addr>
+    lookup(Addr ia, const HistoryState &h) const
+    {
+        const Entry &e = table[h.ctbIndex(indexBits)];
+        if (e.valid && e.tag == tagOf(ia))
+            return e.target;
+        return std::nullopt;
+    }
+
+    /** Record the resolved target of a taken branch under history @p h. */
+    void
+    update(Addr ia, const HistoryState &h, Addr target)
+    {
+        Entry &e = table[h.ctbIndex(indexBits)];
+        e.valid = true;
+        e.tag = tagOf(ia);
+        e.target = target;
+    }
+
+    void
+    reset()
+    {
+        for (auto &e : table)
+            e = Entry{};
+    }
+
+    std::size_t size() const { return table.size(); }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        std::uint16_t tag = 0;
+        Addr target = 0;
+    };
+
+    std::uint16_t
+    tagOf(Addr ia) const
+    {
+        const std::uint64_t a = ia >> 1;
+        return static_cast<std::uint16_t>(
+                (a ^ (a >> indexBits)) & maskBits(tagBits));
+    }
+
+    unsigned tagBits;
+    unsigned indexBits;
+    std::vector<Entry> table;
+};
+
+} // namespace zbp::dir
+
+#endif // ZBP_DIR_CTB_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Global prediction history state.
+ *
+ * The PHT is indexed from the directions of the 12 previous *predicted*
+ * branches and the addresses of the 6 previous taken branches; the CTB
+ * from the addresses of the 12 previous taken branches (paper §3.1).
+ * The search pipeline updates this state *speculatively* as it predicts
+ * ("Until table updates take place, speculative BHT and PHT updates are
+ * applied to predictions", §3.2); the core keeps an architectural copy
+ * updated at resolve time and copies it over the speculative state on
+ * every restart.
+ */
+
+#ifndef ZBP_DIR_HISTORY_HH
+#define ZBP_DIR_HISTORY_HH
+
+#include "zbp/common/bitfield.hh"
+#include "zbp/common/types.hh"
+#include "zbp/util/shift_history.hh"
+
+namespace zbp::dir
+{
+
+/** Combined direction + taken-path history with copy semantics. */
+class HistoryState
+{
+  public:
+    static constexpr unsigned kDirDepth = 12;
+    static constexpr unsigned kPathDepth = 12;
+    static constexpr unsigned kPhtPathDepth = 6;
+
+    HistoryState() : dirs(kDirDepth), path(kPathDepth) {}
+
+    /** Record one branch outcome (prediction or resolution). */
+    void
+    push(Addr branch_ia, bool taken)
+    {
+        dirs.push(taken);
+        if (taken)
+            path.push(branch_ia);
+    }
+
+    /** PHT index: 12 direction bits folded with 6 taken-branch IAs. */
+    std::uint64_t
+    phtIndex(unsigned index_bits) const
+    {
+        const std::uint64_t folded = path.fold(kPhtPathDepth, index_bits);
+        const std::uint64_t d = dirs.value() &
+                ((std::uint64_t{1} << kDirDepth) - 1);
+        return (folded ^ d ^ (d << 3)) &
+               ((std::uint64_t{1} << index_bits) - 1);
+    }
+
+    /** CTB index: 12 taken-branch IAs folded to @p index_bits. */
+    std::uint64_t
+    ctbIndex(unsigned index_bits) const
+    {
+        return path.fold(kPathDepth, index_bits);
+    }
+
+    /** A secondary hash over the same history, used as tag material. */
+    std::uint64_t
+    pathTagHash(unsigned bits) const
+    {
+        return path.fold(kPathDepth, bits) ^ (dirs.value() & maskBits(bits));
+    }
+
+    void
+    clear()
+    {
+        dirs.clear();
+        path.clear();
+    }
+
+    /** Copy @p other over this state (restart resynchronization). */
+    void
+    copyFrom(const HistoryState &other)
+    {
+        dirs.set(other.dirs.value());
+        path.restore(other.path.snapshot());
+    }
+
+    std::uint64_t directionBits() const { return dirs.value(); }
+
+  private:
+    DirectionHistory dirs;
+    PathHistory path;
+};
+
+} // namespace zbp::dir
+
+#endif // ZBP_DIR_HISTORY_HH

@@ -1,0 +1,296 @@
+#include "zbp/preload/btb2_engine.hh"
+
+namespace zbp::preload
+{
+
+Btb2Engine::Btb2Engine(const Btb2EngineParams &p, btb::SetAssocBtb &btb2_,
+                       btb::SetAssocBtb &btbp_, SectorOrderTable &sot_,
+                       const cache::ICache &icache_)
+    : prm(p), btb2(btb2_), btbp(btbp_), sot(sot_), icache(icache_)
+{
+    ZBP_ASSERT(prm.numTrackers >= 1, "need at least one tracker");
+    ZBP_ASSERT(prm.rowReadInterval >= 1, "rowReadInterval must be >= 1");
+    const auto rb = btb2.config().rowBytes;
+    ZBP_ASSERT(rb == 32 || rb == 64 || rb == 128,
+               "BTB2 congruence class must be 32, 64 or 128 bytes");
+    trk.resize(prm.numTrackers);
+}
+
+unsigned
+Btb2Engine::rowsPerSector() const
+{
+    return kSectorBytes / btb2.config().rowBytes;
+}
+
+Tracker *
+Btb2Engine::findTracker(Addr block)
+{
+    for (auto &t : trk)
+        if (t.active() && t.block == block)
+            return &t;
+    return nullptr;
+}
+
+Tracker *
+Btb2Engine::allocTracker(Addr block)
+{
+    for (auto &t : trk) {
+        if (!t.active()) {
+            t = Tracker{};
+            t.block = block;
+            t.phase = Tracker::Phase::kWaiting;
+            ++nAlloc;
+            return &t;
+        }
+    }
+    // No free tracker: an I-cache-only tracker (which initiates no
+    // searches) may be displaced in favour of a real BTB1 miss.
+    for (auto &t : trk) {
+        if (t.phase == Tracker::Phase::kWaiting && !t.btb1MissValid) {
+            t = Tracker{};
+            t.block = block;
+            t.phase = Tracker::Phase::kWaiting;
+            ++nAlloc;
+            return &t;
+        }
+    }
+    return nullptr;
+}
+
+void
+Btb2Engine::noteBtb1Miss(Addr miss_addr, Cycle now)
+{
+    ++nMissReports;
+    const Addr block = blockOf(miss_addr);
+
+    Tracker *t = findTracker(block);
+    if (t != nullptr) {
+        if (t->btb1MissValid)
+            return; // already being handled
+        // Pairs with an existing I-cache-miss-only tracker.
+        t->btb1MissValid = true;
+        t->missAddr = miss_addr;
+        t->startableAt = now + prm.startDelay;
+        return;
+    }
+
+    t = allocTracker(block);
+    if (t == nullptr) {
+        ++nDropBusy;
+        return;
+    }
+    t->btb1MissValid = true;
+    t->missAddr = miss_addr;
+    t->startableAt = now + prm.startDelay;
+    if (prm.icacheFilter)
+        t->icMissValid = icache.blockMissedRecently(miss_addr, now);
+    else
+        t->icMissValid = true; // no filtering: all misses fully active
+}
+
+void
+Btb2Engine::noteICacheMiss(Addr addr, Cycle now)
+{
+    ++nIcReports;
+    if (!prm.icacheFilter)
+        return; // filter disabled: I-cache state is irrelevant
+
+    const Addr block = blockOf(addr);
+    if (Tracker *t = findTracker(block)) {
+        t->icMissValid = true;
+        return;
+    }
+    // Allocate an I-cache-only tracker if one is free; it initiates no
+    // searches but lets a subsequent BTB1 miss in the block go straight
+    // to a full search.
+    for (auto &t : trk) {
+        if (!t.active()) {
+            t = Tracker{};
+            t.block = block;
+            t.phase = Tracker::Phase::kWaiting;
+            t.icMissValid = true;
+            t.startableAt = now;
+            ++nAlloc;
+            return;
+        }
+    }
+}
+
+void
+Btb2Engine::scheduleFull(Tracker &t)
+{
+    const SectorOrder order = sot.order(t.missAddr);
+    const Addr base = t.block << 12;
+    const unsigned partial_sector = sectorOf(t.missAddr);
+    const bool skip_partial = t.phase == Tracker::Phase::kPartial;
+    const unsigned rows = rowsPerSector();
+    const std::uint32_t row_bytes = btb2.config().rowBytes;
+    t.schedule.clear();
+    for (unsigned i = 0; i < kSectorsPerBlock; ++i) {
+        const unsigned s = order.sectors[i];
+        if (skip_partial && s == partial_sector)
+            continue; // rows already read by the partial search
+        const Addr sector_base = base + Addr{s} * kSectorBytes;
+        for (unsigned r = 0; r < rows; ++r)
+            t.schedule.push_back(sector_base + Addr{r} * row_bytes);
+    }
+}
+
+void
+Btb2Engine::startSearch(Tracker &t, Cycle now)
+{
+    (void)now;
+    if (t.icMissValid) {
+        t.phase = Tracker::Phase::kFull;
+        scheduleFull(t);
+        ++nFull;
+    } else {
+        // Partial: the 128-byte sector containing the miss address
+        // (paper: "miss address bits 0:56", i.e. 128 B granularity).
+        t.phase = Tracker::Phase::kPartial;
+        const Addr sector_base = alignDown(t.missAddr, kSectorBytes);
+        const std::uint32_t row_bytes = btb2.config().rowBytes;
+        t.schedule.clear();
+        for (unsigned r = 0; r < rowsPerSector() * prm.partialSectors;
+             ++r) {
+            t.schedule.push_back(sector_base + Addr{r} * row_bytes);
+        }
+        ++nPartial;
+    }
+    t.rowsDone = 0;
+}
+
+void
+Btb2Engine::finishTracker(Tracker &t, Cycle now)
+{
+    // §6 future work: multi-block transfer.  A completed full search
+    // may chain one follow-on fully-active search for the 4 KB block
+    // the transferred branches referenced most, bounded in depth so
+    // transfer bandwidth cannot run away ("without careful selection,
+    // the number of blocks ... can exponentially exceed the available
+    // bandwidth").
+    if (prm.multiBlockTransfer && t.phase == Tracker::Phase::kFull &&
+        t.chainDepth < prm.maxChainedBlocks && !t.targetBlocks.empty()) {
+        Addr best = 0;
+        unsigned votes = 0;
+        for (const auto &[blk, n] : t.targetBlocks) {
+            if (n > votes && blk != t.block &&
+                findTracker(blk) == nullptr) {
+                best = blk;
+                votes = n;
+            }
+        }
+        if (votes >= 2) { // demand at least a little evidence
+            const unsigned depth = t.chainDepth;
+            t = Tracker{};
+            if (Tracker *nt = allocTracker(best)) {
+                nt->btb1MissValid = true;
+                nt->icMissValid = true;
+                nt->missAddr = best << 12;
+                nt->startableAt = now + 1;
+                nt->chainDepth = depth + 1;
+                ++nChained;
+            }
+            return;
+        }
+    }
+    t = Tracker{};
+}
+
+void
+Btb2Engine::tick(Cycle now)
+{
+    // Retire pipelined reads: write the hits into the BTBP.
+    while (!pipe.empty() && pipe.front().due <= now) {
+        for (const auto &e : pipe.front().entries) {
+            btbp.install(e);
+            ++nHits;
+        }
+        pipe.pop_front();
+    }
+
+    // Activate trackers whose start delay has elapsed.
+    for (auto &t : trk) {
+        if (t.phase == Tracker::Phase::kWaiting && t.btb1MissValid &&
+            now >= t.startableAt) {
+            startSearch(t, now);
+        }
+    }
+
+    // Issue at most one BTB2 row read per rowReadInterval cycles
+    // (single read port; interval > 1 models an eDRAM second level).
+    // Partial searches take precedence (small and urgent); full
+    // searches share the port round-robin, approximating the paper's
+    // demand-quartile-first interleave across blocks.
+    if (now < nextReadAt)
+        return;
+    Tracker *issue = nullptr;
+    for (auto &t : trk)
+        if (t.phase == Tracker::Phase::kPartial && !t.schedule.empty())
+            issue = &t;
+    if (issue == nullptr) {
+        const auto n = static_cast<unsigned>(trk.size());
+        for (unsigned i = 0; i < n; ++i) {
+            Tracker &t = trk[(rrNext + i) % n];
+            if (t.phase == Tracker::Phase::kFull && !t.schedule.empty()) {
+                issue = &t;
+                rrNext = (rrNext + i + 1) % n;
+                break;
+            }
+        }
+    }
+    if (issue == nullptr)
+        return;
+
+    Tracker &t = *issue;
+    const Addr row_addr = t.schedule.front();
+    t.schedule.pop_front();
+    ++t.rowsDone;
+    ++nRowReads;
+    nextReadAt = now + prm.rowReadInterval;
+
+    auto hits = btb2.readRow(row_addr);
+    PendingWrite pw;
+    pw.due = now + prm.pipeDepth;
+    pw.entries.reserve(hits.size());
+    for (const auto &h : hits) {
+        pw.entries.push_back(*h.entry);
+        if (prm.semiExclusive)
+            btb2.demote(h.row, h.way); // likely replaced by future victims
+        if (prm.multiBlockTransfer)
+            t.targetBlocks[blockOf(h.entry->target)] += 1;
+    }
+    if (!pw.entries.empty())
+        pipe.push_back(std::move(pw));
+
+    if (!t.schedule.empty())
+        return;
+
+    // Phase completed.
+    if (t.phase == Tracker::Phase::kPartial) {
+        if (t.icMissValid) {
+            // The I-cache miss arrived during the partial search:
+            // continue with the full steered search.
+            ++nPartialUpgraded;
+            scheduleFull(t);
+            t.phase = Tracker::Phase::kFull;
+        } else {
+            ++nPartialAbandoned;
+            finishTracker(t, now);
+        }
+    } else {
+        finishTracker(t, now);
+    }
+}
+
+void
+Btb2Engine::reset()
+{
+    for (auto &t : trk)
+        t = Tracker{};
+    pipe.clear();
+    rrNext = 0;
+    nextReadAt = 0;
+}
+
+} // namespace zbp::preload

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * The BTB2 search engine: trackers, filtering, steering and the bulk
+ * transfer pipeline (paper §3.5-3.7).
+ *
+ * Three (configurable) search trackers each remember one 4 KB block of
+ * address space together with a BTB1-miss-valid bit and an
+ * instruction-cache-miss-valid bit:
+ *
+ *  - both bits valid  -> fully active: read all 128 BTB2 rows of the
+ *    block in the order supplied by the Sector Order Table;
+ *  - only the BTB1 miss bit -> partial search of the 4 rows (128 bytes)
+ *    at the miss address; if the I-cache bit is still invalid when the
+ *    partial search completes, the tracker is invalidated (the perceived
+ *    miss was probably branchless code, not a capacity miss);
+ *  - only the I-cache bit -> no search is initiated (the tracker waits
+ *    for a BTB1 miss to pair with).
+ *
+ * Timing: a search may start no earlier than 7 cycles after the miss
+ * report (b10 vs b3); the BTB2 pipeline is 8 cycles deep and accepts one
+ * row read per cycle, so a full 4 KB transfer takes 128 + 8 = 136
+ * cycles.  All tag-matching branches read from a row are written into
+ * the BTBP (and demoted to LRU in the BTB2 — semi-exclusivity).
+ */
+
+#ifndef ZBP_PRELOAD_BTB2_ENGINE_HH
+#define ZBP_PRELOAD_BTB2_ENGINE_HH
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "zbp/btb/set_assoc_btb.hh"
+#include "zbp/cache/icache.hh"
+#include "zbp/preload/miss_sink.hh"
+#include "zbp/preload/sector_order_table.hh"
+#include "zbp/stats/stats.hh"
+
+namespace zbp::preload
+{
+
+/** Knobs of the second-level transfer machinery. */
+struct Btb2EngineParams
+{
+    unsigned numTrackers = 3;        ///< Fig. 7 sweep
+    unsigned partialSectors = 1;     ///< 128 B (paper §3.5)
+    unsigned startDelay = 7;         ///< b3 -> b10 (paper §3.6)
+    unsigned pipeDepth = 8;          ///< BTB2 read pipeline depth
+    bool icacheFilter = true;        ///< §3.5 filter (ablation knob)
+    bool semiExclusive = true;       ///< §3.3 LRU demotion on hits
+
+    /** Cycles between BTB2 row reads.  1 models the paper's SRAM
+     * (one row per cycle); larger values model the §6 future-work
+     * eDRAM second level with its slower random access. */
+    unsigned rowReadInterval = 1;
+
+    /** §6 future work: after a full block transfer, chain one more
+     * fully-active search for the block most referenced by the
+     * transferred branch targets. */
+    bool multiBlockTransfer = false;
+    unsigned maxChainedBlocks = 1;   ///< chain depth bound per miss
+};
+
+/** One 4 KB-block search tracker. */
+struct Tracker
+{
+    enum class Phase : std::uint8_t
+    {
+        kIdle,     ///< unallocated
+        kWaiting,  ///< allocated, search not yet startable/started
+        kPartial,  ///< running the 4-row partial search
+        kFull,     ///< running the steered 128-row search
+    };
+
+    Phase phase = Phase::kIdle;
+    Addr block = 0;          ///< 4 KB block number
+    Addr missAddr = 0;       ///< BTB1 miss address within the block
+    bool btb1MissValid = false;
+    bool icMissValid = false;
+    Cycle startableAt = 0;   ///< earliest cycle a read may issue
+    /** Scheduled row addresses remaining to read. */
+    std::deque<Addr> schedule;
+    /** Rows read so far in the current phase. */
+    unsigned rowsDone = 0;
+    /** Multi-block chaining depth (0 = demand-allocated tracker). */
+    unsigned chainDepth = 0;
+    /** Per-target-block reference votes for multi-block chaining. */
+    std::map<Addr, unsigned> targetBlocks;
+
+    bool active() const { return phase != Phase::kIdle; }
+};
+
+/** The engine: owns the trackers and drives the BTB2 read port. */
+class Btb2Engine : public MissSink
+{
+  public:
+    Btb2Engine(const Btb2EngineParams &p, btb::SetAssocBtb &btb2,
+               btb::SetAssocBtb &btbp, SectorOrderTable &sot,
+               const cache::ICache &icache);
+
+    /** MissSink: BTB1 miss reported by the search pipeline. */
+    void noteBtb1Miss(Addr miss_addr, Cycle now) override;
+
+    /** Fetch-side notification: an L1I miss occurred at @p addr. */
+    void noteICacheMiss(Addr addr, Cycle now);
+
+    /** Advance one cycle: issue at most one BTB2 row read and retire
+     * reads whose pipeline latency has elapsed (writing hits into the
+     * BTBP). */
+    void tick(Cycle now);
+
+    /** Drop all in-flight state (machine restart between runs). */
+    void reset();
+
+    const std::vector<Tracker> &trackers() const { return trk; }
+
+    void
+    registerStats(stats::Group &g) const
+    {
+        g.add("missReports", nMissReports, "BTB1 misses reported");
+        g.add("icacheReports", nIcReports, "I-cache misses reported");
+        g.add("trackersAllocated", nAlloc, "trackers allocated");
+        g.add("trackerDropsBusy", nDropBusy,
+              "miss reports dropped: all trackers busy");
+        g.add("fullSearches", nFull, "full 4 KB searches started");
+        g.add("partialSearches", nPartial, "partial searches started");
+        g.add("partialAbandoned", nPartialAbandoned,
+              "partial searches invalidated (no I-cache miss)");
+        g.add("partialUpgraded", nPartialUpgraded,
+              "partial searches upgraded to full");
+        g.add("rowReads", nRowReads, "BTB2 row reads issued");
+        g.add("hitsTransferred", nHits, "branches bulk-moved to the BTBP");
+        g.add("chainedBlocks", nChained,
+              "multi-block follow-on searches started");
+    }
+
+    std::uint64_t hitsTransferred() const { return nHits.value(); }
+    std::uint64_t rowReads() const { return nRowReads.value(); }
+    std::uint64_t fullSearchCount() const { return nFull.value(); }
+    std::uint64_t partialSearchCount() const { return nPartial.value(); }
+    std::uint64_t missReportsSeen() const { return nMissReports.value(); }
+
+  private:
+    Tracker *findTracker(Addr block);
+    Tracker *allocTracker(Addr block);
+    void startSearch(Tracker &t, Cycle now);
+    void scheduleFull(Tracker &t);
+    void finishTracker(Tracker &t, Cycle now);
+
+    /** BTB2 rows per 128 B sector (depends on the configured BTB2
+     * congruence class width, §6 future work). */
+    unsigned rowsPerSector() const;
+
+    Btb2EngineParams prm;
+    btb::SetAssocBtb &btb2;
+    btb::SetAssocBtb &btbp;
+    SectorOrderTable &sot;
+    const cache::ICache &icache;
+
+    std::vector<Tracker> trk;
+    /** In-flight row reads: retire cycle + the entries read. */
+    struct PendingWrite
+    {
+        Cycle due;
+        std::vector<btb::BtbEntry> entries;
+    };
+    std::deque<PendingWrite> pipe;
+    unsigned rrNext = 0; ///< round-robin cursor over trackers
+
+    stats::Counter nMissReports;
+    stats::Counter nIcReports;
+    stats::Counter nAlloc;
+    stats::Counter nDropBusy;
+    stats::Counter nFull;
+    stats::Counter nPartial;
+    stats::Counter nPartialAbandoned;
+    stats::Counter nPartialUpgraded;
+    Cycle nextReadAt = 0; ///< eDRAM cadence gate
+
+    stats::Counter nRowReads;
+    stats::Counter nHits;
+    stats::Counter nChained;
+};
+
+} // namespace zbp::preload
+
+#endif // ZBP_PRELOAD_BTB2_ENGINE_HH

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Interface through which the first-level search pipeline (and,
+ * optionally, the decode stage) reports perceived BTB1 misses to the
+ * second-level transfer machinery.  Kept abstract so configurations
+ * without a BTB2 simply wire in nothing.
+ */
+
+#ifndef ZBP_PRELOAD_MISS_SINK_HH
+#define ZBP_PRELOAD_MISS_SINK_HH
+
+#include "zbp/common/types.hh"
+
+namespace zbp::preload
+{
+
+/** Consumer of BTB1-miss notifications. */
+class MissSink
+{
+  public:
+    virtual ~MissSink() = default;
+
+    /**
+     * A BTB1 miss was detected (paper §3.4): @p miss_addr is the
+     * starting search address of the fruitless search run; @p now the
+     * cycle the miss is reported (the b3 cycle of the last search).
+     */
+    virtual void noteBtb1Miss(Addr miss_addr, Cycle now) = 0;
+};
+
+} // namespace zbp::preload
+
+#endif // ZBP_PRELOAD_MISS_SINK_HH

@@ -1,0 +1,76 @@
+#include "zbp/sim/configs.hh"
+
+#include <cstdio>
+
+namespace zbp::sim
+{
+
+core::MachineParams
+configNoBtb2()
+{
+    core::MachineParams p;
+    p.btb2Enabled = false;
+    return p;
+}
+
+core::MachineParams
+configBtb2()
+{
+    return core::MachineParams{}; // defaults are Table 3 row 2
+}
+
+core::MachineParams
+configLargeBtb1()
+{
+    core::MachineParams p;
+    p.btb2Enabled = false;
+    p.btb1.rows = 4096;
+    p.btb1.ways = 6; // 24k branches at BTB1 latency
+    return p;
+}
+
+core::MachineParams
+configBtb2Sized(std::uint32_t rows, std::uint32_t ways)
+{
+    core::MachineParams p;
+    p.btb2.rows = rows;
+    p.btb2.ways = ways;
+    return p;
+}
+
+core::MachineParams
+configMissLimit(unsigned searches)
+{
+    core::MachineParams p;
+    p.search.missSearchLimit = searches;
+    return p;
+}
+
+core::MachineParams
+configTrackers(unsigned n)
+{
+    core::MachineParams p;
+    p.engine.numTrackers = n;
+    return p;
+}
+
+std::string
+describe(const core::MachineParams &p)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "BTB1 %uk (%u x %u), BTBP %u (%u x %u), BTB2 %s",
+                  p.btb1.rows * p.btb1.ways / 1024, p.btb1.rows,
+                  p.btb1.ways, p.btbp.rows * p.btbp.ways, p.btbp.rows,
+                  p.btbp.ways, p.btb2Enabled ? "" : "disabled");
+    std::string s(buf);
+    if (p.btb2Enabled) {
+        std::snprintf(buf, sizeof(buf), "%uk (%u x %u), %u trackers",
+                      p.btb2.rows * p.btb2.ways / 1024, p.btb2.rows,
+                      p.btb2.ways, p.engine.numTrackers);
+        s += buf;
+    }
+    return s;
+}
+
+} // namespace zbp::sim

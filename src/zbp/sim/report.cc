@@ -1,0 +1,136 @@
+#include "zbp/sim/report.hh"
+
+#include <cstdio>
+
+namespace zbp::sim
+{
+
+namespace
+{
+
+/** The exported scalar fields, in column order. */
+struct Field
+{
+    const char *name;
+    std::uint64_t (*get)(const cpu::SimResult &);
+};
+
+constexpr Field kFields[] = {
+    {"cycles", [](const cpu::SimResult &r) { return r.cycles; }},
+    {"instructions",
+     [](const cpu::SimResult &r) { return r.instructions; }},
+    {"branches", [](const cpu::SimResult &r) { return r.branches; }},
+    {"takenBranches",
+     [](const cpu::SimResult &r) { return r.takenBranches; }},
+    {"correct", [](const cpu::SimResult &r) { return r.correct; }},
+    {"mispredictDir",
+     [](const cpu::SimResult &r) { return r.mispredictDir; }},
+    {"mispredictTarget",
+     [](const cpu::SimResult &r) { return r.mispredictTarget; }},
+    {"surpriseCompulsory",
+     [](const cpu::SimResult &r) { return r.surpriseCompulsory; }},
+    {"surpriseLatency",
+     [](const cpu::SimResult &r) { return r.surpriseLatency; }},
+    {"surpriseCapacity",
+     [](const cpu::SimResult &r) { return r.surpriseCapacity; }},
+    {"surpriseBenign",
+     [](const cpu::SimResult &r) { return r.surpriseBenign; }},
+    {"phantoms", [](const cpu::SimResult &r) { return r.phantoms; }},
+    {"icacheMisses",
+     [](const cpu::SimResult &r) { return r.icacheMisses; }},
+    {"dcacheMisses",
+     [](const cpu::SimResult &r) { return r.dcacheMisses; }},
+    {"btb1MissReports",
+     [](const cpu::SimResult &r) { return r.btb1MissReports; }},
+    {"btb2RowReads",
+     [](const cpu::SimResult &r) { return r.btb2RowReads; }},
+    {"btb2Transfers",
+     [](const cpu::SimResult &r) { return r.btb2Transfers; }},
+    {"predictionsMade",
+     [](const cpu::SimResult &r) { return r.predictionsMade; }},
+};
+
+std::string
+fmtDouble(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+/** CSV/JSON string escaping for labels (quotes and control chars). */
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20)
+            continue;
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+resultCsvHeader()
+{
+    std::string out = "label,cpi";
+    for (const auto &f : kFields) {
+        out += ',';
+        out += f.name;
+    }
+    return out;
+}
+
+std::string
+resultCsvRow(const std::string &label, const cpu::SimResult &r)
+{
+    std::string out = '"' + escape(label) + '"';
+    out += ',' + fmtDouble(r.cpi);
+    for (const auto &f : kFields)
+        out += ',' + std::to_string(f.get(r));
+    return out;
+}
+
+std::string
+resultsToCsv(const std::vector<cpu::SimResult> &results)
+{
+    std::string out = resultCsvHeader() + '\n';
+    for (const auto &r : results)
+        out += resultCsvRow(r.traceName, r) + '\n';
+    return out;
+}
+
+std::string
+resultToJson(const cpu::SimResult &r)
+{
+    std::string out = "{\"trace\":\"" + escape(r.traceName) + "\"";
+    out += ",\"cpi\":" + fmtDouble(r.cpi);
+    for (const auto &f : kFields) {
+        out += ",\"";
+        out += f.name;
+        out += "\":" + std::to_string(f.get(r));
+    }
+    out += '}';
+    return out;
+}
+
+std::string
+resultsToJson(const std::vector<cpu::SimResult> &results)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (i)
+            out += ',';
+        out += resultToJson(results[i]);
+    }
+    out += ']';
+    return out;
+}
+
+} // namespace zbp::sim

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Machine-readable experiment output: CSV and a minimal JSON encoder
+ * for SimResult batches, so sweeps can feed plotting scripts directly.
+ */
+
+#ifndef ZBP_SIM_REPORT_HH
+#define ZBP_SIM_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "zbp/cpu/core_model.hh"
+
+namespace zbp::sim
+{
+
+/** Column header matching resultCsvRow(). */
+std::string resultCsvHeader();
+
+/** One CSV row (no trailing newline) for @p r, first column @p label. */
+std::string resultCsvRow(const std::string &label,
+                         const cpu::SimResult &r);
+
+/** Whole-batch CSV (header + one row per result, labelled by trace). */
+std::string resultsToCsv(const std::vector<cpu::SimResult> &results);
+
+/** One JSON object for @p r (stable key order, no external deps). */
+std::string resultToJson(const cpu::SimResult &r);
+
+/** JSON array of result objects. */
+std::string resultsToJson(const std::vector<cpu::SimResult> &results);
+
+} // namespace zbp::sim
+
+#endif // ZBP_SIM_REPORT_HH

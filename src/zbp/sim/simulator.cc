@@ -1,0 +1,98 @@
+#include "zbp/sim/simulator.hh"
+
+namespace zbp::sim
+{
+
+double
+Fig2Row::btb2Improvement() const
+{
+    return cpu::cpiImprovement(base, withBtb2);
+}
+
+double
+Fig2Row::largeBtb1Improvement() const
+{
+    return cpu::cpiImprovement(base, largeBtb1);
+}
+
+double
+Fig2Row::effectiveness() const
+{
+    const double big = largeBtb1Improvement();
+    if (big <= 0.0)
+        return 0.0;
+    return btb2Improvement() / big * 100.0;
+}
+
+cpu::SimResult
+runOne(const core::MachineParams &cfg, const trace::Trace &t)
+{
+    cpu::CoreModel model(cfg);
+    return model.run(t);
+}
+
+Fig2Row
+runFig2Row(const trace::Trace &t)
+{
+    Fig2Row row;
+    row.trace = t.name();
+    row.base = runOne(configNoBtb2(), t);
+    row.withBtb2 = runOne(configBtb2(), t);
+    row.largeBtb1 = runOne(configLargeBtb1(), t);
+    return row;
+}
+
+SuiteRunner::SuiteRunner(double scale)
+{
+    tr.reserve(workload::paperSuites().size());
+    for (const auto &spec : workload::paperSuites())
+        tr.push_back(workload::makeSuiteTrace(spec, scale));
+}
+
+const std::vector<cpu::SimResult> &
+SuiteRunner::baseline()
+{
+    if (base.empty()) {
+        const auto cfg = configNoBtb2();
+        base.reserve(tr.size());
+        for (const auto &t : tr) {
+            if (progress)
+                progress("baseline " + t.name());
+            base.push_back(runOne(cfg, t));
+        }
+    }
+    return base;
+}
+
+std::vector<double>
+SuiteRunner::improvements(const core::MachineParams &cfg)
+{
+    const auto &b = baseline();
+    std::vector<double> out;
+    out.reserve(tr.size());
+    for (std::size_t i = 0; i < tr.size(); ++i) {
+        if (progress)
+            progress(tr[i].name());
+        const auto r = runOne(cfg, tr[i]);
+        out.push_back(cpu::cpiImprovement(b[i], r));
+    }
+    return out;
+}
+
+double
+SuiteRunner::averageImprovement(const core::MachineParams &cfg)
+{
+    const auto imps = improvements(cfg);
+    double sum = 0.0;
+    for (double v : imps)
+        sum += v;
+    return imps.empty() ? 0.0 : sum / static_cast<double>(imps.size());
+}
+
+void
+SuiteRunner::setProgress(std::function<void(const std::string &)> cb)
+{
+    progress = std::move(cb);
+}
+
+} // namespace zbp::sim

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * High-level experiment driver: run (config x trace) combinations and
+ * compute the paper's derived metrics (CPI improvement, BTB2
+ * effectiveness).  Every bench binary is a thin wrapper over this.
+ */
+
+#ifndef ZBP_SIM_SIMULATOR_HH
+#define ZBP_SIM_SIMULATOR_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "zbp/cpu/core_model.hh"
+#include "zbp/sim/configs.hh"
+#include "zbp/workload/suites.hh"
+
+namespace zbp::sim
+{
+
+/** One trace evaluated under the three Table 3 configurations. */
+struct Fig2Row
+{
+    std::string trace;
+    cpu::SimResult base;      ///< config 1: no BTB2
+    cpu::SimResult withBtb2;  ///< config 2
+    cpu::SimResult largeBtb1; ///< config 3
+
+    /** % CPI improvement of config 2 over config 1. */
+    double btb2Improvement() const;
+    /** % CPI improvement of config 3 over config 1. */
+    double largeBtb1Improvement() const;
+    /** BTB2 effectiveness: improvement(2) / improvement(3), in %. */
+    double effectiveness() const;
+};
+
+/** Run one configuration over one trace. */
+cpu::SimResult runOne(const core::MachineParams &cfg,
+                      const trace::Trace &t);
+
+/** Run the full Figure 2 comparison for one trace. */
+Fig2Row runFig2Row(const trace::Trace &t);
+
+/**
+ * Generates the 13 paper suites once and amortizes the config-1
+ * baseline runs across parameter sweeps (Figures 5-7).
+ */
+class SuiteRunner
+{
+  public:
+    /** @p scale multiplies each suite's nominal instruction count. */
+    explicit SuiteRunner(double scale);
+
+    const std::vector<trace::Trace> &traces() const { return tr; }
+
+    /** Baseline (config 1) results, computed on first use. */
+    const std::vector<cpu::SimResult> &baseline();
+
+    /** Per-trace % CPI improvement of @p cfg over the baseline. */
+    std::vector<double> improvements(const core::MachineParams &cfg);
+
+    /** Mean of improvements() — the y-axis of Figures 5/6/7. */
+    double averageImprovement(const core::MachineParams &cfg);
+
+    /** Optional progress callback (called once per simulation run). */
+    void setProgress(std::function<void(const std::string &)> cb);
+
+  private:
+    std::vector<trace::Trace> tr;
+    std::vector<cpu::SimResult> base;
+    std::function<void(const std::string &)> progress;
+};
+
+} // namespace zbp::sim
+
+#endif // ZBP_SIM_SIMULATOR_HH

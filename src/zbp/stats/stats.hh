@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Lightweight named-statistics registry used by every simulation
+ * component: scalar counters, ratios (formulas evaluated at dump time),
+ * and histograms, grouped per component and dumpable as text.
+ */
+
+#ifndef ZBP_STATS_STATS_HH
+#define ZBP_STATS_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "zbp/common/log.hh"
+
+namespace zbp::stats
+{
+
+/** A named monotonically increasing counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator++() { ++val; return *this; }
+    Counter &operator+=(std::uint64_t n) { val += n; return *this; }
+
+    std::uint64_t value() const { return val; }
+    void reset() { val = 0; }
+
+  private:
+    std::uint64_t val = 0;
+};
+
+/** Fixed-bucket histogram with underflow/overflow buckets. */
+class Histogram
+{
+  public:
+    /** Buckets of width @p bucket_width covering [0, buckets*width). */
+    Histogram(unsigned num_buckets, std::uint64_t bucket_width)
+        : counts(num_buckets + 1, 0), width(bucket_width)
+    {
+        ZBP_ASSERT(num_buckets >= 1 && bucket_width >= 1,
+                   "bad histogram shape");
+    }
+
+    void
+    sample(std::uint64_t v)
+    {
+        const std::size_t b = v / width;
+        if (b >= counts.size() - 1)
+            ++counts.back();
+        else
+            ++counts[b];
+        sum += v;
+        ++n;
+    }
+
+    std::uint64_t samples() const { return n; }
+    double mean() const
+    {
+        return n == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(n);
+    }
+    std::uint64_t bucket(std::size_t i) const { return counts.at(i); }
+    std::size_t numBuckets() const { return counts.size() - 1; }
+    std::uint64_t overflow() const { return counts.back(); }
+    std::uint64_t bucketWidth() const { return width; }
+
+    void
+    reset()
+    {
+        for (auto &c : counts)
+            c = 0;
+        sum = 0;
+        n = 0;
+    }
+
+  private:
+    std::vector<std::uint64_t> counts;
+    std::uint64_t width;
+    std::uint64_t sum = 0;
+    std::uint64_t n = 0;
+};
+
+/**
+ * A per-component group of named stats.  Components hold their own
+ * Counter members for speed and register them here by reference for
+ * dumping; groups may also register derived values (lambdas).
+ */
+class Group
+{
+  public:
+    explicit Group(std::string name_) : groupName(std::move(name_)) {}
+
+    Group(const Group &) = delete;
+    Group &operator=(const Group &) = delete;
+
+    void
+    add(const std::string &name, const Counter &c, std::string desc = "")
+    {
+        scalars.push_back({name, std::move(desc),
+                           [&c] { return static_cast<double>(c.value()); }});
+    }
+
+    void
+    addDerived(const std::string &name, std::function<double()> fn,
+               std::string desc = "")
+    {
+        scalars.push_back({name, std::move(desc), std::move(fn)});
+    }
+
+    const std::string &name() const { return groupName; }
+
+    /** Append "group.stat value  # desc" lines to @p out. */
+    void
+    dump(std::string &out) const
+    {
+        char buf[256];
+        for (const auto &s : scalars) {
+            std::snprintf(buf, sizeof(buf), "%-48s %16.6g  # %s\n",
+                          (groupName + "." + s.name).c_str(), s.eval(),
+                          s.desc.c_str());
+            out += buf;
+        }
+    }
+
+    /** Look up a registered scalar by name; panics if absent. */
+    double
+    value(const std::string &name) const
+    {
+        for (const auto &s : scalars)
+            if (s.name == name)
+                return s.eval();
+        panic("stat '", name, "' not found in group '", groupName, "'");
+    }
+
+    bool
+    has(const std::string &name) const
+    {
+        for (const auto &s : scalars)
+            if (s.name == name)
+                return true;
+        return false;
+    }
+
+  private:
+    struct Scalar
+    {
+        std::string name;
+        std::string desc;
+        std::function<double()> eval;
+    };
+
+    std::string groupName;
+    std::vector<Scalar> scalars;
+};
+
+} // namespace zbp::stats
+
+#endif // ZBP_STATS_STATS_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * ASCII table writer used by the benchmark harnesses to print the paper's
+ * tables and figure series in a uniform, diff-friendly format.
+ */
+
+#ifndef ZBP_STATS_TABLE_HH
+#define ZBP_STATS_TABLE_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "zbp/common/log.hh"
+
+namespace zbp::stats
+{
+
+/** Column-aligned text table with a title and optional note lines. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title_) : title(std::move(title_)) {}
+
+    void
+    setHeader(std::vector<std::string> cols)
+    {
+        header = std::move(cols);
+    }
+
+    void
+    addRow(std::vector<std::string> cells)
+    {
+        ZBP_ASSERT(header.empty() || cells.size() == header.size(),
+                   "row width mismatch in table '", title, "'");
+        rows.push_back(std::move(cells));
+    }
+
+    void addNote(std::string line) { notes.push_back(std::move(line)); }
+
+    /** Format a double with @p prec digits after the point. */
+    static std::string
+    num(double v, int prec = 2)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+        return buf;
+    }
+
+    static std::string
+    pct(double v, int prec = 1)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.*f%%", prec, v);
+        return buf;
+    }
+
+    std::string
+    render() const
+    {
+        std::vector<std::size_t> w;
+        auto grow = [&w](const std::vector<std::string> &cells) {
+            if (w.size() < cells.size())
+                w.resize(cells.size(), 0);
+            for (std::size_t i = 0; i < cells.size(); ++i)
+                if (cells[i].size() > w[i])
+                    w[i] = cells[i].size();
+        };
+        grow(header);
+        for (const auto &r : rows)
+            grow(r);
+
+        std::string out;
+        out += "== " + title + " ==\n";
+        auto emit = [&out, &w](const std::vector<std::string> &cells) {
+            for (std::size_t i = 0; i < cells.size(); ++i) {
+                out += cells[i];
+                if (i + 1 < cells.size())
+                    out += std::string(w[i] - cells[i].size() + 2, ' ');
+            }
+            out += '\n';
+        };
+        if (!header.empty()) {
+            emit(header);
+            std::size_t total = 0;
+            for (std::size_t i = 0; i < w.size(); ++i)
+                total += w[i] + (i + 1 < w.size() ? 2 : 0);
+            out += std::string(total, '-') + '\n';
+        }
+        for (const auto &r : rows)
+            emit(r);
+        for (const auto &n : notes)
+            out += "note: " + n + '\n';
+        return out;
+    }
+
+    void print() const { std::fputs(render().c_str(), stdout); }
+
+  private:
+    std::string title;
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+    std::vector<std::string> notes;
+};
+
+} // namespace zbp::stats
+
+#endif // ZBP_STATS_TABLE_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Trace container: an ordered sequence of retired instructions plus a
+ * human-readable name, with validation of control-flow consistency.
+ */
+
+#ifndef ZBP_TRACE_TRACE_HH
+#define ZBP_TRACE_TRACE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "zbp/trace/instruction.hh"
+
+namespace zbp::trace
+{
+
+/** An instruction trace as consumed by the core model. */
+class Trace
+{
+  public:
+    Trace() = default;
+    explicit Trace(std::string name_) : traceName(std::move(name_)) {}
+
+    void reserve(std::size_t n) { insts.reserve(n); }
+    void push(const Instruction &i) { insts.push_back(i); }
+
+    const Instruction &operator[](std::size_t i) const { return insts[i]; }
+    std::size_t size() const { return insts.size(); }
+    bool empty() const { return insts.empty(); }
+
+    const std::string &name() const { return traceName; }
+    void setName(std::string n) { traceName = std::move(n); }
+
+    auto begin() const { return insts.begin(); }
+    auto end() const { return insts.end(); }
+
+    const std::vector<Instruction> &instructions() const { return insts; }
+    std::vector<Instruction> &instructions() { return insts; }
+
+    /**
+     * Check the control-flow invariant: each instruction must start at
+     * the previous instruction's nextIa().  Returns the index of the
+     * first violation, or size() when consistent.
+     */
+    std::size_t
+    firstDiscontinuity() const
+    {
+        for (std::size_t i = 1; i < insts.size(); ++i)
+            if (insts[i].ia != insts[i - 1].nextIa())
+                return i;
+        return insts.size();
+    }
+
+    bool consistent() const { return firstDiscontinuity() == insts.size(); }
+
+  private:
+    std::string traceName;
+    std::vector<Instruction> insts;
+};
+
+} // namespace zbp::trace
+
+#endif // ZBP_TRACE_TRACE_HH

@@ -1,0 +1,114 @@
+#include "zbp/trace/trace_io.hh"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace zbp::trace
+{
+
+namespace
+{
+
+struct FileHeader
+{
+    char magic[4];
+    std::uint32_t version;
+    std::uint64_t count;
+    std::uint32_t nameLen;
+    std::uint32_t pad;
+};
+
+struct PackedInst
+{
+    std::uint64_t ia;
+    std::uint64_t target;
+    std::uint64_t dataAddr;
+    std::uint8_t length;
+    std::uint8_t kind;
+    std::uint8_t taken;
+    std::uint8_t pad[5];
+};
+
+static_assert(sizeof(PackedInst) == 32, "packed record must stay 32B");
+
+} // namespace
+
+bool
+writeTrace(const Trace &t, std::ostream &os)
+{
+    FileHeader h{};
+    std::memcpy(h.magic, kTraceMagic, 4);
+    h.version = kTraceVersion;
+    h.count = t.size();
+    h.nameLen = static_cast<std::uint32_t>(t.name().size());
+    h.pad = 0;
+    os.write(reinterpret_cast<const char *>(&h), sizeof(h));
+    os.write(t.name().data(), static_cast<std::streamsize>(h.nameLen));
+    for (const auto &inst : t) {
+        PackedInst p{};
+        p.ia = inst.ia;
+        p.target = inst.target;
+        p.dataAddr = inst.dataAddr;
+        p.length = inst.length;
+        p.kind = static_cast<std::uint8_t>(inst.kind);
+        p.taken = inst.taken ? 1 : 0;
+        os.write(reinterpret_cast<const char *>(&p), sizeof(p));
+    }
+    return static_cast<bool>(os);
+}
+
+bool
+readTrace(std::istream &is, Trace &out)
+{
+    FileHeader h{};
+    is.read(reinterpret_cast<char *>(&h), sizeof(h));
+    if (!is || std::memcmp(h.magic, kTraceMagic, 4) != 0 ||
+        h.version != kTraceVersion) {
+        return false;
+    }
+    std::string name(h.nameLen, '\0');
+    is.read(name.data(), static_cast<std::streamsize>(h.nameLen));
+    if (!is)
+        return false;
+
+    Trace t(name);
+    t.reserve(h.count);
+    for (std::uint64_t i = 0; i < h.count; ++i) {
+        PackedInst p{};
+        is.read(reinterpret_cast<char *>(&p), sizeof(p));
+        if (!is)
+            return false;
+        if (p.kind > static_cast<std::uint8_t>(InstKind::kIndirect))
+            return false;
+        if (p.length != 2 && p.length != 4 && p.length != 6)
+            return false;
+        Instruction inst;
+        inst.ia = p.ia;
+        inst.target = p.target;
+        inst.dataAddr = p.dataAddr;
+        inst.length = p.length;
+        inst.kind = static_cast<InstKind>(p.kind);
+        inst.taken = p.taken != 0;
+        t.push(inst);
+    }
+    out = std::move(t);
+    return true;
+}
+
+bool
+saveTraceFile(const Trace &t, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    return os && writeTrace(t, os);
+}
+
+bool
+loadTraceFile(const std::string &path, Trace &out)
+{
+    std::ifstream is(path, std::ios::binary);
+    return is && readTrace(is, out);
+}
+
+} // namespace zbp::trace

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Binary trace serialization.
+ *
+ * Format "ZBPT" v1: a fixed little-endian header followed by packed
+ * per-instruction records.  Deliberately simple — the point is to let
+ * users capture a generated workload once and replay it across
+ * configuration sweeps without regenerating.
+ */
+
+#ifndef ZBP_TRACE_TRACE_IO_HH
+#define ZBP_TRACE_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "zbp/trace/trace.hh"
+
+namespace zbp::trace
+{
+
+/** Magic bytes at the start of every trace file. */
+inline constexpr char kTraceMagic[4] = {'Z', 'B', 'P', 'T'};
+inline constexpr std::uint32_t kTraceVersion = 2; // v2: adds dataAddr
+
+/** Serialize @p t to @p os. Throws nothing; returns false on I/O error. */
+bool writeTrace(const Trace &t, std::ostream &os);
+
+/**
+ * Deserialize a trace from @p is into @p out.
+ * @return true on success; false on bad magic/version/truncation.
+ */
+bool readTrace(std::istream &is, Trace &out);
+
+/** File-path convenience wrappers. */
+bool saveTraceFile(const Trace &t, const std::string &path);
+bool loadTraceFile(const std::string &path, Trace &out);
+
+} // namespace zbp::trace
+
+#endif // ZBP_TRACE_TRACE_IO_HH

@@ -1,0 +1,44 @@
+#include "zbp/trace/trace_stats.hh"
+
+#include <unordered_set>
+
+namespace zbp::trace
+{
+
+TraceStats
+computeStats(const Trace &t)
+{
+    TraceStats s;
+    std::unordered_set<Addr> branch_ias;
+    std::unordered_set<Addr> taken_ias;
+    std::unordered_set<Addr> blocks;
+    std::unordered_set<Addr> inst_ias;
+    std::uint64_t length_sum = 0;
+
+    for (const auto &inst : t) {
+        ++s.instructions;
+        length_sum += inst.length;
+        blocks.insert(inst.ia >> 12);
+        if (inst_ias.insert(inst.ia).second)
+            s.codeBytes += inst.length;
+        if (inst.branch()) {
+            ++s.branches;
+            branch_ias.insert(inst.ia);
+            if (inst.taken) {
+                ++s.takenBranches;
+                taken_ias.insert(inst.ia);
+            }
+        }
+    }
+
+    s.uniqueBranchIas = branch_ias.size();
+    s.uniqueTakenIas = taken_ias.size();
+    s.unique4kBlocks = blocks.size();
+    s.avgInstLength = s.instructions == 0
+            ? 0.0
+            : static_cast<double>(length_sum) /
+              static_cast<double>(s.instructions);
+    return s;
+}
+
+} // namespace zbp::trace

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Footprint statistics over a trace — reproduces the columns of the
+ * paper's Table 4 (unique branch instruction addresses and unique taken
+ * branch instruction addresses) plus auxiliary locality measures used to
+ * sanity check the synthetic workloads.
+ */
+
+#ifndef ZBP_TRACE_TRACE_STATS_HH
+#define ZBP_TRACE_TRACE_STATS_HH
+
+#include <cstdint>
+
+#include "zbp/trace/trace.hh"
+
+namespace zbp::trace
+{
+
+/** Aggregate footprint measures of one trace. */
+struct TraceStats
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t branches = 0;          ///< dynamic branch count
+    std::uint64_t takenBranches = 0;     ///< dynamic taken count
+    std::uint64_t uniqueBranchIas = 0;   ///< Table 4 column 2
+    std::uint64_t uniqueTakenIas = 0;    ///< Table 4 column 3
+    std::uint64_t unique4kBlocks = 0;    ///< touched 4 KB code blocks
+    std::uint64_t codeBytes = 0;         ///< unique instruction bytes
+    double avgInstLength = 0.0;
+
+    /** Dynamic branch density: branches per instruction. */
+    double
+    branchFraction() const
+    {
+        return instructions == 0
+                ? 0.0
+                : static_cast<double>(branches) /
+                  static_cast<double>(instructions);
+    }
+};
+
+/** Compute TraceStats with a single pass over @p t. */
+TraceStats computeStats(const Trace &t);
+
+} // namespace zbp::trace
+
+#endif // ZBP_TRACE_TRACE_STATS_HH

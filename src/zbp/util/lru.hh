@@ -1,0 +1,86 @@
+/**
+ * @file
+ * True-LRU recency state for one set of an N-way associative structure.
+ *
+ * The paper's semi-exclusive hierarchy leans on explicit LRU manipulation:
+ * a BTB2 hit is *demoted to LRU* (so later victims overwrite it) and a
+ * BTB1 victim is written into the BTB2's LRU way and *promoted to MRU*.
+ * This class therefore exposes demote() as well as the usual touch().
+ */
+
+#ifndef ZBP_UTIL_LRU_HH
+#define ZBP_UTIL_LRU_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "zbp/common/log.hh"
+
+namespace zbp
+{
+
+/** Recency order over ways 0..N-1 of a single set. */
+class LruState
+{
+  public:
+    explicit LruState(unsigned ways) : order(ways)
+    {
+        ZBP_ASSERT(ways >= 1, "LruState needs at least one way");
+        // Initially way 0 is LRU, way N-1 is MRU (arbitrary but fixed).
+        for (unsigned w = 0; w < ways; ++w)
+            order[w] = static_cast<std::uint8_t>(w);
+    }
+
+    unsigned ways() const { return static_cast<unsigned>(order.size()); }
+
+    /** The least recently used way (replacement victim). */
+    unsigned lru() const { return order.front(); }
+
+    /** The most recently used way. */
+    unsigned mru() const { return order.back(); }
+
+    /** Promote @p way to MRU. */
+    void
+    touch(unsigned way)
+    {
+        moveTo(way, order.size() - 1);
+    }
+
+    /** Demote @p way to LRU (paper: BTB2 hits become LRU so subsequent
+     * BTB1 victims are likely to replace them). */
+    void
+    demote(unsigned way)
+    {
+        moveTo(way, 0);
+    }
+
+    /** Recency rank of @p way: 0 = LRU .. ways-1 = MRU. */
+    unsigned
+    rank(unsigned way) const
+    {
+        for (unsigned i = 0; i < order.size(); ++i)
+            if (order[i] == way)
+                return i;
+        panic("LruState::rank: way ", way, " not present");
+    }
+
+  private:
+    void
+    moveTo(unsigned way, std::size_t pos)
+    {
+        ZBP_ASSERT(way < order.size(), "way out of range");
+        auto it = std::find(order.begin(), order.end(),
+                            static_cast<std::uint8_t>(way));
+        ZBP_ASSERT(it != order.end(), "corrupt LRU state");
+        order.erase(it);
+        order.insert(order.begin() + static_cast<std::ptrdiff_t>(pos),
+                     static_cast<std::uint8_t>(way));
+    }
+
+    std::vector<std::uint8_t> order; ///< order[0]=LRU .. order.back()=MRU
+};
+
+} // namespace zbp
+
+#endif // ZBP_UTIL_LRU_HH

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Global history registers used to index the PHT and CTB.
+ *
+ * The zEC12 PHT is indexed by the directions of the 12 previous predicted
+ * branches plus the instruction addresses of the 6 previous taken
+ * branches; the CTB by the addresses of the 12 previous taken branches
+ * (paper §3.1).  DirectionHistory keeps the direction bits; PathHistory
+ * keeps a folded hash of the last K taken-branch addresses and can
+ * reproduce hashes over its most recent prefix so both tables can share
+ * one register.
+ */
+
+#ifndef ZBP_UTIL_SHIFT_HISTORY_HH
+#define ZBP_UTIL_SHIFT_HISTORY_HH
+
+#include <array>
+#include <cstdint>
+
+#include "zbp/common/log.hh"
+#include "zbp/common/types.hh"
+
+namespace zbp
+{
+
+/** Shift register of the last N branch directions (1 = taken). */
+class DirectionHistory
+{
+  public:
+    explicit DirectionHistory(unsigned depth_) : depthBits(depth_) {}
+
+    void
+    push(bool taken)
+    {
+        bits = ((bits << 1) | (taken ? 1 : 0)) & maskVal();
+    }
+
+    /** The raw history bits, newest direction in bit 0. */
+    std::uint64_t value() const { return bits; }
+
+    void set(std::uint64_t v) { bits = v & maskVal(); }
+    void clear() { bits = 0; }
+    unsigned depth() const { return depthBits; }
+
+  private:
+    std::uint64_t maskVal() const
+    {
+        return depthBits >= 64 ? ~std::uint64_t{0}
+                               : ((std::uint64_t{1} << depthBits) - 1);
+    }
+
+    std::uint64_t bits = 0;
+    unsigned depthBits;
+};
+
+/**
+ * Ring of the last N taken-branch instruction addresses with folded-hash
+ * extraction over the most recent @p k entries.
+ */
+class PathHistory
+{
+  public:
+    static constexpr unsigned kMaxDepth = 16;
+
+    explicit PathHistory(unsigned depth_) : depthVal(depth_)
+    {
+        ZBP_ASSERT(depth_ >= 1 && depth_ <= kMaxDepth,
+                   "PathHistory depth out of range");
+        ring.fill(0);
+    }
+
+    void
+    push(Addr taken_branch_ia)
+    {
+        head = (head + 1) % depthVal;
+        ring[head] = taken_branch_ia;
+    }
+
+    /**
+     * Fold the @p k most recent taken-branch addresses into @p out_bits
+     * bits.  Each address is rotated by its age so that the same set of
+     * addresses in a different order hashes differently (path, not set,
+     * sensitivity).
+     */
+    std::uint64_t
+    fold(unsigned k, unsigned out_bits) const
+    {
+        ZBP_ASSERT(k >= 1 && k <= depthVal, "fold depth out of range");
+        ZBP_ASSERT(out_bits >= 1 && out_bits <= 64, "fold width");
+        std::uint64_t h = 0;
+        for (unsigned age = 0; age < k; ++age) {
+            const unsigned idx = (head + depthVal - age) % depthVal;
+            // Drop the low bit (z instructions are 2-byte aligned) and
+            // rotate by age within the output width.
+            std::uint64_t a = ring[idx] >> 1;
+            const unsigned rot = (age * 5) % out_bits;
+            const std::uint64_t m = out_bits >= 64
+                    ? ~std::uint64_t{0}
+                    : ((std::uint64_t{1} << out_bits) - 1);
+            if (out_bits < 64)
+                a ^= a >> out_bits;
+            a &= m;
+            if (rot != 0)
+                a = ((a << rot) | (a >> (out_bits - rot))) & m;
+            h ^= a;
+        }
+        const std::uint64_t m = out_bits >= 64
+                ? ~std::uint64_t{0}
+                : ((std::uint64_t{1} << out_bits) - 1);
+        return h & m;
+    }
+
+    void
+    clear()
+    {
+        ring.fill(0);
+        head = 0;
+    }
+
+    unsigned depth() const { return depthVal; }
+
+    /** Snapshot/restore support for speculative history recovery. */
+    struct Snapshot
+    {
+        std::array<Addr, kMaxDepth> ring;
+        unsigned head;
+    };
+
+    Snapshot snapshot() const { return {ring, head}; }
+
+    void
+    restore(const Snapshot &s)
+    {
+        ring = s.ring;
+        head = s.head;
+    }
+
+  private:
+    std::array<Addr, kMaxDepth> ring{};
+    unsigned head = 0;
+    unsigned depthVal;
+};
+
+} // namespace zbp
+
+#endif // ZBP_UTIL_SHIFT_HISTORY_HH

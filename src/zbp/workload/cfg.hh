@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Static control-flow model for synthetic workload generation.
+ *
+ * The paper evaluates on proprietary IBM traces (LSPR, Trade6, DayTrader,
+ * TPF, ...).  We substitute parameterized synthetic programs: a Program
+ * is a set of Functions laid out in a 64-bit address space; each Function
+ * is a list of BasicBlocks; each block is a run of straight-line
+ * instructions ended by a terminator whose *behaviour* (bias, loop trip
+ * count, target set) is part of the static model, so a deterministic
+ * walker can produce a control-flow-consistent dynamic trace.
+ *
+ * The structural properties the BTB2 is sensitive to — number of unique
+ * (taken) branch sites, 4 KB-block locality, quartile/sector reference
+ * patterns, working-set rotation — are all explicit parameters.
+ */
+
+#ifndef ZBP_WORKLOAD_CFG_HH
+#define ZBP_WORKLOAD_CFG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "zbp/common/types.hh"
+#include "zbp/trace/instruction.hh"
+
+namespace zbp::workload
+{
+
+/** How a conditional terminator decides its direction at run time. */
+enum class CondBehavior : std::uint8_t
+{
+    kBiased,    ///< independent Bernoulli with site-specific probability
+    kLoop,      ///< backward branch: taken trip-1 times, then not-taken
+    kPeriodic,  ///< deterministic pattern with site-specific period
+};
+
+/** Terminator of a basic block. */
+struct Terminator
+{
+    trace::InstKind kind = trace::InstKind::kNonBranch;
+
+    /** Primary target, as a block index within the owning function
+     * (kCondBranch/kUncondBranch/kLoop), or a function index (kCall).
+     * Unused for kReturn.  For kIndirect, see targets. */
+    std::uint32_t target = 0;
+
+    /** Candidate blocks for kIndirect, with implicit descending weights. */
+    std::vector<std::uint32_t> targets;
+
+    CondBehavior cond = CondBehavior::kBiased;
+    float takenProb = 0.5f;     ///< kBiased
+    std::uint16_t loopTrip = 1; ///< kLoop: iterations per entry
+    std::uint16_t period = 2;   ///< kPeriodic: taken except every Nth
+
+    bool valid() const { return kind != trace::InstKind::kNonBranch; }
+};
+
+/** A straight-line block plus terminator. Addresses are assigned at
+ * layout time by the builder. */
+struct BasicBlock
+{
+    Addr start = 0;                      ///< first instruction address
+    std::vector<std::uint8_t> lengths;   ///< per-instruction byte lengths
+    Terminator term;                     ///< may be invalid: fallthrough
+
+    /** Byte size of the block including its terminator instruction. */
+    std::uint32_t
+    byteSize() const
+    {
+        std::uint32_t n = 0;
+        for (auto l : lengths)
+            n += l;
+        return n;
+    }
+
+    /** Address of the terminator (last instruction). */
+    Addr
+    termIa() const
+    {
+        Addr a = start;
+        for (std::size_t i = 0; i + 1 < lengths.size(); ++i)
+            a += lengths[i];
+        return a;
+    }
+
+    /** Address just past the block. */
+    Addr endIa() const { return start + byteSize(); }
+};
+
+/** A function: contiguous blocks, entry at blocks[0].start. */
+struct Function
+{
+    std::vector<BasicBlock> blocks;
+
+    Addr entry() const { return blocks.front().start; }
+};
+
+/** A whole synthetic program. */
+struct Program
+{
+    std::vector<Function> functions;
+
+    /** Count of static branch sites (possible BTB entries). */
+    std::uint64_t
+    staticBranchSites() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &f : functions)
+            for (const auto &b : f.blocks)
+                if (b.term.valid())
+                    ++n;
+        return n;
+    }
+};
+
+} // namespace zbp::workload
+
+#endif // ZBP_WORKLOAD_CFG_HH

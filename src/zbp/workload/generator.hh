@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Dynamic trace generation: a deterministic walker that executes a
+ * Program and emits a control-flow-consistent instruction trace.
+ *
+ * Transactions are modelled the way online-transaction workloads behave:
+ * a tiny, extremely hot dispatcher loop indirectly calls a "transaction
+ * root" function drawn (Zipf-skewed) from the currently hot subset of
+ * roots; the hot subset rotates every phaseLength instructions, which is
+ * what creates the first-level-BTB capacity churn the paper's BTB2
+ * exists to serve.
+ */
+
+#ifndef ZBP_WORKLOAD_GENERATOR_HH
+#define ZBP_WORKLOAD_GENERATOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "zbp/trace/trace.hh"
+#include "zbp/workload/cfg.hh"
+
+namespace zbp::workload
+{
+
+/** Dynamic-behaviour knobs. */
+struct GenParams
+{
+    std::uint64_t seed = 7;
+    std::uint64_t length = 1'000'000;  ///< instructions to emit (approx.)
+
+    /** Number of functions usable as transaction roots (spread evenly
+     * over the function list). 0 = every function. */
+    std::uint32_t numRoots = 64;
+
+    /** Size of the hot root window within a phase. */
+    std::uint32_t hotRoots = 16;
+
+    /** Instructions per phase before the hot window rotates;
+     * 0 disables rotation. */
+    std::uint64_t phaseLength = 150'000;
+
+    /** How far the hot window slides each phase. */
+    std::uint32_t phaseStride = 8;
+
+    /** Zipf-ish skew of root popularity inside the hot window. */
+    double rootSkew = 0.8;
+
+    /** Address of the synthetic dispatcher loop (kept away from the
+     * program's code so it occupies its own 4 KB block). */
+    Addr dispatcherBase = 0x0000000000020000ull;
+
+    /** Bound on call-stack depth; deeper call sites fall through (the
+     * walker emits them as taken branches to the next instruction). */
+    std::uint32_t maxCallDepth = 48;
+
+    /** Soft cap on instructions per transaction; once exceeded, further
+     * call sites fall through so the transaction winds down. */
+    std::uint64_t maxTransactionInsts = 8'000;
+
+    /** Operand access synthesis (drives the finite L1 D-cache model).
+     * Fraction of non-branch instructions that carry a data address. */
+    double dataAccessFraction = 0.40;
+    /** Stack grows down from here; one 256 B frame per call level. */
+    Addr stackBase = 0x00007F0000000000ull;
+    /** Per-transaction-root private data region base and size. */
+    Addr heapBase = 0x0000500000000000ull;
+    std::uint64_t heapRegionBytes = 48 * 1024;
+    /** Shared (cross-transaction) data pool size. */
+    std::uint64_t sharedHeapBytes = 1024 * 1024;
+};
+
+/**
+ * Walk @p prog under @p gp and return the resulting trace.
+ * The result always satisfies Trace::consistent().
+ */
+trace::Trace generateTrace(const Program &prog, const GenParams &gp,
+                           const std::string &name);
+
+} // namespace zbp::workload
+
+#endif // ZBP_WORKLOAD_GENERATOR_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Time-sliced multiprogramming: interleave several single-thread traces
+ * into one consistent trace, modelling round-robin context switching on
+ * one core.
+ *
+ * Used by the Figure 3 hardware proxy: the paper's Web CICS/DB2
+ * measurement ran on 4 cores; lacking a multi-core model we approximate
+ * the capacity pressure of multiple address spaces sharing predictor
+ * state by time-slicing 4 instance traces on one core (see DESIGN.md).
+ *
+ * At every quantum boundary a synthetic taken indirect branch (the "OS
+ * dispatcher") is inserted at the fall-through address of the previous
+ * instruction, targeting the next thread's resume point, so the result
+ * still satisfies Trace::consistent().
+ */
+
+#ifndef ZBP_WORKLOAD_MULTIPROGRAM_HH
+#define ZBP_WORKLOAD_MULTIPROGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "zbp/trace/trace.hh"
+
+namespace zbp::workload
+{
+
+/**
+ * Round-robin interleave of @p threads with @p quantum instructions per
+ * time slice.  Thread address spaces should be disjoint (generate each
+ * with a different BuildParams::base) or the predictors will share
+ * entries across threads, which may even be desired for aliasing
+ * studies.
+ */
+trace::Trace multiprogram(const std::vector<trace::Trace> &threads,
+                          std::uint64_t quantum,
+                          const std::string &name);
+
+} // namespace zbp::workload
+
+#endif // ZBP_WORKLOAD_MULTIPROGRAM_HH

@@ -1,0 +1,173 @@
+#include "zbp/workload/program_builder.hh"
+
+#include <algorithm>
+
+#include "zbp/common/bitfield.hh"
+#include "zbp/common/log.hh"
+#include "zbp/common/rng.hh"
+
+namespace zbp::workload
+{
+
+namespace
+{
+
+/** Draw a z-like instruction length: mix of 2/4/6 bytes. */
+std::uint8_t
+drawLength(Rng &rng)
+{
+    const auto r = rng.below(100);
+    if (r < 25)
+        return 2;
+    if (r < 65)
+        return 4;
+    return 6;
+}
+
+/** Pick a forward block target in (cur, blocks), biased to nearby. */
+std::uint32_t
+pickForward(Rng &rng, std::uint32_t cur, std::uint32_t blocks)
+{
+    ZBP_ASSERT(cur + 1 < blocks, "no forward target available");
+    const std::uint32_t span = blocks - cur - 1;
+    // Near-target bias: square the uniform draw.
+    const double u = rng.uniform();
+    auto skip = static_cast<std::uint32_t>(u * u * span);
+    if (skip >= span)
+        skip = span - 1;
+    return cur + 1 + skip;
+}
+
+/** Assign a biased-conditional behaviour. */
+void
+makeConditional(Rng &rng, const BuildParams &p, Terminator &t)
+{
+    t.kind = trace::InstKind::kCondBranch;
+    const double u = rng.uniform();
+    if (u < p.periodicFraction) {
+        t.cond = CondBehavior::kPeriodic;
+        t.period = static_cast<std::uint16_t>(rng.range(2, 6));
+    } else if (u < p.periodicFraction + p.flakyFraction) {
+        t.cond = CondBehavior::kBiased;
+        t.takenProb = static_cast<float>(0.30 + 0.40 * rng.uniform());
+    } else {
+        t.cond = CondBehavior::kBiased;
+        // Strongly biased either way; taken-bias slightly more common,
+        // as in commercial codes.
+        const double p_taken = rng.chance(0.55)
+                ? 0.975 + 0.023 * rng.uniform()
+                : 0.002 + 0.023 * rng.uniform();
+        t.takenProb = static_cast<float>(p_taken);
+    }
+}
+
+} // namespace
+
+Program
+buildProgram(const BuildParams &p)
+{
+    ZBP_ASSERT(p.numFunctions >= 1, "need at least one function");
+    ZBP_ASSERT(p.minBlocksPerFunction >= 2,
+               "functions need an entry block and a return block");
+    ZBP_ASSERT(p.maxBlocksPerFunction >= p.minBlocksPerFunction &&
+               p.maxInstsPerBlock >= p.minInstsPerBlock,
+               "inverted block-count or block-size range");
+    ZBP_ASSERT(isPowerOf2(p.functionAlign), "functionAlign not pow2");
+
+    Rng rng(p.seed);
+    Program prog;
+    prog.functions.resize(p.numFunctions);
+
+    Addr cursor = p.base;
+    for (std::uint32_t fi = 0; fi < p.numFunctions; ++fi) {
+        Function &fn = prog.functions[fi];
+        const auto blocks = static_cast<std::uint32_t>(
+                rng.range(p.minBlocksPerFunction, p.maxBlocksPerFunction));
+        fn.blocks.resize(blocks);
+
+        if (fi != 0 && p.moduleSize != 0 && fi % p.moduleSize == 0)
+            cursor += p.moduleGapBytes;
+        cursor = alignUp(cursor, p.functionAlign);
+
+        // First pass: instruction lengths and layout.
+        for (std::uint32_t bi = 0; bi < blocks; ++bi) {
+            BasicBlock &bb = fn.blocks[bi];
+            bb.start = cursor;
+            const auto insts = static_cast<std::uint32_t>(
+                    rng.range(p.minInstsPerBlock, p.maxInstsPerBlock));
+            bb.lengths.resize(insts);
+            for (auto &len : bb.lengths)
+                len = drawLength(rng);
+            cursor += bb.byteSize();
+        }
+
+        // Second pass: terminators.
+        for (std::uint32_t bi = 0; bi < blocks; ++bi) {
+            Terminator &t = fn.blocks[bi].term;
+            if (bi == blocks - 1) {
+                t.kind = trace::InstKind::kReturn;
+                continue;
+            }
+
+            const double u = rng.uniform();
+            double acc = p.callFraction;
+            const bool can_call = fi + 1 < p.numFunctions;
+            const bool can_loop = bi >= 1;
+            if (u < acc && can_call) {
+                t.kind = trace::InstKind::kCall;
+                // Callee strictly deeper in the function list (DAG), with
+                // strong locality: usually a nearby function.
+                const std::uint64_t lo = fi + 1;
+                const std::uint64_t hi = p.numFunctions - 1;
+                const std::uint64_t near = lo +
+                        rng.below(std::min<std::uint64_t>(hi - lo + 1, 20));
+                t.target = static_cast<std::uint32_t>(
+                        rng.chance(0.65) ? near : rng.range(lo, hi));
+                continue;
+            }
+            acc += p.uncondFraction;
+            if (u < acc) {
+                t.kind = trace::InstKind::kUncondBranch;
+                t.target = pickForward(rng, bi, blocks);
+                continue;
+            }
+            acc += p.indirectFraction;
+            if (u < acc && bi + 2 < blocks) {
+                t.kind = trace::InstKind::kIndirect;
+                const auto fanout = static_cast<std::uint32_t>(
+                        rng.range(2, 6));
+                for (std::uint32_t k = 0; k < fanout; ++k)
+                    t.targets.push_back(pickForward(rng, bi, blocks));
+                continue;
+            }
+            acc += p.loopFraction;
+            if (u < acc && can_loop) {
+                // Loop back a short distance, but never around a call
+                // block: loops enclosing calls multiply the callee work
+                // per iteration and make transaction sizes explode.
+                std::uint32_t tgt = bi - static_cast<std::uint32_t>(
+                        rng.below(std::min<std::uint64_t>(bi, 3) + 1));
+                while (tgt < bi &&
+                       std::any_of(fn.blocks.begin() + tgt,
+                                   fn.blocks.begin() + bi,
+                                   [](const BasicBlock &b) {
+                                       return b.term.kind ==
+                                              trace::InstKind::kCall;
+                                   })) {
+                    ++tgt;
+                }
+                t.kind = trace::InstKind::kCondBranch;
+                t.cond = CondBehavior::kLoop;
+                t.target = tgt;
+                t.loopTrip = static_cast<std::uint16_t>(
+                        rng.range(p.minLoopTrip, p.maxLoopTrip));
+                continue;
+            }
+            makeConditional(rng, p, t);
+            t.target = pickForward(rng, bi, blocks);
+        }
+    }
+    return prog;
+}
+
+} // namespace zbp::workload

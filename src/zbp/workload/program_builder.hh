@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Random-but-deterministic construction of synthetic Programs.
+ *
+ * The builder turns a BuildParams knob set into a Program whose static
+ * structure mimics large commercial codes: thousands of small functions
+ * grouped into modules, short basic blocks, mostly-biased conditionals
+ * with a flaky minority, counted loops, indirect branches with several
+ * targets, and a call DAG (callees always have a higher function index,
+ * so walks terminate and recursion never happens).
+ */
+
+#ifndef ZBP_WORKLOAD_PROGRAM_BUILDER_HH
+#define ZBP_WORKLOAD_PROGRAM_BUILDER_HH
+
+#include <cstdint>
+
+#include "zbp/common/types.hh"
+#include "zbp/workload/cfg.hh"
+
+namespace zbp::workload
+{
+
+/** Static-structure knobs. See DESIGN.md §2 for the rationale. */
+struct BuildParams
+{
+    std::uint64_t seed = 1;
+
+    std::uint32_t numFunctions = 400;
+    std::uint32_t minBlocksPerFunction = 4;
+    std::uint32_t maxBlocksPerFunction = 14;
+    std::uint32_t minInstsPerBlock = 2;
+    std::uint32_t maxInstsPerBlock = 9;
+
+    /** Terminator mix (fractions of non-final blocks; remainder become
+     * plain biased conditionals). */
+    double callFraction = 0.18;
+    double uncondFraction = 0.10;
+    double indirectFraction = 0.04;
+    double loopFraction = 0.08;
+
+    /** Of the biased conditionals: fraction that are hard to predict and
+     * fraction that follow a deterministic periodic pattern. */
+    double flakyFraction = 0.07;
+    double periodicFraction = 0.06;
+
+    /** Loop trip count range. */
+    std::uint16_t minLoopTrip = 2;
+    std::uint16_t maxLoopTrip = 24;
+
+    /** Layout. */
+    Addr base = 0x0000000000100000ull;
+    std::uint32_t functionAlign = 64;
+    /** Functions per module: a module is a contiguous code region, so
+     * this controls how densely 4 KB blocks are populated. */
+    std::uint32_t moduleSize = 24;
+    std::uint32_t moduleGapBytes = 2048;
+};
+
+/** Build a Program from @p p (deterministic in p.seed). */
+Program buildProgram(const BuildParams &p);
+
+} // namespace zbp::workload
+
+#endif // ZBP_WORKLOAD_PROGRAM_BUILDER_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The 13 named large-footprint workloads of the paper's Table 4,
+ * re-created as synthetic suites.
+ *
+ * Each suite pairs a static program recipe (BuildParams) with dynamic
+ * behaviour (GenParams), tuned so the measured unique-branch and
+ * unique-taken-branch footprints land near the counts IBM reported.
+ * Absolute agreement is impossible (the real traces are proprietary);
+ * `bench/table4_footprints` prints paper-vs-measured side by side.
+ */
+
+#ifndef ZBP_WORKLOAD_SUITES_HH
+#define ZBP_WORKLOAD_SUITES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "zbp/trace/trace.hh"
+#include "zbp/workload/generator.hh"
+#include "zbp/workload/program_builder.hh"
+
+namespace zbp::workload
+{
+
+/** One Table 4 row: paper metadata plus the synthetic recipe. */
+struct SuiteSpec
+{
+    std::string name;                  ///< short identifier
+    std::string paperName;             ///< Table 4 trace name
+    std::uint64_t paperUniqueBranches; ///< Table 4 column 2
+    std::uint64_t paperUniqueTaken;    ///< Table 4 column 3
+    BuildParams build;
+    GenParams gen;
+};
+
+/** All 13 suites, in the paper's Table 4 order. */
+const std::vector<SuiteSpec> &paperSuites();
+
+/** Look up a suite by its short name; fatal() when unknown. */
+const SuiteSpec &findSuite(const std::string &name);
+
+/**
+ * Build the program and generate the trace for @p spec.
+ * @param length_scale multiplies the suite's nominal instruction count
+ *        (benches use < 1.0 for quick runs, tests use ~0.1).
+ */
+trace::Trace makeSuiteTrace(const SuiteSpec &spec,
+                            double length_scale = 1.0);
+
+/**
+ * Honour the ZBP_LEN_SCALE environment variable (default 1.0) so every
+ * bench binary can be globally shortened or lengthened.
+ */
+double envLengthScale();
+
+} // namespace zbp::workload
+
+#endif // ZBP_WORKLOAD_SUITES_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Tests for the BTB entry record.
+ */
+
+#include <gtest/gtest.h>
+
+#include "zbp/btb/btb_entry.hh"
+
+namespace zbp::btb
+{
+namespace
+{
+
+TEST(BtbEntry, DefaultInvalid)
+{
+    BtbEntry e;
+    EXPECT_FALSE(e.valid);
+    EXPECT_FALSE(e.phtAllowed);
+    EXPECT_FALSE(e.ctbAllowed);
+}
+
+TEST(BtbEntry, FreshTakenIsWeakTaken)
+{
+    const auto e = BtbEntry::freshTaken(0x1234, 0x5678);
+    EXPECT_TRUE(e.valid);
+    EXPECT_EQ(e.ia, 0x1234u);
+    EXPECT_EQ(e.target, 0x5678u);
+    EXPECT_TRUE(e.dir.taken());
+    EXPECT_FALSE(e.dir.strong());
+    EXPECT_FALSE(e.phtAllowed);
+}
+
+TEST(BtbEntry, ClearResets)
+{
+    auto e = BtbEntry::freshTaken(0x10, 0x20);
+    e.phtAllowed = true;
+    e.clear();
+    EXPECT_FALSE(e.valid);
+    EXPECT_FALSE(e.phtAllowed);
+    EXPECT_EQ(e.ia, 0u);
+}
+
+} // namespace
+} // namespace zbp::btb

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Tests for the generic set-associative BTB: the search primitive used
+ * by the first-level pipeline, the row-read primitive used by BTB2 bulk
+ * transfers, LRU surgery, and tag aliasing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "zbp/btb/set_assoc_btb.hh"
+
+namespace zbp::btb
+{
+namespace
+{
+
+BtbConfig
+tinyConfig()
+{
+    // 8 rows x 2 ways x 32 B rows.
+    return BtbConfig{8, 2, 32, 40};
+}
+
+BtbEntry
+entry(Addr ia, Addr target = 0x9000)
+{
+    return BtbEntry::freshTaken(ia, target);
+}
+
+TEST(SetAssocBtb, PaperGeometries)
+{
+    EXPECT_EQ(btb1Config().entries(), 4096u);
+    EXPECT_EQ(btb1Config().rows, 1024u);
+    EXPECT_EQ(btb1Config().ways, 4u);
+    EXPECT_EQ(btbpConfig().entries(), 768u);
+    EXPECT_EQ(btbpConfig().rows, 128u);
+    EXPECT_EQ(btbpConfig().ways, 6u);
+    EXPECT_EQ(btb2Config().entries(), 24u * 1024u);
+    EXPECT_EQ(btb2Config().rows, 4096u);
+    EXPECT_EQ(btb2Config().ways, 6u);
+}
+
+TEST(SetAssocBtb, InstallAndLookup)
+{
+    SetAssocBtb t("t", tinyConfig());
+    EXPECT_FALSE(t.lookup(0x100).has_value());
+    t.install(entry(0x100));
+    const auto h = t.lookup(0x100);
+    ASSERT_TRUE(h.has_value());
+    EXPECT_EQ(h->entry->ia, 0x100u);
+    EXPECT_EQ(t.validCount(), 1u);
+}
+
+TEST(SetAssocBtb, RowIndexing)
+{
+    SetAssocBtb t("t", tinyConfig());
+    EXPECT_EQ(t.rowOf(0x00), 0u);
+    EXPECT_EQ(t.rowOf(0x1F), 0u);
+    EXPECT_EQ(t.rowOf(0x20), 1u);
+    EXPECT_EQ(t.rowOf(8 * 32), 0u); // wraps
+}
+
+TEST(SetAssocBtb, UpdateInPlaceForSameBranch)
+{
+    SetAssocBtb t("t", tinyConfig());
+    t.install(entry(0x100, 0xAAAA));
+    auto e2 = entry(0x100, 0xBBBB);
+    const auto displaced = t.install(e2);
+    EXPECT_FALSE(displaced.has_value());
+    EXPECT_EQ(t.validCount(), 1u);
+    EXPECT_EQ(t.lookup(0x100)->entry->target, 0xBBBBu);
+}
+
+TEST(SetAssocBtb, LruReplacementReturnsVictim)
+{
+    SetAssocBtb t("t", tinyConfig());
+    // Three branches in different rows' aliases of row 0: stride 256 B.
+    t.install(entry(0x000));
+    t.install(entry(0x100));
+    const auto victim = t.install(entry(0x200));
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->ia, 0x000u);
+    EXPECT_FALSE(t.lookup(0x000).has_value());
+    EXPECT_TRUE(t.lookup(0x100).has_value());
+    EXPECT_TRUE(t.lookup(0x200).has_value());
+}
+
+TEST(SetAssocBtb, TouchProtectsFromReplacement)
+{
+    SetAssocBtb t("t", tinyConfig());
+    t.install(entry(0x000));
+    t.install(entry(0x100));
+    t.touch(0x000);
+    const auto victim = t.install(entry(0x200));
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->ia, 0x100u);
+}
+
+TEST(SetAssocBtb, DemoteMakesEntryTheNextVictim)
+{
+    // Paper §3.3: BTB2 hits are demoted to LRU so subsequent installs
+    // replace them first.
+    SetAssocBtb t("t", tinyConfig());
+    t.install(entry(0x000));
+    t.install(entry(0x100));
+    const auto h = t.lookup(0x100);
+    t.demote(h->row, h->way);
+    const auto victim = t.install(entry(0x200));
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->ia, 0x100u);
+}
+
+TEST(SetAssocBtb, InstallNotMruGoesToLru)
+{
+    SetAssocBtb t("t", tinyConfig());
+    t.install(entry(0x000), /*make_mru=*/false);
+    t.install(entry(0x100));
+    const auto victim = t.install(entry(0x200));
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->ia, 0x000u);
+}
+
+TEST(SetAssocBtb, SearchFromFindsBranchesAtOrAfter)
+{
+    SetAssocBtb t("t", tinyConfig());
+    // Row 0 covers [0x00, 0x20): branches at offsets 0x04 and 0x10.
+    t.install(entry(0x04));
+    t.install(entry(0x10));
+
+    auto hits = t.searchFrom(0x00);
+    ASSERT_EQ(hits.size(), 2u);
+    EXPECT_EQ(hits[0].entry->ia, 0x04u); // ascending order
+    EXPECT_EQ(hits[1].entry->ia, 0x10u);
+
+    hits = t.searchFrom(0x04);
+    ASSERT_EQ(hits.size(), 2u); // at-or-after includes 0x04
+
+    hits = t.searchFrom(0x05);
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].entry->ia, 0x10u);
+
+    hits = t.searchFrom(0x11);
+    EXPECT_TRUE(hits.empty());
+}
+
+TEST(SetAssocBtb, SearchFromIgnoresOtherRowsAndTags)
+{
+    SetAssocBtb t("t", tinyConfig());
+    t.install(entry(0x24));          // row 1
+    t.install(entry(0x04 + 0x100));  // row 0 alias, different tag
+    EXPECT_TRUE(t.searchFrom(0x00).empty());
+    EXPECT_EQ(t.searchFrom(0x20).size(), 1u);
+    EXPECT_EQ(t.searchFrom(0x100).size(), 1u);
+}
+
+TEST(SetAssocBtb, ReadRowReturnsAllTagMatches)
+{
+    SetAssocBtb t("t", tinyConfig());
+    t.install(entry(0x04));
+    t.install(entry(0x10));
+    EXPECT_EQ(t.readRow(0x00).size(), 2u);
+    EXPECT_EQ(t.readRow(0x1F).size(), 2u); // any address in the row
+    EXPECT_TRUE(t.readRow(0x20).empty());
+}
+
+TEST(SetAssocBtb, Invalidate)
+{
+    SetAssocBtb t("t", tinyConfig());
+    t.install(entry(0x40));
+    EXPECT_TRUE(t.invalidate(0x40));
+    EXPECT_FALSE(t.lookup(0x40).has_value());
+    EXPECT_FALSE(t.invalidate(0x40));
+    EXPECT_EQ(t.validCount(), 0u);
+}
+
+TEST(SetAssocBtb, InvalidatedSlotIsReusedFirst)
+{
+    SetAssocBtb t("t", tinyConfig());
+    t.install(entry(0x000));
+    t.install(entry(0x100));
+    t.invalidate(0x000);
+    const auto victim = t.install(entry(0x200));
+    EXPECT_FALSE(victim.has_value()); // took the invalid slot
+    EXPECT_TRUE(t.lookup(0x100).has_value());
+}
+
+TEST(SetAssocBtb, PartialTagsAlias)
+{
+    // With a 1-bit tag, addresses 2 row-spans apart collide.
+    BtbConfig cfg = tinyConfig();
+    cfg.tagBits = 1;
+    SetAssocBtb t("t", cfg);
+    const Addr span = 8 * 32; // rows * rowBytes
+    t.install(entry(0x04));
+    // 0x04 + 2*span has the same row, offset and (1-bit) tag.
+    const auto h = t.lookup(0x04 + 2 * span);
+    ASSERT_TRUE(h.has_value());
+    EXPECT_EQ(h->entry->ia, 0x04u); // the aliased victim's content
+    // ...while one span away differs in the tag bit.
+    EXPECT_FALSE(t.lookup(0x04 + span).has_value());
+}
+
+TEST(SetAssocBtb, MruQuery)
+{
+    SetAssocBtb t("t", tinyConfig());
+    t.install(entry(0x04));
+    const auto h = t.lookup(0x04);
+    EXPECT_TRUE(t.isMru(h->row, h->way));
+    t.install(entry(0x10));
+    EXPECT_FALSE(t.isMru(h->row, h->way));
+}
+
+TEST(SetAssocBtb, TwoBranchesSameRowCoexist)
+{
+    // Branches at different offsets within one 32 B row are distinct
+    // entries even though they share the index and tag.
+    SetAssocBtb t("t", tinyConfig());
+    t.install(entry(0x04, 0x1111));
+    t.install(entry(0x10, 0x2222));
+    EXPECT_EQ(t.lookup(0x04)->entry->target, 0x1111u);
+    EXPECT_EQ(t.lookup(0x10)->entry->target, 0x2222u);
+    EXPECT_EQ(t.validCount(), 2u);
+}
+
+TEST(SetAssocBtb, Reset)
+{
+    SetAssocBtb t("t", tinyConfig());
+    t.install(entry(0x04));
+    t.reset();
+    EXPECT_EQ(t.validCount(), 0u);
+    EXPECT_FALSE(t.lookup(0x04).has_value());
+}
+
+TEST(SetAssocBtbDeathTest, NonPow2RowsRejected)
+{
+    BtbConfig cfg = tinyConfig();
+    cfg.rows = 7;
+    EXPECT_DEATH(SetAssocBtb("t", cfg), "power of two");
+}
+
+} // namespace
+} // namespace zbp::btb

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for the MSB-0 bit-field helpers that translate the paper's
+ * big-endian index specifications.
+ */
+
+#include <gtest/gtest.h>
+
+#include "zbp/common/bitfield.hh"
+
+namespace zbp
+{
+namespace
+{
+
+TEST(Bitfield, MaskBits)
+{
+    EXPECT_EQ(maskBits(0), 0u);
+    EXPECT_EQ(maskBits(1), 1u);
+    EXPECT_EQ(maskBits(5), 0x1Fu);
+    EXPECT_EQ(maskBits(63), 0x7FFF'FFFF'FFFF'FFFFull);
+    EXPECT_EQ(maskBits(64), ~std::uint64_t{0});
+}
+
+TEST(Bitfield, FieldLsb0)
+{
+    EXPECT_EQ(fieldLsb0(0xABCD, 7, 0), 0xCDu);
+    EXPECT_EQ(fieldLsb0(0xABCD, 15, 8), 0xABu);
+    EXPECT_EQ(fieldLsb0(0xFF, 3, 3), 1u);
+}
+
+TEST(Bitfield, Btb1IndexMatchesPaper)
+{
+    // "Instruction address bits 49:58 are used to index into the
+    // array.  Therefore, each row in the BTB1 covers 32 bytes."
+    EXPECT_EQ(fieldMsb0(0x0, 49, 58), 0u);
+    EXPECT_EQ(fieldMsb0(0x1F, 49, 58), 0u);  // same 32-byte row
+    EXPECT_EQ(fieldMsb0(0x20, 49, 58), 1u);  // next row
+    EXPECT_EQ(fieldMsb0(1024ull * 32, 49, 58), 0u); // wraps at 1k rows
+}
+
+TEST(Bitfield, BtbpIndexMatchesPaper)
+{
+    // Bits 52:58 index the BTBP: 128 rows of 32 bytes.
+    EXPECT_EQ(fieldMsb0(0x20, 52, 58), 1u);
+    EXPECT_EQ(fieldMsb0(128ull * 32, 52, 58), 0u);
+    EXPECT_EQ(fieldMsb0(127ull * 32, 52, 58), 127u);
+}
+
+TEST(Bitfield, Btb2IndexMatchesPaper)
+{
+    // Bits 47:58 index the BTB2: 4k rows of 32 bytes.
+    EXPECT_EQ(fieldMsb0(4095ull * 32, 47, 58), 4095u);
+    EXPECT_EQ(fieldMsb0(4096ull * 32, 47, 58), 0u);
+}
+
+TEST(Bitfield, BlockFieldMatchesPaper)
+{
+    // "Each tracker represents one 4 KB block of address space
+    // (instruction address bits 0:51)."
+    EXPECT_EQ(fieldMsb0(0xFFF, 0, 51), 0u);
+    EXPECT_EQ(fieldMsb0(0x1000, 0, 51), 1u);
+    EXPECT_EQ(fieldWidthMsb0(0, 51), 52u);
+}
+
+TEST(Bitfield, PowersOfTwo)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(4096));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_FALSE(isPowerOf2(4097));
+}
+
+TEST(Bitfield, Log2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_EQ(ceilLog2(4096), 12u);
+    EXPECT_EQ(ceilLog2(4097), 13u);
+    EXPECT_EQ(ceilLog2(1), 0u);
+}
+
+TEST(Bitfield, Alignment)
+{
+    EXPECT_EQ(alignDown(0x1234, 32), 0x1220u);
+    EXPECT_EQ(alignUp(0x1234, 32), 0x1240u);
+    EXPECT_EQ(alignDown(0x1240, 32), 0x1240u);
+    EXPECT_EQ(alignUp(0x1240, 32), 0x1240u);
+}
+
+/** Property: for any address, MSB-0 field [49:58] equals (a>>5) % 1024. */
+class BitfieldProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(BitfieldProperty, Msb0AgreesWithShiftMod)
+{
+    const std::uint64_t a = GetParam();
+    EXPECT_EQ(fieldMsb0(a, 49, 58), (a >> 5) % 1024);
+    EXPECT_EQ(fieldMsb0(a, 52, 58), (a >> 5) % 128);
+    EXPECT_EQ(fieldMsb0(a, 47, 58), (a >> 5) % 4096);
+    EXPECT_EQ(fieldMsb0(a, 0, 51), a >> 12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Addresses, BitfieldProperty,
+                         ::testing::Values(0ull, 1ull, 0x20ull, 0x1234ull,
+                                           0xFFFFull, 0x10'0000ull,
+                                           0xDEAD'BEEFull,
+                                           0x1234'5678'9ABC'DEF0ull,
+                                           ~std::uint64_t{0}));
+
+} // namespace
+} // namespace zbp

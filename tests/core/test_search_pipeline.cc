@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Timing tests for the asynchronous lookahead search pipeline,
+ * checking the Table 1 prediction rates and the Table 2 miss
+ * detection behaviour.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "zbp/core/search_pipeline.hh"
+
+namespace zbp::core
+{
+namespace
+{
+
+/** Captures BTB1 miss reports. */
+struct CaptureSink : preload::MissSink
+{
+    struct Report
+    {
+        Addr addr;
+        Cycle at;
+    };
+    std::vector<Report> reports;
+
+    void
+    noteBtb1Miss(Addr miss_addr, Cycle now) override
+    {
+        reports.push_back({miss_addr, now});
+    }
+};
+
+struct Rig
+{
+    Rig() : bp(core::MachineParams{}), pipe(params(), bp, &sink) {}
+
+    static SearchParams
+    params()
+    {
+        return SearchParams{};
+    }
+
+    /** Run until cycle @p end, draining predictions into @p out. */
+    void
+    runTo(Cycle end, std::vector<Prediction> *out = nullptr)
+    {
+        for (; now < end; ++now) {
+            pipe.tick(now);
+            if (out) {
+                while (!pipe.queue().empty()) {
+                    out->push_back(pipe.queue().front());
+                    pipe.queue().pop_front();
+                }
+            }
+        }
+    }
+
+    CaptureSink sink;
+    BranchPredictorHierarchy bp;
+    SearchPipeline pipe;
+    Cycle now = 0;
+};
+
+TEST(SearchPipeline, InactiveUntilRestart)
+{
+    Rig r;
+    r.pipe.halt();
+    r.runTo(20);
+    EXPECT_EQ(r.pipe.searchCount(), 0u);
+}
+
+TEST(SearchPipeline, SequentialSearchRateIs16BytesPerCycle)
+{
+    // Empty tables: 3 back-to-back 32 B searches then 3 dead cycles.
+    Rig r;
+    r.pipe.restart(0x0, 0);
+    r.runTo(60);
+    // 60 cycles at 16 B/cycle average = 30 searches of 32 B.
+    EXPECT_NEAR(static_cast<double>(r.pipe.searchCount()), 30.0, 2.0);
+}
+
+TEST(SearchPipeline, MissReportedAfterFourSearchesAtRunStart)
+{
+    // Table 2 semantics with the hardware's 4-search / 128 B setting:
+    // searches at cycles 0,1,2,6 -> miss reported at the b3 of the 4th
+    // search (cycle 6 + 3) carrying the *starting* search address.
+    Rig r;
+    r.pipe.restart(0x102, 0);
+    r.runTo(12);
+    ASSERT_GE(r.sink.reports.size(), 1u);
+    EXPECT_EQ(r.sink.reports[0].addr, 0x102u);
+    EXPECT_EQ(r.sink.reports[0].at, 9u);
+}
+
+TEST(SearchPipeline, RepeatedMissesReportSubsequentWindows)
+{
+    Rig r;
+    r.pipe.restart(0x0, 0);
+    r.runTo(40);
+    ASSERT_GE(r.sink.reports.size(), 2u);
+    // Second window starts right after the first: 4 rows later.
+    EXPECT_EQ(r.sink.reports[1].addr, 4u * 32u);
+    EXPECT_GT(r.sink.reports[1].at, r.sink.reports[0].at);
+}
+
+TEST(SearchPipeline, TakenPredictionFromMruColumn)
+{
+    Rig r;
+    // Freshly installed entries are MRU.
+    r.bp.btb1().install(btb::BtbEntry::freshTaken(0x10, 0x2000));
+    r.bp.btb1().install(btb::BtbEntry::freshTaken(0x2008, 0x4000));
+    std::vector<Prediction> preds;
+    r.pipe.restart(0x0, 0);
+    r.runTo(12, &preds);
+    ASSERT_GE(preds.size(), 2u);
+    EXPECT_EQ(preds[0].ia, 0x10u);
+    EXPECT_TRUE(preds[0].taken);
+    // Broadcast at b4 for an MRU-column taken prediction.
+    EXPECT_EQ(preds[0].availableAt, 4u);
+    // Re-index at b3: the second search issues at cycle 3, so its
+    // prediction broadcasts at 3 + 4.
+    EXPECT_EQ(preds[1].ia, 0x2008u);
+    EXPECT_EQ(preds[1].availableAt, 7u);
+}
+
+TEST(SearchPipeline, FitAcceleratesSteadyLoop)
+{
+    // Two branches bouncing between each other: after the first lap the
+    // FIT accelerates re-indexing to a 2-cycle cadence.
+    Rig r;
+    r.bp.btb1().install(btb::BtbEntry::freshTaken(0x10, 0x2000));
+    r.bp.btb1().install(btb::BtbEntry::freshTaken(0x2008, 0x10));
+    std::vector<Prediction> preds;
+    r.pipe.restart(0x0, 0);
+    r.runTo(60, &preds);
+    // Warm-up laps at 3 cycles per prediction, then 2 cycles per
+    // prediction: comfortably more than 60/3 predictions.
+    EXPECT_GE(preds.size(), 24u);
+    EXPECT_GT(r.pipe.searchCount(), 24u);
+}
+
+TEST(SearchPipeline, SingleTakenBranchLoopReachesOnePerCycle)
+{
+    // Paper: "This fastest case is a loop consisting of a single taken
+    // branch" -> one prediction per cycle.
+    Rig r;
+    r.bp.btb1().install(btb::BtbEntry::freshTaken(0x10, 0x10));
+    std::vector<Prediction> preds;
+    r.pipe.restart(0x10, 0);
+    r.runTo(50, &preds);
+    EXPECT_GE(preds.size(), 40u);
+}
+
+TEST(SearchPipeline, TwoNotTakenPerRowEveryFiveCycles)
+{
+    Rig r;
+    // Two not-taken branches in one 32 B row.
+    auto a = btb::BtbEntry::freshTaken(0x10, 0x2000);
+    a.dir.set(Bimodal2::kWeakNotTaken);
+    auto b = btb::BtbEntry::freshTaken(0x14, 0x3000);
+    b.dir.set(Bimodal2::kWeakNotTaken);
+    r.bp.btb1().install(a);
+    r.bp.btb1().install(b);
+
+    std::vector<Prediction> preds;
+    r.pipe.restart(0x0, 0);
+    r.runTo(8, &preds);
+    ASSERT_GE(preds.size(), 2u);
+    EXPECT_FALSE(preds[0].taken);
+    EXPECT_FALSE(preds[1].taken);
+    // First NT broadcasts at b5, second at b6 (search issued cycle 0).
+    EXPECT_EQ(preds[0].availableAt, 5u);
+    EXPECT_EQ(preds[1].availableAt, 6u);
+    // "2 predictions every 5 cycles": the pipeline re-searched at +5.
+    EXPECT_GE(r.pipe.searchCount(), 2u);
+}
+
+TEST(SearchPipeline, SingleNotTakenEveryFourCycles)
+{
+    Rig r;
+    auto a = btb::BtbEntry::freshTaken(0x10, 0x2000);
+    a.dir.set(Bimodal2::kWeakNotTaken);
+    r.bp.btb1().install(a);
+    std::vector<Prediction> preds;
+    r.pipe.restart(0x0, 0);
+    r.runTo(6, &preds);
+    ASSERT_GE(preds.size(), 1u);
+    EXPECT_FALSE(preds[0].taken);
+    EXPECT_EQ(preds[0].availableAt, 5u);
+}
+
+TEST(SearchPipeline, QueueCapStallsPipeline)
+{
+    SearchParams sp;
+    sp.maxQueuedPredictions = 4;
+    core::MachineParams mp;
+    BranchPredictorHierarchy bp(mp);
+    CaptureSink sink;
+    SearchPipeline pipe(sp, bp, &sink);
+    bp.btb1().install(btb::BtbEntry::freshTaken(0x10, 0x10)); // hot loop
+    pipe.restart(0x10, 0);
+    for (Cycle c = 0; c < 50; ++c)
+        pipe.tick(c); // nobody drains the queue
+    EXPECT_EQ(pipe.queue().size(), 4u);
+}
+
+TEST(SearchPipeline, RestartFlushesQueue)
+{
+    Rig r;
+    r.bp.btb1().install(btb::BtbEntry::freshTaken(0x10, 0x10));
+    r.pipe.restart(0x10, 0);
+    r.runTo(10);
+    EXPECT_FALSE(r.pipe.queue().empty());
+    r.pipe.restart(0x5000, r.now);
+    EXPECT_TRUE(r.pipe.queue().empty());
+    EXPECT_EQ(r.pipe.searchAddress(), 0x5000u);
+}
+
+TEST(SearchPipeline, NoSinkMeansNoCrashOnMiss)
+{
+    core::MachineParams mp;
+    BranchPredictorHierarchy bp(mp);
+    SearchPipeline pipe(SearchParams{}, bp, nullptr);
+    pipe.restart(0x0, 0);
+    for (Cycle c = 0; c < 30; ++c)
+        pipe.tick(c);
+    EXPECT_GT(pipe.missReportCount(), 0u);
+}
+
+TEST(SearchPipeline, MissLimitIsConfigurable)
+{
+    // Figure 6 sweeps the miss definition; limit 2 must report after
+    // 2 fruitless searches (cycle 1 + 3).
+    SearchParams sp;
+    sp.missSearchLimit = 2;
+    core::MachineParams mp;
+    BranchPredictorHierarchy bp(mp);
+    CaptureSink sink;
+    SearchPipeline pipe(sp, bp, &sink);
+    pipe.restart(0x40, 0);
+    for (Cycle c = 0; c < 8; ++c)
+        pipe.tick(c);
+    ASSERT_GE(sink.reports.size(), 1u);
+    EXPECT_EQ(sink.reports[0].addr, 0x40u);
+    EXPECT_EQ(sink.reports[0].at, 4u);
+}
+
+TEST(SearchPipeline, PredictionRedirectsSearchToTarget)
+{
+    Rig r;
+    r.bp.btb1().install(btb::BtbEntry::freshTaken(0x10, 0x7000));
+    r.pipe.restart(0x0, 0);
+    r.runTo(2);
+    EXPECT_EQ(r.pipe.searchAddress(), 0x7000u);
+}
+
+TEST(SearchPipeline, NotTakenContinuesPastBranch)
+{
+    Rig r;
+    auto a = btb::BtbEntry::freshTaken(0x10, 0x2000);
+    a.dir.set(Bimodal2::kWeakNotTaken);
+    r.bp.btb1().install(a);
+    r.pipe.restart(0x0, 0);
+    r.runTo(2);
+    EXPECT_EQ(r.pipe.searchAddress(), 0x12u);
+}
+
+} // namespace
+} // namespace zbp::core

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Tests for the Figure 4 outcome taxonomy bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "zbp/cpu/outcome.hh"
+
+namespace zbp::cpu
+{
+namespace
+{
+
+TEST(Outcome, BadClassification)
+{
+    EXPECT_FALSE(isBad(Outcome::kCorrect));
+    EXPECT_FALSE(isBad(Outcome::kSurpriseBenign));
+    EXPECT_TRUE(isBad(Outcome::kMispredictDir));
+    EXPECT_TRUE(isBad(Outcome::kMispredictTarget));
+    EXPECT_TRUE(isBad(Outcome::kSurpriseCompulsory));
+    EXPECT_TRUE(isBad(Outcome::kSurpriseLatency));
+    EXPECT_TRUE(isBad(Outcome::kSurpriseCapacity));
+    EXPECT_TRUE(isBad(Outcome::kPhantom));
+}
+
+TEST(OutcomeTracker, SeenBefore)
+{
+    OutcomeTracker t;
+    EXPECT_FALSE(t.seenBefore(0x100));
+    EXPECT_TRUE(t.seenBefore(0x100));
+    EXPECT_FALSE(t.seenBefore(0x104));
+}
+
+TEST(OutcomeTracker, CountsAndFractions)
+{
+    OutcomeTracker t;
+    t.record(Outcome::kCorrect);
+    t.record(Outcome::kCorrect);
+    t.record(Outcome::kMispredictDir);
+    t.record(Outcome::kSurpriseCapacity);
+    EXPECT_EQ(t.totalBranches(), 4u);
+    EXPECT_EQ(t.count(Outcome::kCorrect), 2u);
+    EXPECT_EQ(t.badCount(), 2u);
+    EXPECT_DOUBLE_EQ(t.badFraction(), 0.5);
+    EXPECT_DOUBLE_EQ(t.fraction(Outcome::kMispredictDir), 0.25);
+}
+
+TEST(OutcomeTracker, EmptyFractionIsZero)
+{
+    OutcomeTracker t;
+    EXPECT_DOUBLE_EQ(t.badFraction(), 0.0);
+    EXPECT_DOUBLE_EQ(t.fraction(Outcome::kCorrect), 0.0);
+}
+
+TEST(OutcomeTracker, StatsRegistration)
+{
+    OutcomeTracker t;
+    t.record(Outcome::kSurpriseLatency);
+    stats::Group g("o");
+    t.registerStats(g);
+    EXPECT_DOUBLE_EQ(g.value("surpriseLatency"), 1.0);
+    EXPECT_DOUBLE_EQ(g.value("correct"), 0.0);
+}
+
+} // namespace
+} // namespace zbp::cpu

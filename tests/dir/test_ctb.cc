@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for the Changing Target Buffer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "zbp/dir/ctb.hh"
+
+namespace zbp::dir
+{
+namespace
+{
+
+HistoryState
+pathOf(std::initializer_list<Addr> taken_ias)
+{
+    HistoryState h;
+    for (Addr ia : taken_ias)
+        h.push(ia, true);
+    return h;
+}
+
+TEST(Ctb, MissWhenEmpty)
+{
+    Ctb c(256);
+    EXPECT_FALSE(c.lookup(0x100, pathOf({0x10})).has_value());
+}
+
+TEST(Ctb, StoreAndRetrieve)
+{
+    Ctb c(256);
+    const auto h = pathOf({0x10, 0x20});
+    c.update(0x100, h, 0xAAAA);
+    const auto t = c.lookup(0x100, h);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(*t, 0xAAAAu);
+}
+
+TEST(Ctb, PathSelectsTarget)
+{
+    // The canonical use: a return instruction whose target depends on
+    // the call path leading to it.
+    Ctb c(2048);
+    const auto from_a = pathOf({0x1000, 0x1100});
+    const auto from_b = pathOf({0x2000, 0x2200});
+    c.update(0x500, from_a, 0xA000);
+    c.update(0x500, from_b, 0xB000);
+    ASSERT_TRUE(c.lookup(0x500, from_a).has_value());
+    ASSERT_TRUE(c.lookup(0x500, from_b).has_value());
+    EXPECT_EQ(*c.lookup(0x500, from_a), 0xA000u);
+    EXPECT_EQ(*c.lookup(0x500, from_b), 0xB000u);
+}
+
+TEST(Ctb, UpdateOverwritesSameContext)
+{
+    Ctb c(256);
+    const auto h = pathOf({0x10});
+    c.update(0x100, h, 0x1111);
+    c.update(0x100, h, 0x2222);
+    EXPECT_EQ(*c.lookup(0x100, h), 0x2222u);
+}
+
+TEST(Ctb, TagRejectsOtherBranches)
+{
+    Ctb c(256);
+    const auto h = pathOf({0x10, 0x30});
+    c.update(0x100, h, 0x1234);
+    int false_hits = 0;
+    for (Addr ia = 0x9000; ia < 0x9000 + 64 * 0x20; ia += 0x20)
+        false_hits += c.lookup(ia, h).has_value();
+    EXPECT_LT(false_hits, 4);
+}
+
+TEST(Ctb, DefaultSizeMatchesPaper)
+{
+    Ctb c;
+    EXPECT_EQ(c.size(), 2048u);
+}
+
+TEST(Ctb, ResetForgets)
+{
+    Ctb c(256);
+    const auto h = pathOf({0x10});
+    c.update(0x100, h, 0x1111);
+    c.reset();
+    EXPECT_FALSE(c.lookup(0x100, h).has_value());
+}
+
+} // namespace
+} // namespace zbp::dir

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tests for the combined direction + path history state.
+ */
+
+#include <gtest/gtest.h>
+
+#include "zbp/dir/history.hh"
+
+namespace zbp::dir
+{
+namespace
+{
+
+TEST(HistoryState, DirectionBitsShift)
+{
+    HistoryState h;
+    h.push(0x100, true);
+    h.push(0x104, false);
+    h.push(0x108, true);
+    EXPECT_EQ(h.directionBits() & 0x7, 0b101u);
+}
+
+TEST(HistoryState, OnlyTakenBranchesEnterPath)
+{
+    HistoryState a, b;
+    a.push(0x100, true);
+    b.push(0x100, true);
+    // Not-taken pushes change direction bits but not the path fold.
+    a.push(0x200, false);
+    EXPECT_EQ(a.ctbIndex(11), b.ctbIndex(11));
+    EXPECT_NE(a.phtIndex(12), b.phtIndex(12)); // direction differs
+}
+
+TEST(HistoryState, PhtIndexWithinRange)
+{
+    HistoryState h;
+    for (int i = 0; i < 30; ++i)
+        h.push(0x1000 + 4 * i, i % 3 != 0);
+    EXPECT_LT(h.phtIndex(12), 4096u);
+    EXPECT_LT(h.ctbIndex(11), 2048u);
+}
+
+TEST(HistoryState, PathChangesCtbIndex)
+{
+    HistoryState a, b;
+    a.push(0x1000, true);
+    b.push(0x2000, true);
+    EXPECT_NE(a.ctbIndex(11), b.ctbIndex(11));
+}
+
+TEST(HistoryState, CopyFromResynchronizes)
+{
+    HistoryState spec, arch;
+    arch.push(0x10, true);
+    arch.push(0x20, false);
+    spec.push(0x99, true); // wrong-path speculation
+    spec.copyFrom(arch);
+    EXPECT_EQ(spec.phtIndex(12), arch.phtIndex(12));
+    EXPECT_EQ(spec.ctbIndex(11), arch.ctbIndex(11));
+    EXPECT_EQ(spec.directionBits(), arch.directionBits());
+}
+
+TEST(HistoryState, ClearMatchesFresh)
+{
+    HistoryState h, fresh;
+    h.push(0x1234, true);
+    h.clear();
+    EXPECT_EQ(h.phtIndex(12), fresh.phtIndex(12));
+    EXPECT_EQ(h.ctbIndex(11), fresh.ctbIndex(11));
+}
+
+TEST(HistoryState, DepthsMatchPaper)
+{
+    // 12 previous predicted directions, 6 previous taken IAs for the
+    // PHT; 12 previous taken IAs for the CTB.
+    EXPECT_EQ(HistoryState::kDirDepth, 12u);
+    EXPECT_EQ(HistoryState::kPhtPathDepth, 6u);
+    EXPECT_EQ(HistoryState::kPathDepth, 12u);
+}
+
+} // namespace
+} // namespace zbp::dir

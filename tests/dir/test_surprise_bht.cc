@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Tests for surprise-branch direction guessing (32k x 1-bit tagless BHT
+ * plus static opcode rules).
+ */
+
+#include <gtest/gtest.h>
+
+#include "zbp/dir/surprise_bht.hh"
+
+namespace zbp::dir
+{
+namespace
+{
+
+using trace::InstKind;
+
+TEST(SurpriseBht, UnconditionalKindsGuessTaken)
+{
+    SurpriseBht b(1024);
+    EXPECT_TRUE(b.guessTaken(0x100, InstKind::kUncondBranch));
+    EXPECT_TRUE(b.guessTaken(0x100, InstKind::kCall));
+    EXPECT_TRUE(b.guessTaken(0x100, InstKind::kReturn));
+    EXPECT_TRUE(b.guessTaken(0x100, InstKind::kIndirect));
+}
+
+TEST(SurpriseBht, ConditionalStartsNotTaken)
+{
+    SurpriseBht b(1024);
+    EXPECT_FALSE(b.guessTaken(0x100, InstKind::kCondBranch));
+}
+
+TEST(SurpriseBht, TrainsOnConditionals)
+{
+    SurpriseBht b(1024);
+    b.update(0x100, InstKind::kCondBranch, true);
+    EXPECT_TRUE(b.guessTaken(0x100, InstKind::kCondBranch));
+    b.update(0x100, InstKind::kCondBranch, false);
+    EXPECT_FALSE(b.guessTaken(0x100, InstKind::kCondBranch));
+}
+
+TEST(SurpriseBht, NonConditionalUpdatesIgnored)
+{
+    SurpriseBht b(1024);
+    b.update(0x100, InstKind::kReturn, false);
+    // The conditional alias of the same slot must be untouched.
+    EXPECT_FALSE(b.guessTaken(0x100, InstKind::kCondBranch));
+}
+
+TEST(SurpriseBht, TaglessAliasing)
+{
+    // Entries entries apart alias in the tagless table.
+    SurpriseBht b(64);
+    b.update(0x2, InstKind::kCondBranch, true);
+    // 0x2 and 0x2 + 2*64 hash to the same slot (ia>>1 & 63, low bits).
+    EXPECT_TRUE(b.guessTaken(0x2 + 2 * 64, InstKind::kCondBranch));
+}
+
+TEST(SurpriseBht, ResetClearsTraining)
+{
+    SurpriseBht b(64);
+    b.update(0x8, InstKind::kCondBranch, true);
+    b.reset();
+    EXPECT_FALSE(b.guessTaken(0x8, InstKind::kCondBranch));
+}
+
+TEST(SurpriseBht, DefaultSizeMatchesPaper)
+{
+    SurpriseBht b;
+    EXPECT_EQ(b.size(), 32u * 1024u);
+}
+
+} // namespace
+} // namespace zbp::dir

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the paper's §6 future-work features implemented as options:
+ * eDRAM read cadence, wider BTB2 congruence classes, and multi-block
+ * transfers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "zbp/btb/set_assoc_btb.hh"
+#include "zbp/cache/icache.hh"
+#include "zbp/preload/btb2_engine.hh"
+
+namespace zbp::preload
+{
+namespace
+{
+
+struct Rig
+{
+    explicit Rig(Btb2EngineParams p = Btb2EngineParams{},
+                 btb::BtbConfig btb2_cfg = btb::btb2Config())
+        : btb2("btb2", btb2_cfg),
+          btbp("btbp", btb::btbpConfig()),
+          sot(SotParams{}),
+          icache(cache::ICacheParams{}),
+          engine(p, btb2, btbp, sot, icache)
+    {
+    }
+
+    void
+    tickUntil(Cycle end)
+    {
+        for (; now < end; ++now)
+            engine.tick(now);
+    }
+
+    btb::SetAssocBtb btb2;
+    btb::SetAssocBtb btbp;
+    SectorOrderTable sot;
+    cache::ICache icache;
+    Btb2Engine engine;
+    Cycle now = 0;
+};
+
+TEST(FutureWork, EdramCadenceHalvesReadRate)
+{
+    Btb2EngineParams slow;
+    slow.rowReadInterval = 2;
+    Rig fast, half(slow);
+    for (Rig *r : {&fast, &half}) {
+        r->icache.access(5 << 12, 0);
+        r->engine.noteBtb1Miss(5 << 12, 0);
+        r->tickUntil(60);
+    }
+    EXPECT_GT(fast.engine.rowReads(), 0u);
+    EXPECT_NEAR(static_cast<double>(half.engine.rowReads()),
+                static_cast<double>(fast.engine.rowReads()) / 2.0, 2.0);
+}
+
+TEST(FutureWork, WideCongruenceClassReadsFewerRows)
+{
+    // 128 B rows: a full 4 KB search is 32 row reads instead of 128.
+    btb::BtbConfig wide = btb::btb2Config();
+    wide.rowBytes = 128;
+    wide.rows = 1024; // keep 24k entries: 1024 x 6 x (4 rows worth)
+    Btb2EngineParams p;
+    Rig r(p, wide);
+    r.icache.access(5 << 12, 0);
+    r.engine.noteBtb1Miss(5 << 12, 0);
+    r.tickUntil(400);
+    EXPECT_EQ(r.engine.rowReads(), 32u);
+}
+
+TEST(FutureWork, WideCongruenceClassStillTransfersEverything)
+{
+    btb::BtbConfig wide = btb::btb2Config();
+    wide.rowBytes = 64;
+    Btb2EngineParams p;
+    Rig r(p, wide);
+    for (unsigned i = 0; i < 12; ++i)
+        r.btb2.install(btb::BtbEntry::freshTaken(
+                (5 << 12) + 0x10 + i * 128, 0x9000));
+    r.icache.access(5 << 12, 0);
+    r.engine.noteBtb1Miss(5 << 12, 0);
+    r.tickUntil(400);
+    EXPECT_EQ(r.engine.rowReads(), 64u);
+    EXPECT_EQ(r.engine.hitsTransferred(), 12u);
+}
+
+TEST(FutureWorkDeathTest, SillyCongruenceClassRejected)
+{
+    btb::BtbConfig bad = btb::btb2Config();
+    bad.rowBytes = 256;
+    Btb2EngineParams p;
+    EXPECT_DEATH(Rig r(p, bad), "congruence class");
+}
+
+TEST(FutureWork, MultiBlockChainsTheReferencedBlock)
+{
+    Btb2EngineParams p;
+    p.multiBlockTransfer = true;
+    Rig r(p);
+    // Block 5 holds several branches that all target block 9; block 9
+    // holds content worth transferring.
+    for (unsigned i = 0; i < 4; ++i)
+        r.btb2.install(btb::BtbEntry::freshTaken(
+                (5 << 12) + 0x10 + i * 200, (9 << 12) + 0x40 + i * 8));
+    for (unsigned i = 0; i < 3; ++i)
+        r.btb2.install(btb::BtbEntry::freshTaken(
+                (9 << 12) + 0x10 + i * 300, 0x9000));
+
+    r.icache.access(5 << 12, 0);
+    r.engine.noteBtb1Miss(5 << 12, 0);
+    r.tickUntil(600);
+    // Both blocks transferred: 4 + 3 branches.
+    EXPECT_EQ(r.engine.hitsTransferred(), 7u);
+    EXPECT_EQ(r.engine.rowReads(), 256u);
+}
+
+TEST(FutureWork, MultiBlockChainDepthBounded)
+{
+    // Block 5 -> block 6 -> block 7 ... with maxChainedBlocks = 1 the
+    // chain must stop after block 6.
+    Btb2EngineParams p;
+    p.multiBlockTransfer = true;
+    p.maxChainedBlocks = 1;
+    Rig r(p);
+    for (Addr blk : {5u, 6u, 7u}) {
+        for (unsigned i = 0; i < 3; ++i)
+            r.btb2.install(btb::BtbEntry::freshTaken(
+                    (blk << 12) + 0x10 + i * 100,
+                    ((blk + 1) << 12) + 0x20 + i * 8));
+    }
+    r.icache.access(5 << 12, 0);
+    r.engine.noteBtb1Miss(5 << 12, 0);
+    r.tickUntil(800);
+    EXPECT_EQ(r.engine.hitsTransferred(), 6u); // blocks 5 and 6 only
+    EXPECT_EQ(r.engine.rowReads(), 256u);
+}
+
+TEST(FutureWork, MultiBlockOffByDefault)
+{
+    Btb2EngineParams p;
+    EXPECT_FALSE(p.multiBlockTransfer);
+    Rig r(p);
+    for (unsigned i = 0; i < 4; ++i)
+        r.btb2.install(btb::BtbEntry::freshTaken(
+                (5 << 12) + 0x10 + i * 200, (9 << 12) + 0x40));
+    for (unsigned i = 0; i < 3; ++i)
+        r.btb2.install(btb::BtbEntry::freshTaken(
+                (9 << 12) + 0x10 + i * 300, 0x9000));
+    r.icache.access(5 << 12, 0);
+    r.engine.noteBtb1Miss(5 << 12, 0);
+    r.tickUntil(600);
+    EXPECT_EQ(r.engine.hitsTransferred(), 4u); // block 5 only
+}
+
+} // namespace
+} // namespace zbp::preload

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests for the Sector Order Table: geometry helpers, completion-time
+ * tracking, the four-priority steering order, and table management.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "zbp/preload/sector_order_table.hh"
+
+namespace zbp::preload
+{
+namespace
+{
+
+TEST(SotGeometry, SectorAndQuartileMath)
+{
+    // 32 sectors of 128 B in a 4 KB block, four 1 KB quartiles.
+    EXPECT_EQ(kSectorsPerBlock, 32u);
+    EXPECT_EQ(kSectorsPerQuartile, 8u);
+    EXPECT_EQ(sectorOf(0x0000), 0u);
+    EXPECT_EQ(sectorOf(0x007F), 0u);
+    EXPECT_EQ(sectorOf(0x0080), 1u);
+    EXPECT_EQ(sectorOf(0x0FFF), 31u);
+    EXPECT_EQ(sectorOf(0x1000), 0u); // next block wraps
+    EXPECT_EQ(quartileOf(0x0000), 0u);
+    EXPECT_EQ(quartileOf(0x03FF), 0u);
+    EXPECT_EQ(quartileOf(0x0400), 1u);
+    EXPECT_EQ(quartileOf(0x0FFF), 3u);
+    EXPECT_EQ(blockOf(0x1234), 1u);
+}
+
+SotParams
+params(bool enabled = true)
+{
+    SotParams p;
+    p.entries = 32;
+    p.ways = 2;
+    p.enabled = enabled;
+    return p;
+}
+
+/** Feed one instruction completion per address. */
+void
+complete(SectorOrderTable &sot, std::initializer_list<Addr> ias)
+{
+    for (Addr ia : ias)
+        sot.instructionCompleted(ia);
+}
+
+TEST(Sot, SequentialOrderOnMiss)
+{
+    SectorOrderTable sot(params());
+    // Nothing tracked for block 5: sequential from the demand quartile.
+    const auto o = sot.order(0x5000 + 0x400); // quartile 1
+    EXPECT_FALSE(o.fromTableHit);
+    EXPECT_EQ(o.activeCount, 0u);
+    EXPECT_EQ(o.sectors[0], 8u);  // quartile 1 starts at sector 8
+    EXPECT_EQ(o.sectors[23], 31u);
+    EXPECT_EQ(o.sectors[24], 0u); // wraps to quartile 0
+}
+
+TEST(Sot, TracksSectorsOfCurrentBlock)
+{
+    SectorOrderTable sot(params());
+    complete(sot, {0x1000, 0x1080, 0x1400});
+    // Live tracking is merged into order() for the current block.
+    const auto o = sot.order(0x1000);
+    EXPECT_TRUE(o.fromTableHit);
+    EXPECT_EQ(o.activeCount, 3u);
+}
+
+TEST(Sot, ActiveDemandQuartileSectorsFirst)
+{
+    SectorOrderTable sot(params());
+    // Enter block 2 at quartile 0; execute sectors 1 (q0), 9 (q1) and
+    // 30 (q3); q1 and q3 get referenced from q0.
+    complete(sot, {0x2080, 0x2480, 0x2F00});
+    // Leave the block so the pattern is written back.
+    complete(sot, {0x9000});
+
+    // Demand at quartile 0: active q0 sector first, then referenced
+    // quartiles' active sectors, then the rest.
+    const auto o = sot.order(0x2000);
+    ASSERT_TRUE(o.fromTableHit);
+    EXPECT_EQ(o.activeCount, 3u);
+    EXPECT_EQ(o.sectors[0], 1u);
+    EXPECT_EQ(o.sectors[1], 9u);
+    EXPECT_EQ(o.sectors[2], 30u);
+}
+
+TEST(Sot, UnreferencedQuartileComesAfterReferenced)
+{
+    SectorOrderTable sot(params());
+    // Enter block at q1, execute q1 sector 9 and q3 sector 25; q3 is
+    // referenced from q1.  Also mark q0 sector 2 on a *separate* visit
+    // entered at q0 (so q0 is not referenced from q1).
+    complete(sot, {0x3480, 0x3C80});   // visit 1: enter q1, touch q3
+    complete(sot, {0x9000});           // leave
+    complete(sot, {0x3100});           // visit 2: enter q0
+    complete(sot, {0x9000});           // leave
+
+    const auto o = sot.order(0x3480); // demand quartile 1
+    ASSERT_TRUE(o.fromTableHit);
+    ASSERT_EQ(o.activeCount, 3u);
+    EXPECT_EQ(o.sectors[0], 9u);  // demand quartile active
+    EXPECT_EQ(o.sectors[1], 25u); // referenced quartile active
+    EXPECT_EQ(o.sectors[2], 2u);  // other quartile active
+}
+
+TEST(Sot, InactivePassRepeatsPriorityOrder)
+{
+    SectorOrderTable sot(params());
+    complete(sot, {0x4000});  // only sector 0 active, demand q0
+    complete(sot, {0x9000});
+
+    const auto o = sot.order(0x4000);
+    ASSERT_TRUE(o.fromTableHit);
+    EXPECT_EQ(o.activeCount, 1u);
+    EXPECT_EQ(o.sectors[0], 0u);
+    // Inactive pass: rest of q0 first.
+    EXPECT_EQ(o.sectors[1], 1u);
+    EXPECT_EQ(o.sectors[8], 8u);
+    // All 32 sectors exactly once.
+    std::array<int, 32> seen{};
+    for (auto s : o.sectors)
+        ++seen[s];
+    EXPECT_TRUE(std::all_of(seen.begin(), seen.end(),
+                            [](int n) { return n == 1; }));
+}
+
+TEST(Sot, ReturningToABlockExtendsItsPattern)
+{
+    SectorOrderTable sot(params());
+    complete(sot, {0x5000});
+    complete(sot, {0x9000});
+    complete(sot, {0x5800}); // revisit, new sector (16)
+    complete(sot, {0x9000});
+
+    const auto o = sot.order(0x5000);
+    ASSERT_TRUE(o.fromTableHit);
+    EXPECT_EQ(o.activeCount, 2u);
+}
+
+TEST(Sot, TwoWayLruEviction)
+{
+    SotParams p = params(); // 16 sets x 2 ways
+    SectorOrderTable sot(p);
+    // Three blocks mapping to the same set (stride = 16 blocks).
+    const Addr b0 = 0x0000, b1 = Addr{16} << 12, b2 = Addr{32} << 12;
+    complete(sot, {b0});
+    complete(sot, {b1});
+    complete(sot, {b2});
+    complete(sot, {0x9000}); // flush the working pattern of b2
+    EXPECT_EQ(sot.probe(b0), nullptr); // evicted as LRU
+    EXPECT_NE(sot.probe(b1), nullptr);
+    EXPECT_NE(sot.probe(b2), nullptr);
+}
+
+TEST(Sot, DisabledAlwaysSequential)
+{
+    SectorOrderTable sot(params(false));
+    complete(sot, {0x6000, 0x6080});
+    const auto o = sot.order(0x6000);
+    EXPECT_FALSE(o.fromTableHit);
+    EXPECT_EQ(o.sectors[0], 0u);
+    EXPECT_EQ(o.sectors[1], 1u);
+}
+
+TEST(Sot, ResetForgets)
+{
+    SectorOrderTable sot(params());
+    complete(sot, {0x7000});
+    complete(sot, {0x9000});
+    sot.reset();
+    EXPECT_EQ(sot.probe(0x7000), nullptr);
+    EXPECT_FALSE(sot.order(0x7000).fromTableHit);
+}
+
+TEST(Sot, PaperGeometryDefaults)
+{
+    // 512 entries, 2-way, covering a 2 MB footprint.
+    SotParams p;
+    EXPECT_EQ(p.entries, 512u);
+    EXPECT_EQ(p.ways, 2u);
+    EXPECT_EQ(p.entries * 4096ull, 2ull * 1024 * 1024);
+}
+
+} // namespace
+} // namespace zbp::preload

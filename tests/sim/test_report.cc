@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for the CSV/JSON experiment reporters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "zbp/sim/report.hh"
+
+namespace zbp::sim
+{
+namespace
+{
+
+cpu::SimResult
+sample()
+{
+    cpu::SimResult r;
+    r.traceName = "demo";
+    r.cpi = 1.25;
+    r.cycles = 1000;
+    r.instructions = 800;
+    r.branches = 100;
+    r.correct = 90;
+    r.surpriseCapacity = 5;
+    r.btb2Transfers = 42;
+    return r;
+}
+
+TEST(Report, CsvHeaderAndRowAgreeOnColumnCount)
+{
+    const auto header = resultCsvHeader();
+    const auto row = resultCsvRow("x", sample());
+    const auto count = [](const std::string &s) {
+        std::size_t n = 1;
+        for (char c : s)
+            n += c == ',';
+        return n;
+    };
+    EXPECT_EQ(count(header), count(row));
+}
+
+TEST(Report, CsvRowContainsValues)
+{
+    const auto row = resultCsvRow("lbl", sample());
+    EXPECT_EQ(row.rfind("\"lbl\",", 0), 0u);
+    EXPECT_NE(row.find(",1000,"), std::string::npos); // cycles
+    EXPECT_NE(row.find(",42"), std::string::npos);    // transfers
+}
+
+TEST(Report, CsvBatchHasHeaderPlusRows)
+{
+    std::vector<cpu::SimResult> rs = {sample(), sample()};
+    const auto csv = resultsToCsv(rs);
+    std::size_t lines = 0;
+    for (char c : csv)
+        lines += c == '\n';
+    EXPECT_EQ(lines, 3u);
+    EXPECT_EQ(csv.rfind("label,cpi", 0), 0u);
+}
+
+TEST(Report, JsonIsWellFormedEnough)
+{
+    const auto j = resultToJson(sample());
+    EXPECT_EQ(j.front(), '{');
+    EXPECT_EQ(j.back(), '}');
+    EXPECT_NE(j.find("\"trace\":\"demo\""), std::string::npos);
+    EXPECT_NE(j.find("\"cpi\":1.25"), std::string::npos);
+    EXPECT_NE(j.find("\"btb2Transfers\":42"), std::string::npos);
+}
+
+TEST(Report, JsonArray)
+{
+    std::vector<cpu::SimResult> rs = {sample(), sample()};
+    const auto j = resultsToJson(rs);
+    EXPECT_EQ(j.front(), '[');
+    EXPECT_EQ(j.back(), ']');
+    EXPECT_NE(j.find("},{"), std::string::npos);
+}
+
+TEST(Report, LabelsAreEscaped)
+{
+    const auto row = resultCsvRow("a\"b", sample());
+    EXPECT_NE(row.find("a\\\"b"), std::string::npos);
+}
+
+} // namespace
+} // namespace zbp::sim

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests for counters, histograms and stat groups.
+ */
+
+#include <gtest/gtest.h>
+
+#include "zbp/stats/stats.hh"
+
+namespace zbp::stats
+{
+namespace
+{
+
+TEST(Counter, IncrementAndAdd)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 41;
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(4, 10); // buckets [0,10) [10,20) [20,30) [30,40) + ovf
+    h.sample(0);
+    h.sample(9);
+    h.sample(10);
+    h.sample(35);
+    h.sample(40);  // overflow
+    h.sample(999); // overflow
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(2), 0u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.samples(), 6u);
+}
+
+TEST(Histogram, Mean)
+{
+    Histogram h(4, 10);
+    h.sample(10);
+    h.sample(20);
+    EXPECT_DOUBLE_EQ(h.mean(), 15.0);
+    h.reset();
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.samples(), 0u);
+}
+
+TEST(Group, RegisterAndRead)
+{
+    Counter c;
+    Group g("unit");
+    g.add("hits", c, "hit count");
+    g.addDerived("twice", [&c] { return 2.0 * c.value(); });
+    c += 3;
+    EXPECT_DOUBLE_EQ(g.value("hits"), 3.0);
+    EXPECT_DOUBLE_EQ(g.value("twice"), 6.0);
+    EXPECT_TRUE(g.has("hits"));
+    EXPECT_FALSE(g.has("misses"));
+}
+
+TEST(Group, DumpFormat)
+{
+    Counter c;
+    c += 7;
+    Group g("grp");
+    g.add("x", c, "a thing");
+    std::string out;
+    g.dump(out);
+    EXPECT_NE(out.find("grp.x"), std::string::npos);
+    EXPECT_NE(out.find("7"), std::string::npos);
+    EXPECT_NE(out.find("a thing"), std::string::npos);
+}
+
+TEST(GroupDeathTest, MissingStatPanics)
+{
+    Group g("grp");
+    EXPECT_DEATH((void)g.value("nope"), "not found");
+}
+
+} // namespace
+} // namespace zbp::stats

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Tests for the ASCII table writer the benches print results with.
+ */
+
+#include <gtest/gtest.h>
+
+#include "zbp/stats/table.hh"
+
+namespace zbp::stats
+{
+namespace
+{
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t("demo");
+    t.setHeader({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"beta", "22"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("== demo =="), std::string::npos);
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAligned)
+{
+    TextTable t("align");
+    t.setHeader({"a", "b"});
+    t.addRow({"xxxxxx", "1"});
+    t.addRow({"y", "2"});
+    const std::string out = t.render();
+    // "1" and "2" must start at the same column.
+    const auto l1 = out.find("xxxxxx");
+    const auto l2 = out.find("y", l1);
+    const auto c1 = out.find('1', l1) - out.rfind('\n', out.find('1', l1));
+    const auto c2 = out.find('2', l2) - out.rfind('\n', out.find('2', l2));
+    EXPECT_EQ(c1, c2);
+}
+
+TEST(TextTable, Notes)
+{
+    TextTable t("n");
+    t.addNote("hello world");
+    EXPECT_NE(t.render().find("note: hello world"), std::string::npos);
+}
+
+TEST(TextTable, NumberFormatting)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+    EXPECT_EQ(TextTable::pct(12.345, 1), "12.3%");
+}
+
+TEST(TextTableDeathTest, RowWidthMismatch)
+{
+    TextTable t("bad");
+    t.setHeader({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row width mismatch");
+}
+
+TEST(TextTable, NoHeaderAllowsAnyWidth)
+{
+    TextTable t("free");
+    t.addRow({"a"});
+    t.addRow({"b", "c", "d"});
+    EXPECT_NE(t.render().find("d"), std::string::npos);
+}
+
+} // namespace
+} // namespace zbp::stats

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Round-trip and corruption tests for the binary trace format.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "zbp/trace/trace_io.hh"
+
+namespace zbp::trace
+{
+namespace
+{
+
+Trace
+sampleTrace()
+{
+    Trace t("sample");
+    Instruction a;
+    a.ia = 0x1000;
+    a.length = 4;
+    t.push(a);
+    Instruction b;
+    b.ia = 0x1004;
+    b.length = 2;
+    b.kind = InstKind::kCondBranch;
+    b.taken = true;
+    b.target = 0x2000;
+    t.push(b);
+    Instruction c;
+    c.ia = 0x2000;
+    c.length = 6;
+    c.kind = InstKind::kReturn;
+    c.taken = true;
+    c.target = 0x1006;
+    t.push(c);
+    return t;
+}
+
+TEST(TraceIo, RoundTrip)
+{
+    const Trace t = sampleTrace();
+    std::stringstream ss;
+    ASSERT_TRUE(writeTrace(t, ss));
+
+    Trace back;
+    ASSERT_TRUE(readTrace(ss, back));
+    EXPECT_EQ(back.name(), "sample");
+    ASSERT_EQ(back.size(), t.size());
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(back[i], t[i]) << "record " << i;
+}
+
+TEST(TraceIo, RoundTripEmptyTrace)
+{
+    Trace t("nothing");
+    std::stringstream ss;
+    ASSERT_TRUE(writeTrace(t, ss));
+    Trace back;
+    ASSERT_TRUE(readTrace(ss, back));
+    EXPECT_EQ(back.size(), 0u);
+    EXPECT_EQ(back.name(), "nothing");
+}
+
+TEST(TraceIo, BadMagicRejected)
+{
+    std::stringstream ss;
+    ASSERT_TRUE(writeTrace(sampleTrace(), ss));
+    std::string bytes = ss.str();
+    bytes[0] = 'X';
+    std::stringstream bad(bytes);
+    Trace back;
+    EXPECT_FALSE(readTrace(bad, back));
+}
+
+TEST(TraceIo, BadVersionRejected)
+{
+    std::stringstream ss;
+    ASSERT_TRUE(writeTrace(sampleTrace(), ss));
+    std::string bytes = ss.str();
+    bytes[4] = static_cast<char>(kTraceVersion + 1);
+    std::stringstream bad(bytes);
+    Trace back;
+    EXPECT_FALSE(readTrace(bad, back));
+}
+
+TEST(TraceIo, TruncationRejected)
+{
+    std::stringstream ss;
+    ASSERT_TRUE(writeTrace(sampleTrace(), ss));
+    const std::string bytes = ss.str();
+    std::stringstream bad(bytes.substr(0, bytes.size() - 5));
+    Trace back;
+    EXPECT_FALSE(readTrace(bad, back));
+}
+
+TEST(TraceIo, GarbageKindRejected)
+{
+    // Corrupt the kind byte of the first record (header is 24 B + name;
+    // record layout: ia(8) target(8) dataAddr(8) length(1) kind(1)...).
+    std::stringstream ss;
+    ASSERT_TRUE(writeTrace(sampleTrace(), ss));
+    std::string bytes = ss.str();
+    const std::size_t rec0 = 24 + std::string("sample").size();
+    bytes[rec0 + 25] = 0x7F;
+    std::stringstream bad(bytes);
+    Trace back;
+    EXPECT_FALSE(readTrace(bad, back));
+}
+
+TEST(TraceIo, FileRoundTrip)
+{
+    const std::string path = ::testing::TempDir() + "/zbp_trace_io.zbpt";
+    ASSERT_TRUE(saveTraceFile(sampleTrace(), path));
+    Trace back;
+    ASSERT_TRUE(loadTraceFile(path, back));
+    EXPECT_EQ(back.size(), 3u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileFails)
+{
+    Trace back;
+    EXPECT_FALSE(loadTraceFile("/nonexistent/dir/x.zbpt", back));
+}
+
+} // namespace
+} // namespace zbp::trace

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the N-bit saturating counters (the per-BTB-entry 2-bit
+ * bimodal state).
+ */
+
+#include <gtest/gtest.h>
+
+#include "zbp/util/saturating_counter.hh"
+
+namespace zbp
+{
+namespace
+{
+
+TEST(SaturatingCounter, DefaultIsWeakNotTaken)
+{
+    Bimodal2 c;
+    EXPECT_FALSE(c.taken());
+    EXPECT_EQ(c.raw(), Bimodal2::kWeakNotTaken);
+    EXPECT_FALSE(c.strong());
+}
+
+TEST(SaturatingCounter, TwoBitTransitions)
+{
+    Bimodal2 c;
+    c.set(Bimodal2::kWeakTaken); // 2
+    EXPECT_TRUE(c.taken());
+    c.update(true); // 3
+    EXPECT_TRUE(c.taken());
+    EXPECT_TRUE(c.strong());
+    c.update(true); // saturate at 3
+    EXPECT_EQ(c.raw(), 3);
+    c.update(false); // 2
+    EXPECT_TRUE(c.taken());
+    c.update(false); // 1
+    EXPECT_FALSE(c.taken());
+    c.update(false); // 0
+    EXPECT_TRUE(c.strong());
+    c.update(false); // saturate at 0
+    EXPECT_EQ(c.raw(), 0);
+}
+
+TEST(SaturatingCounter, HysteresisNeedsTwoFlips)
+{
+    // A strongly-taken counter survives one not-taken outcome.
+    Bimodal2 c;
+    c.set(3);
+    c.update(false);
+    EXPECT_TRUE(c.taken());
+    c.update(false);
+    EXPECT_FALSE(c.taken());
+}
+
+TEST(SaturatingCounter, OneBitBehavesLikeLastOutcome)
+{
+    SaturatingCounter<1> c;
+    EXPECT_FALSE(c.taken());
+    c.update(true);
+    EXPECT_TRUE(c.taken());
+    c.update(false);
+    EXPECT_FALSE(c.taken());
+}
+
+TEST(SaturatingCounter, ThreeBitRange)
+{
+    SaturatingCounter<3> c;
+    EXPECT_EQ(SaturatingCounter<3>::kMax, 7);
+    EXPECT_EQ(SaturatingCounter<3>::kWeakTaken, 4);
+    for (int i = 0; i < 10; ++i)
+        c.update(true);
+    EXPECT_EQ(c.raw(), 7);
+    for (int i = 0; i < 10; ++i)
+        c.update(false);
+    EXPECT_EQ(c.raw(), 0);
+}
+
+TEST(SaturatingCounter, Equality)
+{
+    Bimodal2 a, b;
+    EXPECT_EQ(a, b);
+    a.update(true);
+    EXPECT_FALSE(a == b);
+}
+
+/** Property over widths: kMax updates in one direction saturate. */
+template <typename T>
+class CounterWidth : public ::testing::Test
+{
+};
+
+using Widths = ::testing::Types<SaturatingCounter<1>, SaturatingCounter<2>,
+                                SaturatingCounter<4>, SaturatingCounter<8>>;
+TYPED_TEST_SUITE(CounterWidth, Widths);
+
+TYPED_TEST(CounterWidth, SaturatesBothRails)
+{
+    TypeParam c;
+    for (unsigned i = 0; i <= TypeParam::kMax + 2u; ++i)
+        c.update(true);
+    EXPECT_EQ(c.raw(), TypeParam::kMax);
+    EXPECT_TRUE(c.taken());
+    for (unsigned i = 0; i <= TypeParam::kMax + 2u; ++i)
+        c.update(false);
+    EXPECT_EQ(c.raw(), 0);
+    EXPECT_FALSE(c.taken());
+}
+
+TYPED_TEST(CounterWidth, TakenThresholdIsMidpoint)
+{
+    TypeParam c;
+    c.set(TypeParam::kWeakTaken);
+    EXPECT_TRUE(c.taken());
+    if (TypeParam::kWeakTaken > 0) {
+        c.set(TypeParam::kWeakTaken - 1);
+        EXPECT_FALSE(c.taken());
+    }
+}
+
+} // namespace
+} // namespace zbp

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the direction/path history registers feeding the PHT/CTB.
+ */
+
+#include <gtest/gtest.h>
+
+#include "zbp/util/shift_history.hh"
+
+namespace zbp
+{
+namespace
+{
+
+TEST(DirectionHistory, ShiftsAndMasks)
+{
+    DirectionHistory h(4);
+    h.push(true);
+    EXPECT_EQ(h.value(), 0b1u);
+    h.push(false);
+    EXPECT_EQ(h.value(), 0b10u);
+    h.push(true);
+    h.push(true);
+    EXPECT_EQ(h.value(), 0b1011u);
+    h.push(true); // oldest bit falls off
+    EXPECT_EQ(h.value(), 0b0111u);
+}
+
+TEST(DirectionHistory, ClearAndSet)
+{
+    DirectionHistory h(8);
+    h.set(0xFFFF);
+    EXPECT_EQ(h.value(), 0xFFu);
+    h.clear();
+    EXPECT_EQ(h.value(), 0u);
+}
+
+TEST(PathHistory, FoldDependsOnContent)
+{
+    PathHistory a(12), b(12);
+    a.push(0x1000);
+    b.push(0x2000);
+    EXPECT_NE(a.fold(1, 12), b.fold(1, 12));
+}
+
+TEST(PathHistory, FoldDependsOnOrder)
+{
+    // Path sensitivity: {A then B} must hash differently from
+    // {B then A}.
+    PathHistory a(12), b(12);
+    a.push(0x1000);
+    a.push(0x2000);
+    b.push(0x2000);
+    b.push(0x1000);
+    EXPECT_NE(a.fold(2, 12), b.fold(2, 12));
+}
+
+TEST(PathHistory, FoldPrefixUsesRecentEntries)
+{
+    // fold(k) looks only at the k most recent entries, so two histories
+    // differing only in older entries agree on a shallow fold.
+    PathHistory a(12), b(12);
+    a.push(0xAAAA);
+    b.push(0xBBBB);
+    for (int i = 0; i < 6; ++i) {
+        a.push(0x100ull * (i + 1));
+        b.push(0x100ull * (i + 1));
+    }
+    EXPECT_EQ(a.fold(6, 12), b.fold(6, 12));
+    EXPECT_NE(a.fold(12, 12), b.fold(12, 12));
+}
+
+TEST(PathHistory, FoldWidth)
+{
+    PathHistory h(12);
+    for (int i = 0; i < 12; ++i)
+        h.push(0x12345ull * (i + 3));
+    for (unsigned bits : {1u, 5u, 10u, 12u, 32u})
+        EXPECT_LT(h.fold(12, bits), std::uint64_t{1} << bits);
+}
+
+TEST(PathHistory, SnapshotRestore)
+{
+    PathHistory h(12);
+    h.push(0x111);
+    h.push(0x222);
+    const auto snap = h.snapshot();
+    const auto before = h.fold(2, 12);
+    h.push(0x333);
+    EXPECT_NE(h.fold(2, 12), before);
+    h.restore(snap);
+    EXPECT_EQ(h.fold(2, 12), before);
+}
+
+TEST(PathHistory, ClearZeroes)
+{
+    PathHistory h(12);
+    h.push(0xDEAD);
+    h.clear();
+    PathHistory fresh(12);
+    EXPECT_EQ(h.fold(12, 12), fresh.fold(12, 12));
+}
+
+TEST(PathHistory, RingWrapsAtDepth)
+{
+    PathHistory h(4);
+    for (Addr a = 1; a <= 4; ++a)
+        h.push(a * 0x10);
+    const auto four = h.fold(4, 12);
+    // Push four more of the same values: the ring content is identical.
+    for (Addr a = 1; a <= 4; ++a)
+        h.push(a * 0x10);
+    EXPECT_EQ(h.fold(4, 12), four);
+}
+
+} // namespace
+} // namespace zbp

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Tests for the trace walker: control-flow consistency (the key
+ * property — every trace the generator emits must be replayable),
+ * dispatcher structure, call/return pairing, and determinism.
+ */
+
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "zbp/workload/generator.hh"
+#include "zbp/workload/program_builder.hh"
+
+namespace zbp::workload
+{
+namespace
+{
+
+Program
+smallProgram(std::uint64_t seed)
+{
+    BuildParams p;
+    p.seed = seed;
+    p.numFunctions = 80;
+    return buildProgram(p);
+}
+
+GenParams
+smallGen(std::uint64_t seed, std::uint64_t len = 40'000)
+{
+    GenParams g;
+    g.seed = seed;
+    g.length = len;
+    g.numRoots = 20;
+    g.hotRoots = 8;
+    g.phaseLength = 10'000;
+    return g;
+}
+
+TEST(Generator, ProducesRequestedLength)
+{
+    const Program p = smallProgram(1);
+    const auto t = generateTrace(p, smallGen(2), "t");
+    EXPECT_GE(t.size(), 40'000u);
+    EXPECT_LT(t.size(), 40'064u); // stops promptly after the budget
+}
+
+TEST(Generator, Deterministic)
+{
+    const Program p = smallProgram(1);
+    const auto a = generateTrace(p, smallGen(2), "a");
+    const auto b = generateTrace(p, smallGen(2), "b");
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a[i], b[i]) << "at " << i;
+}
+
+TEST(Generator, SeedChangesTrace)
+{
+    const Program p = smallProgram(1);
+    const auto a = generateTrace(p, smallGen(2), "a");
+    const auto b = generateTrace(p, smallGen(3), "b");
+    bool differs = a.size() != b.size();
+    for (std::size_t i = 0; !differs && i < a.size(); ++i)
+        differs = !(a[i] == b[i]);
+    EXPECT_TRUE(differs);
+}
+
+/** The central property: control-flow consistency over many seeds. */
+class GeneratorConsistency
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(GeneratorConsistency, TraceIsReplayable)
+{
+    const Program p = smallProgram(GetParam() * 7 + 1);
+    const auto t = generateTrace(p, smallGen(GetParam()), "t");
+    EXPECT_TRUE(t.consistent())
+            << "discontinuity at " << t.firstDiscontinuity();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorConsistency,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+TEST(Generator, DispatcherLoopStructure)
+{
+    const Program p = smallProgram(1);
+    GenParams g = smallGen(5);
+    const auto t = generateTrace(p, g, "t");
+
+    // The trace starts in the dispatcher: plain inst then a call.
+    EXPECT_EQ(t[0].ia, g.dispatcherBase);
+    EXPECT_EQ(t[0].kind, trace::InstKind::kNonBranch);
+    EXPECT_EQ(t[1].ia, g.dispatcherBase + 4);
+    EXPECT_EQ(t[1].kind, trace::InstKind::kCall);
+    EXPECT_TRUE(t[1].taken);
+
+    // Every dispatcher call's transaction eventually returns to d+8.
+    std::uint64_t dispatch_calls = 0, dispatch_returns = 0;
+    for (const auto &i : t) {
+        if (i.ia == g.dispatcherBase + 4 && i.kind == trace::InstKind::kCall)
+            ++dispatch_calls;
+        if (i.branch() && i.taken && i.target == g.dispatcherBase + 8)
+            ++dispatch_returns;
+    }
+    EXPECT_GT(dispatch_calls, 1u);
+    EXPECT_GE(dispatch_calls, dispatch_returns);
+    EXPECT_LE(dispatch_calls - dispatch_returns, 1u); // last may be cut
+}
+
+TEST(Generator, CallsAndReturnsBalance)
+{
+    const Program p = smallProgram(2);
+    const auto t = generateTrace(p, smallGen(4), "t");
+    std::int64_t depth = 0;
+    std::int64_t min_depth = 0;
+    for (const auto &i : t) {
+        if (i.kind == trace::InstKind::kCall &&
+            i.target != i.fallThrough()) {
+            ++depth; // degenerate fallthrough-calls don't push a frame
+        } else if (i.kind == trace::InstKind::kReturn) {
+            --depth;
+        }
+        min_depth = std::min(min_depth, depth);
+    }
+    EXPECT_GE(min_depth, 0) << "a return without a matching call";
+}
+
+TEST(Generator, ReturnsTargetTheirCallSiteFallThrough)
+{
+    const Program p = smallProgram(3);
+    const auto t = generateTrace(p, smallGen(6), "t");
+    std::vector<Addr> stack;
+    for (const auto &i : t) {
+        if (i.kind == trace::InstKind::kCall &&
+            i.target != i.fallThrough()) {
+            stack.push_back(i.fallThrough());
+        } else if (i.kind == trace::InstKind::kReturn) {
+            ASSERT_FALSE(stack.empty());
+            EXPECT_EQ(i.target, stack.back());
+            stack.pop_back();
+        }
+    }
+}
+
+TEST(Generator, LoopSitesIterateTheirTripCount)
+{
+    // Find a loop site in the program and verify the dynamic trace
+    // takes it trip-1 times per entry.
+    BuildParams bp;
+    bp.seed = 11;
+    bp.numFunctions = 40;
+    bp.loopFraction = 0.5; // loop-heavy so we surely get one
+    const Program p = buildProgram(bp);
+
+    const auto t = generateTrace(p, smallGen(8, 20'000), "t");
+    // For every loop site: consecutive executions form runs of
+    // (trip-1) taken followed by one not-taken.
+    std::unordered_map<Addr, std::uint16_t> site_trip;
+    for (const auto &fn : p.functions)
+        for (const auto &bb : fn.blocks)
+            if (bb.term.kind == trace::InstKind::kCondBranch &&
+                bb.term.cond == CondBehavior::kLoop)
+                site_trip[bb.termIa()] = bb.term.loopTrip;
+    ASSERT_FALSE(site_trip.empty());
+
+    std::unordered_map<Addr, std::uint32_t> run;
+    for (const auto &i : t) {
+        auto it = site_trip.find(i.ia);
+        if (it == site_trip.end() || i.kind != trace::InstKind::kCondBranch)
+            continue;
+        if (i.taken) {
+            ++run[i.ia];
+            ASSERT_LT(run[i.ia], it->second) << "overran trip count";
+        } else {
+            run[i.ia] = 0;
+        }
+    }
+}
+
+TEST(Generator, TransactionBudgetBoundsCallDepth)
+{
+    const Program p = smallProgram(4);
+    GenParams g = smallGen(9, 60'000);
+    g.maxTransactionInsts = 500;
+    const auto t = generateTrace(p, g, "t");
+    EXPECT_TRUE(t.consistent());
+    // The budget is a soft cap (in-flight loops and frames drain
+    // normally), but it must still break the walk into transactions.
+    std::uint64_t calls = 0;
+    for (const auto &i : t)
+        if (i.ia == g.dispatcherBase + 4)
+            ++calls;
+    EXPECT_GT(calls, 10u);
+}
+
+TEST(Generator, PhaseRotationShiftsHotRoots)
+{
+    const Program p = smallProgram(5);
+    GenParams g = smallGen(10, 30'000);
+    g.phaseLength = 10'000;
+    g.phaseStride = 4;
+    const auto t = generateTrace(p, g, "t");
+
+    // Collect the transaction roots called from the dispatcher in the
+    // first and last phase; rotation should change the set.
+    std::vector<Addr> first, last;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].ia != g.dispatcherBase + 4)
+            continue;
+        if (i < 10'000)
+            first.push_back(t[i].target);
+        else if (i > 20'000)
+            last.push_back(t[i].target);
+    }
+    ASSERT_FALSE(first.empty());
+    ASSERT_FALSE(last.empty());
+    bool fresh_root = false;
+    for (Addr r : last)
+        if (std::find(first.begin(), first.end(), r) == first.end())
+            fresh_root = true;
+    EXPECT_TRUE(fresh_root);
+}
+
+} // namespace
+} // namespace zbp::workload

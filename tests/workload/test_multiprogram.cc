@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the time-sliced multiprogramming combinator (the Figure 3
+ * multi-core proxy).
+ */
+
+#include <gtest/gtest.h>
+
+#include "zbp/workload/generator.hh"
+#include "zbp/workload/multiprogram.hh"
+#include "zbp/workload/program_builder.hh"
+
+namespace zbp::workload
+{
+namespace
+{
+
+trace::Trace
+threadTrace(std::uint64_t seed, Addr base, std::uint64_t len)
+{
+    BuildParams b;
+    b.seed = seed;
+    b.numFunctions = 40;
+    b.base = base;
+    const auto prog = buildProgram(b);
+    GenParams g;
+    g.seed = seed + 1;
+    g.length = len;
+    g.dispatcherBase = base - 0x10000;
+    return generateTrace(prog, g, "thr" + std::to_string(seed));
+}
+
+TEST(Multiprogram, ResultIsConsistent)
+{
+    std::vector<trace::Trace> th;
+    for (unsigned i = 0; i < 3; ++i)
+        th.push_back(threadTrace(i + 1, 0x100000ull * (i + 1) + 0x20000,
+                                 9'000));
+    const auto out = multiprogram(th, 2'000, "mix");
+    EXPECT_TRUE(out.consistent())
+            << "discontinuity at " << out.firstDiscontinuity();
+}
+
+TEST(Multiprogram, AllInstructionsPreservedInOrder)
+{
+    std::vector<trace::Trace> th;
+    th.push_back(threadTrace(1, 0x120000, 5'000));
+    th.push_back(threadTrace(2, 0x720000, 5'000));
+    const auto out = multiprogram(th, 1'000, "mix");
+
+    // Per-thread subsequences must match the originals exactly.
+    std::vector<std::size_t> pos(2, 0);
+    std::uint64_t glue = 0;
+    for (const auto &inst : out) {
+        bool matched = false;
+        for (unsigned k = 0; k < 2; ++k) {
+            if (pos[k] < th[k].size() && inst == th[k][pos[k]]) {
+                ++pos[k];
+                matched = true;
+                break;
+            }
+        }
+        if (!matched)
+            ++glue; // dispatcher glue branches
+    }
+    EXPECT_EQ(pos[0], th[0].size());
+    EXPECT_EQ(pos[1], th[1].size());
+    // ~one glue branch per quantum switch.
+    EXPECT_GE(glue, 8u);
+    EXPECT_LE(glue, 12u);
+}
+
+TEST(Multiprogram, GlueBranchesAreTakenIndirects)
+{
+    std::vector<trace::Trace> th;
+    th.push_back(threadTrace(1, 0x120000, 3'000));
+    th.push_back(threadTrace(2, 0x720000, 3'000));
+    const auto out = multiprogram(th, 500, "mix");
+    std::uint64_t glue = 0;
+    for (std::size_t i = 0; i + 1 < out.size(); ++i) {
+        // A switch is visible as a jump between the disjoint address
+        // spaces.
+        const bool in_a = out[i].ia < 0x400000;
+        const bool next_a = out[i + 1].ia < 0x400000;
+        if (in_a != next_a) {
+            EXPECT_EQ(out[i].kind, trace::InstKind::kIndirect);
+            EXPECT_TRUE(out[i].taken);
+            ++glue;
+        }
+    }
+    EXPECT_GT(glue, 4u);
+}
+
+TEST(Multiprogram, SingleThreadPassesThrough)
+{
+    std::vector<trace::Trace> th;
+    th.push_back(threadTrace(5, 0x120000, 4'000));
+    const auto out = multiprogram(th, 1'000, "solo");
+    ASSERT_EQ(out.size(), th[0].size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], th[0][i]);
+}
+
+TEST(Multiprogram, UnevenThreadLengthsDrain)
+{
+    std::vector<trace::Trace> th;
+    th.push_back(threadTrace(1, 0x120000, 1'000));
+    th.push_back(threadTrace(2, 0x720000, 6'000));
+    const auto out = multiprogram(th, 800, "mix");
+    EXPECT_TRUE(out.consistent());
+    EXPECT_GE(out.size(), th[0].size() + th[1].size());
+}
+
+TEST(MultiprogramDeathTest, NoThreadsRejected)
+{
+    std::vector<trace::Trace> none;
+    EXPECT_DEATH((void)multiprogram(none, 100, "x"), "no threads");
+}
+
+} // namespace
+} // namespace zbp::workload

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Structural tests for the synthetic program builder: layout
+ * contiguity, call-DAG discipline, loop safety, determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "zbp/workload/program_builder.hh"
+
+namespace zbp::workload
+{
+namespace
+{
+
+BuildParams
+smallParams(std::uint64_t seed)
+{
+    BuildParams p;
+    p.seed = seed;
+    p.numFunctions = 60;
+    return p;
+}
+
+TEST(ProgramBuilder, DeterministicForSeed)
+{
+    const Program a = buildProgram(smallParams(5));
+    const Program b = buildProgram(smallParams(5));
+    ASSERT_EQ(a.functions.size(), b.functions.size());
+    for (std::size_t f = 0; f < a.functions.size(); ++f) {
+        ASSERT_EQ(a.functions[f].blocks.size(),
+                  b.functions[f].blocks.size());
+        for (std::size_t bl = 0; bl < a.functions[f].blocks.size(); ++bl) {
+            EXPECT_EQ(a.functions[f].blocks[bl].start,
+                      b.functions[f].blocks[bl].start);
+            EXPECT_EQ(a.functions[f].blocks[bl].term.kind,
+                      b.functions[f].blocks[bl].term.kind);
+        }
+    }
+}
+
+TEST(ProgramBuilder, SeedsChangeStructure)
+{
+    const Program a = buildProgram(smallParams(1));
+    const Program b = buildProgram(smallParams(2));
+    bool differs = a.functions.size() != b.functions.size();
+    for (std::size_t f = 0; !differs && f < a.functions.size(); ++f)
+        differs = a.functions[f].blocks.size() != b.functions[f].blocks.size();
+    EXPECT_TRUE(differs || a.staticBranchSites() != b.staticBranchSites());
+}
+
+class BuilderInvariants : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    void SetUp() override { prog = buildProgram(smallParams(GetParam())); }
+    Program prog;
+};
+
+TEST_P(BuilderInvariants, BlocksAreContiguousWithinFunction)
+{
+    for (const auto &fn : prog.functions) {
+        for (std::size_t b = 1; b < fn.blocks.size(); ++b)
+            EXPECT_EQ(fn.blocks[b].start, fn.blocks[b - 1].endIa());
+    }
+}
+
+TEST_P(BuilderInvariants, FunctionsDoNotOverlap)
+{
+    for (std::size_t f = 1; f < prog.functions.size(); ++f) {
+        EXPECT_GE(prog.functions[f].entry(),
+                  prog.functions[f - 1].blocks.back().endIa());
+    }
+}
+
+TEST_P(BuilderInvariants, LastBlockIsReturn)
+{
+    for (const auto &fn : prog.functions)
+        EXPECT_EQ(fn.blocks.back().term.kind, trace::InstKind::kReturn);
+}
+
+TEST_P(BuilderInvariants, CallsFormADag)
+{
+    for (std::size_t f = 0; f < prog.functions.size(); ++f) {
+        for (const auto &bb : prog.functions[f].blocks) {
+            if (bb.term.kind == trace::InstKind::kCall) {
+                EXPECT_GT(bb.term.target, f);
+                EXPECT_LT(bb.term.target, prog.functions.size());
+            }
+        }
+    }
+}
+
+TEST_P(BuilderInvariants, ForwardTargetsAreForward)
+{
+    for (const auto &fn : prog.functions) {
+        for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+            const auto &t = fn.blocks[b].term;
+            if (t.kind == trace::InstKind::kUncondBranch ||
+                (t.kind == trace::InstKind::kCondBranch &&
+                 t.cond != CondBehavior::kLoop)) {
+                EXPECT_GT(t.target, b);
+                EXPECT_LT(t.target, fn.blocks.size());
+            }
+            if (t.kind == trace::InstKind::kIndirect) {
+                for (auto tgt : t.targets) {
+                    EXPECT_GT(tgt, b);
+                    EXPECT_LT(tgt, fn.blocks.size());
+                }
+            }
+        }
+    }
+}
+
+TEST_P(BuilderInvariants, LoopsNeverEncloseCalls)
+{
+    // Loops around call blocks multiply callee work per iteration and
+    // blow up transaction sizes; the builder must avoid them.
+    for (const auto &fn : prog.functions) {
+        for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+            const auto &t = fn.blocks[b].term;
+            if (t.kind != trace::InstKind::kCondBranch ||
+                t.cond != CondBehavior::kLoop) {
+                continue;
+            }
+            EXPECT_LE(t.target, b);
+            for (std::size_t j = t.target; j < b; ++j) {
+                EXPECT_NE(fn.blocks[j].term.kind, trace::InstKind::kCall)
+                        << "loop at block " << b << " wraps a call";
+            }
+        }
+    }
+}
+
+TEST_P(BuilderInvariants, InstructionLengthsAreZLike)
+{
+    for (const auto &fn : prog.functions)
+        for (const auto &bb : fn.blocks)
+            for (auto len : bb.lengths)
+                EXPECT_TRUE(len == 2 || len == 4 || len == 6);
+}
+
+TEST_P(BuilderInvariants, LoopTripsWithinConfiguredRange)
+{
+    const BuildParams p = smallParams(GetParam());
+    for (const auto &fn : prog.functions) {
+        for (const auto &bb : fn.blocks) {
+            if (bb.term.kind == trace::InstKind::kCondBranch &&
+                bb.term.cond == CondBehavior::kLoop) {
+                EXPECT_GE(bb.term.loopTrip, p.minLoopTrip);
+                EXPECT_LE(bb.term.loopTrip, p.maxLoopTrip);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BuilderInvariants,
+                         ::testing::Values(1ull, 2ull, 3ull, 17ull, 99ull,
+                                           12345ull));
+
+TEST(ProgramBuilder, StaticBranchSiteCount)
+{
+    const Program p = buildProgram(smallParams(3));
+    std::uint64_t expected = 0;
+    for (const auto &fn : p.functions)
+        for (const auto &bb : fn.blocks)
+            if (bb.term.valid())
+                ++expected;
+    EXPECT_EQ(p.staticBranchSites(), expected);
+    EXPECT_GT(expected, 0u);
+}
+
+TEST(ProgramBuilder, ModuleGapsCreateLayoutClusters)
+{
+    BuildParams p = smallParams(4);
+    p.moduleSize = 10;
+    p.moduleGapBytes = 4096;
+    const Program prog = buildProgram(p);
+    const Addr end9 = prog.functions[9].blocks.back().endIa();
+    const Addr start10 = prog.functions[10].entry();
+    EXPECT_GE(start10 - end9, 4096u);
+}
+
+} // namespace
+} // namespace zbp::workload
