@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_cpi.dir/fig2_cpi.cc.o"
+  "CMakeFiles/fig2_cpi.dir/fig2_cpi.cc.o.d"
+  "fig2_cpi"
+  "fig2_cpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_cpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

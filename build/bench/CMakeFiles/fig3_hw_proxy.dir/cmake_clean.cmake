@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_hw_proxy.dir/fig3_hw_proxy.cc.o"
+  "CMakeFiles/fig3_hw_proxy.dir/fig3_hw_proxy.cc.o.d"
+  "fig3_hw_proxy"
+  "fig3_hw_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_hw_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_bad_branches.dir/fig4_bad_branches.cc.o"
+  "CMakeFiles/fig4_bad_branches.dir/fig4_bad_branches.cc.o.d"
+  "fig4_bad_branches"
+  "fig4_bad_branches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_bad_branches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

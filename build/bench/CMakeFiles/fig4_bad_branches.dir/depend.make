@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_bad_branches.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_miss_definition.dir/fig6_miss_definition.cc.o"
+  "CMakeFiles/fig6_miss_definition.dir/fig6_miss_definition.cc.o.d"
+  "fig6_miss_definition"
+  "fig6_miss_definition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_miss_definition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_trackers.dir/fig7_trackers.cc.o"
+  "CMakeFiles/fig7_trackers.dir/fig7_trackers.cc.o.d"
+  "fig7_trackers"
+  "fig7_trackers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_trackers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_pipeline.dir/table1_pipeline.cc.o"
+  "CMakeFiles/table1_pipeline.dir/table1_pipeline.cc.o.d"
+  "table1_pipeline"
+  "table1_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_footprints.dir/table4_footprints.cc.o"
+  "CMakeFiles/table4_footprints.dir/table4_footprints.cc.o.d"
+  "table4_footprints"
+  "table4_footprints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_footprints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

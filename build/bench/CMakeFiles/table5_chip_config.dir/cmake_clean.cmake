@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_chip_config.dir/table5_chip_config.cc.o"
+  "CMakeFiles/table5_chip_config.dir/table5_chip_config.cc.o.d"
+  "table5_chip_config"
+  "table5_chip_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_chip_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_study.dir/capacity_study.cpp.o"
+  "CMakeFiles/capacity_study.dir/capacity_study.cpp.o.d"
+  "capacity_study"
+  "capacity_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preload_hints.dir/preload_hints.cpp.o"
+  "CMakeFiles/preload_hints.dir/preload_hints.cpp.o.d"
+  "preload_hints"
+  "preload_hints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preload_hints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

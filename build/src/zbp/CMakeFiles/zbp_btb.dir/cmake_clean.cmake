@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zbp_btb.dir/btb/set_assoc_btb.cc.o"
+  "CMakeFiles/zbp_btb.dir/btb/set_assoc_btb.cc.o.d"
+  "libzbp_btb.a"
+  "libzbp_btb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zbp_btb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

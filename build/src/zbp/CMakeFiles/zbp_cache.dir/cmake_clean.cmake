@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zbp_cache.dir/cache/icache.cc.o"
+  "CMakeFiles/zbp_cache.dir/cache/icache.cc.o.d"
+  "libzbp_cache.a"
+  "libzbp_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zbp_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zbp_core.dir/core/hierarchy.cc.o"
+  "CMakeFiles/zbp_core.dir/core/hierarchy.cc.o.d"
+  "CMakeFiles/zbp_core.dir/core/search_pipeline.cc.o"
+  "CMakeFiles/zbp_core.dir/core/search_pipeline.cc.o.d"
+  "libzbp_core.a"
+  "libzbp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zbp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zbp_cpu.dir/cpu/core_model.cc.o"
+  "CMakeFiles/zbp_cpu.dir/cpu/core_model.cc.o.d"
+  "libzbp_cpu.a"
+  "libzbp_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zbp_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zbp/preload/btb2_engine.cc" "src/zbp/CMakeFiles/zbp_preload.dir/preload/btb2_engine.cc.o" "gcc" "src/zbp/CMakeFiles/zbp_preload.dir/preload/btb2_engine.cc.o.d"
+  "/root/repo/src/zbp/preload/sector_order_table.cc" "src/zbp/CMakeFiles/zbp_preload.dir/preload/sector_order_table.cc.o" "gcc" "src/zbp/CMakeFiles/zbp_preload.dir/preload/sector_order_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/zbp/CMakeFiles/zbp_btb.dir/DependInfo.cmake"
+  "/root/repo/build/src/zbp/CMakeFiles/zbp_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zbp_preload.dir/preload/btb2_engine.cc.o"
+  "CMakeFiles/zbp_preload.dir/preload/btb2_engine.cc.o.d"
+  "CMakeFiles/zbp_preload.dir/preload/sector_order_table.cc.o"
+  "CMakeFiles/zbp_preload.dir/preload/sector_order_table.cc.o.d"
+  "libzbp_preload.a"
+  "libzbp_preload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zbp_preload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zbp/sim/configs.cc" "src/zbp/CMakeFiles/zbp_sim.dir/sim/configs.cc.o" "gcc" "src/zbp/CMakeFiles/zbp_sim.dir/sim/configs.cc.o.d"
+  "/root/repo/src/zbp/sim/machine_config.cc" "src/zbp/CMakeFiles/zbp_sim.dir/sim/machine_config.cc.o" "gcc" "src/zbp/CMakeFiles/zbp_sim.dir/sim/machine_config.cc.o.d"
+  "/root/repo/src/zbp/sim/report.cc" "src/zbp/CMakeFiles/zbp_sim.dir/sim/report.cc.o" "gcc" "src/zbp/CMakeFiles/zbp_sim.dir/sim/report.cc.o.d"
+  "/root/repo/src/zbp/sim/simulator.cc" "src/zbp/CMakeFiles/zbp_sim.dir/sim/simulator.cc.o" "gcc" "src/zbp/CMakeFiles/zbp_sim.dir/sim/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/zbp/CMakeFiles/zbp_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/zbp/CMakeFiles/zbp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/zbp/CMakeFiles/zbp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/zbp/CMakeFiles/zbp_preload.dir/DependInfo.cmake"
+  "/root/repo/build/src/zbp/CMakeFiles/zbp_btb.dir/DependInfo.cmake"
+  "/root/repo/build/src/zbp/CMakeFiles/zbp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/zbp/CMakeFiles/zbp_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zbp_sim.dir/sim/configs.cc.o"
+  "CMakeFiles/zbp_sim.dir/sim/configs.cc.o.d"
+  "CMakeFiles/zbp_sim.dir/sim/machine_config.cc.o"
+  "CMakeFiles/zbp_sim.dir/sim/machine_config.cc.o.d"
+  "CMakeFiles/zbp_sim.dir/sim/report.cc.o"
+  "CMakeFiles/zbp_sim.dir/sim/report.cc.o.d"
+  "CMakeFiles/zbp_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/zbp_sim.dir/sim/simulator.cc.o.d"
+  "libzbp_sim.a"
+  "libzbp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zbp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zbp_trace.dir/trace/trace_io.cc.o"
+  "CMakeFiles/zbp_trace.dir/trace/trace_io.cc.o.d"
+  "CMakeFiles/zbp_trace.dir/trace/trace_stats.cc.o"
+  "CMakeFiles/zbp_trace.dir/trace/trace_stats.cc.o.d"
+  "libzbp_trace.a"
+  "libzbp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zbp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libzbp_trace.a"
+)

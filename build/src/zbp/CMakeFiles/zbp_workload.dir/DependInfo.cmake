@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zbp/workload/generator.cc" "src/zbp/CMakeFiles/zbp_workload.dir/workload/generator.cc.o" "gcc" "src/zbp/CMakeFiles/zbp_workload.dir/workload/generator.cc.o.d"
+  "/root/repo/src/zbp/workload/multiprogram.cc" "src/zbp/CMakeFiles/zbp_workload.dir/workload/multiprogram.cc.o" "gcc" "src/zbp/CMakeFiles/zbp_workload.dir/workload/multiprogram.cc.o.d"
+  "/root/repo/src/zbp/workload/program_builder.cc" "src/zbp/CMakeFiles/zbp_workload.dir/workload/program_builder.cc.o" "gcc" "src/zbp/CMakeFiles/zbp_workload.dir/workload/program_builder.cc.o.d"
+  "/root/repo/src/zbp/workload/suites.cc" "src/zbp/CMakeFiles/zbp_workload.dir/workload/suites.cc.o" "gcc" "src/zbp/CMakeFiles/zbp_workload.dir/workload/suites.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/zbp/CMakeFiles/zbp_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zbp_workload.dir/workload/generator.cc.o"
+  "CMakeFiles/zbp_workload.dir/workload/generator.cc.o.d"
+  "CMakeFiles/zbp_workload.dir/workload/multiprogram.cc.o"
+  "CMakeFiles/zbp_workload.dir/workload/multiprogram.cc.o.d"
+  "CMakeFiles/zbp_workload.dir/workload/program_builder.cc.o"
+  "CMakeFiles/zbp_workload.dir/workload/program_builder.cc.o.d"
+  "CMakeFiles/zbp_workload.dir/workload/suites.cc.o"
+  "CMakeFiles/zbp_workload.dir/workload/suites.cc.o.d"
+  "libzbp_workload.a"
+  "libzbp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zbp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

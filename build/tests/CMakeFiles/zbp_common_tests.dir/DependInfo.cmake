@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_bitfield.cc" "tests/CMakeFiles/zbp_common_tests.dir/common/test_bitfield.cc.o" "gcc" "tests/CMakeFiles/zbp_common_tests.dir/common/test_bitfield.cc.o.d"
+  "/root/repo/tests/common/test_rng.cc" "tests/CMakeFiles/zbp_common_tests.dir/common/test_rng.cc.o" "gcc" "tests/CMakeFiles/zbp_common_tests.dir/common/test_rng.cc.o.d"
+  "/root/repo/tests/stats/test_stats.cc" "tests/CMakeFiles/zbp_common_tests.dir/stats/test_stats.cc.o" "gcc" "tests/CMakeFiles/zbp_common_tests.dir/stats/test_stats.cc.o.d"
+  "/root/repo/tests/stats/test_table.cc" "tests/CMakeFiles/zbp_common_tests.dir/stats/test_table.cc.o" "gcc" "tests/CMakeFiles/zbp_common_tests.dir/stats/test_table.cc.o.d"
+  "/root/repo/tests/util/test_lru.cc" "tests/CMakeFiles/zbp_common_tests.dir/util/test_lru.cc.o" "gcc" "tests/CMakeFiles/zbp_common_tests.dir/util/test_lru.cc.o.d"
+  "/root/repo/tests/util/test_saturating_counter.cc" "tests/CMakeFiles/zbp_common_tests.dir/util/test_saturating_counter.cc.o" "gcc" "tests/CMakeFiles/zbp_common_tests.dir/util/test_saturating_counter.cc.o.d"
+  "/root/repo/tests/util/test_shift_history.cc" "tests/CMakeFiles/zbp_common_tests.dir/util/test_shift_history.cc.o" "gcc" "tests/CMakeFiles/zbp_common_tests.dir/util/test_shift_history.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/zbp/CMakeFiles/zbp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/zbp/CMakeFiles/zbp_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/zbp/CMakeFiles/zbp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/zbp/CMakeFiles/zbp_preload.dir/DependInfo.cmake"
+  "/root/repo/build/src/zbp/CMakeFiles/zbp_btb.dir/DependInfo.cmake"
+  "/root/repo/build/src/zbp/CMakeFiles/zbp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/zbp/CMakeFiles/zbp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/zbp/CMakeFiles/zbp_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zbp_common_tests.dir/common/test_bitfield.cc.o"
+  "CMakeFiles/zbp_common_tests.dir/common/test_bitfield.cc.o.d"
+  "CMakeFiles/zbp_common_tests.dir/common/test_rng.cc.o"
+  "CMakeFiles/zbp_common_tests.dir/common/test_rng.cc.o.d"
+  "CMakeFiles/zbp_common_tests.dir/stats/test_stats.cc.o"
+  "CMakeFiles/zbp_common_tests.dir/stats/test_stats.cc.o.d"
+  "CMakeFiles/zbp_common_tests.dir/stats/test_table.cc.o"
+  "CMakeFiles/zbp_common_tests.dir/stats/test_table.cc.o.d"
+  "CMakeFiles/zbp_common_tests.dir/util/test_lru.cc.o"
+  "CMakeFiles/zbp_common_tests.dir/util/test_lru.cc.o.d"
+  "CMakeFiles/zbp_common_tests.dir/util/test_saturating_counter.cc.o"
+  "CMakeFiles/zbp_common_tests.dir/util/test_saturating_counter.cc.o.d"
+  "CMakeFiles/zbp_common_tests.dir/util/test_shift_history.cc.o"
+  "CMakeFiles/zbp_common_tests.dir/util/test_shift_history.cc.o.d"
+  "zbp_common_tests"
+  "zbp_common_tests.pdb"
+  "zbp_common_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zbp_common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

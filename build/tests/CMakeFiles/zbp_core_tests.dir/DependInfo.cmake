@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_fit.cc" "tests/CMakeFiles/zbp_core_tests.dir/core/test_fit.cc.o" "gcc" "tests/CMakeFiles/zbp_core_tests.dir/core/test_fit.cc.o.d"
+  "/root/repo/tests/core/test_hierarchy.cc" "tests/CMakeFiles/zbp_core_tests.dir/core/test_hierarchy.cc.o" "gcc" "tests/CMakeFiles/zbp_core_tests.dir/core/test_hierarchy.cc.o.d"
+  "/root/repo/tests/core/test_pipeline_fuzz.cc" "tests/CMakeFiles/zbp_core_tests.dir/core/test_pipeline_fuzz.cc.o" "gcc" "tests/CMakeFiles/zbp_core_tests.dir/core/test_pipeline_fuzz.cc.o.d"
+  "/root/repo/tests/core/test_search_pipeline.cc" "tests/CMakeFiles/zbp_core_tests.dir/core/test_search_pipeline.cc.o" "gcc" "tests/CMakeFiles/zbp_core_tests.dir/core/test_search_pipeline.cc.o.d"
+  "/root/repo/tests/cpu/test_core_model.cc" "tests/CMakeFiles/zbp_core_tests.dir/cpu/test_core_model.cc.o" "gcc" "tests/CMakeFiles/zbp_core_tests.dir/cpu/test_core_model.cc.o.d"
+  "/root/repo/tests/cpu/test_fetch_behavior.cc" "tests/CMakeFiles/zbp_core_tests.dir/cpu/test_fetch_behavior.cc.o" "gcc" "tests/CMakeFiles/zbp_core_tests.dir/cpu/test_fetch_behavior.cc.o.d"
+  "/root/repo/tests/cpu/test_outcome.cc" "tests/CMakeFiles/zbp_core_tests.dir/cpu/test_outcome.cc.o" "gcc" "tests/CMakeFiles/zbp_core_tests.dir/cpu/test_outcome.cc.o.d"
+  "/root/repo/tests/integration/test_end_to_end.cc" "tests/CMakeFiles/zbp_core_tests.dir/integration/test_end_to_end.cc.o" "gcc" "tests/CMakeFiles/zbp_core_tests.dir/integration/test_end_to_end.cc.o.d"
+  "/root/repo/tests/integration/test_regression.cc" "tests/CMakeFiles/zbp_core_tests.dir/integration/test_regression.cc.o" "gcc" "tests/CMakeFiles/zbp_core_tests.dir/integration/test_regression.cc.o.d"
+  "/root/repo/tests/sim/test_configs.cc" "tests/CMakeFiles/zbp_core_tests.dir/sim/test_configs.cc.o" "gcc" "tests/CMakeFiles/zbp_core_tests.dir/sim/test_configs.cc.o.d"
+  "/root/repo/tests/sim/test_machine_config.cc" "tests/CMakeFiles/zbp_core_tests.dir/sim/test_machine_config.cc.o" "gcc" "tests/CMakeFiles/zbp_core_tests.dir/sim/test_machine_config.cc.o.d"
+  "/root/repo/tests/sim/test_report.cc" "tests/CMakeFiles/zbp_core_tests.dir/sim/test_report.cc.o" "gcc" "tests/CMakeFiles/zbp_core_tests.dir/sim/test_report.cc.o.d"
+  "/root/repo/tests/sim/test_simulator.cc" "tests/CMakeFiles/zbp_core_tests.dir/sim/test_simulator.cc.o" "gcc" "tests/CMakeFiles/zbp_core_tests.dir/sim/test_simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/zbp/CMakeFiles/zbp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/zbp/CMakeFiles/zbp_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/zbp/CMakeFiles/zbp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/zbp/CMakeFiles/zbp_preload.dir/DependInfo.cmake"
+  "/root/repo/build/src/zbp/CMakeFiles/zbp_btb.dir/DependInfo.cmake"
+  "/root/repo/build/src/zbp/CMakeFiles/zbp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/zbp/CMakeFiles/zbp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/zbp/CMakeFiles/zbp_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zbp_core_tests.dir/core/test_fit.cc.o"
+  "CMakeFiles/zbp_core_tests.dir/core/test_fit.cc.o.d"
+  "CMakeFiles/zbp_core_tests.dir/core/test_hierarchy.cc.o"
+  "CMakeFiles/zbp_core_tests.dir/core/test_hierarchy.cc.o.d"
+  "CMakeFiles/zbp_core_tests.dir/core/test_pipeline_fuzz.cc.o"
+  "CMakeFiles/zbp_core_tests.dir/core/test_pipeline_fuzz.cc.o.d"
+  "CMakeFiles/zbp_core_tests.dir/core/test_search_pipeline.cc.o"
+  "CMakeFiles/zbp_core_tests.dir/core/test_search_pipeline.cc.o.d"
+  "CMakeFiles/zbp_core_tests.dir/cpu/test_core_model.cc.o"
+  "CMakeFiles/zbp_core_tests.dir/cpu/test_core_model.cc.o.d"
+  "CMakeFiles/zbp_core_tests.dir/cpu/test_fetch_behavior.cc.o"
+  "CMakeFiles/zbp_core_tests.dir/cpu/test_fetch_behavior.cc.o.d"
+  "CMakeFiles/zbp_core_tests.dir/cpu/test_outcome.cc.o"
+  "CMakeFiles/zbp_core_tests.dir/cpu/test_outcome.cc.o.d"
+  "CMakeFiles/zbp_core_tests.dir/integration/test_end_to_end.cc.o"
+  "CMakeFiles/zbp_core_tests.dir/integration/test_end_to_end.cc.o.d"
+  "CMakeFiles/zbp_core_tests.dir/integration/test_regression.cc.o"
+  "CMakeFiles/zbp_core_tests.dir/integration/test_regression.cc.o.d"
+  "CMakeFiles/zbp_core_tests.dir/sim/test_configs.cc.o"
+  "CMakeFiles/zbp_core_tests.dir/sim/test_configs.cc.o.d"
+  "CMakeFiles/zbp_core_tests.dir/sim/test_machine_config.cc.o"
+  "CMakeFiles/zbp_core_tests.dir/sim/test_machine_config.cc.o.d"
+  "CMakeFiles/zbp_core_tests.dir/sim/test_report.cc.o"
+  "CMakeFiles/zbp_core_tests.dir/sim/test_report.cc.o.d"
+  "CMakeFiles/zbp_core_tests.dir/sim/test_simulator.cc.o"
+  "CMakeFiles/zbp_core_tests.dir/sim/test_simulator.cc.o.d"
+  "zbp_core_tests"
+  "zbp_core_tests.pdb"
+  "zbp_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zbp_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

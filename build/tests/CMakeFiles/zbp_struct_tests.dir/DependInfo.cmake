@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/btb/test_btb_entry.cc" "tests/CMakeFiles/zbp_struct_tests.dir/btb/test_btb_entry.cc.o" "gcc" "tests/CMakeFiles/zbp_struct_tests.dir/btb/test_btb_entry.cc.o.d"
+  "/root/repo/tests/btb/test_btb_fuzz.cc" "tests/CMakeFiles/zbp_struct_tests.dir/btb/test_btb_fuzz.cc.o" "gcc" "tests/CMakeFiles/zbp_struct_tests.dir/btb/test_btb_fuzz.cc.o.d"
+  "/root/repo/tests/btb/test_set_assoc_btb.cc" "tests/CMakeFiles/zbp_struct_tests.dir/btb/test_set_assoc_btb.cc.o" "gcc" "tests/CMakeFiles/zbp_struct_tests.dir/btb/test_set_assoc_btb.cc.o.d"
+  "/root/repo/tests/cache/test_icache.cc" "tests/CMakeFiles/zbp_struct_tests.dir/cache/test_icache.cc.o" "gcc" "tests/CMakeFiles/zbp_struct_tests.dir/cache/test_icache.cc.o.d"
+  "/root/repo/tests/dir/test_ctb.cc" "tests/CMakeFiles/zbp_struct_tests.dir/dir/test_ctb.cc.o" "gcc" "tests/CMakeFiles/zbp_struct_tests.dir/dir/test_ctb.cc.o.d"
+  "/root/repo/tests/dir/test_history_state.cc" "tests/CMakeFiles/zbp_struct_tests.dir/dir/test_history_state.cc.o" "gcc" "tests/CMakeFiles/zbp_struct_tests.dir/dir/test_history_state.cc.o.d"
+  "/root/repo/tests/dir/test_pht.cc" "tests/CMakeFiles/zbp_struct_tests.dir/dir/test_pht.cc.o" "gcc" "tests/CMakeFiles/zbp_struct_tests.dir/dir/test_pht.cc.o.d"
+  "/root/repo/tests/dir/test_surprise_bht.cc" "tests/CMakeFiles/zbp_struct_tests.dir/dir/test_surprise_bht.cc.o" "gcc" "tests/CMakeFiles/zbp_struct_tests.dir/dir/test_surprise_bht.cc.o.d"
+  "/root/repo/tests/preload/test_btb2_engine.cc" "tests/CMakeFiles/zbp_struct_tests.dir/preload/test_btb2_engine.cc.o" "gcc" "tests/CMakeFiles/zbp_struct_tests.dir/preload/test_btb2_engine.cc.o.d"
+  "/root/repo/tests/preload/test_future_work.cc" "tests/CMakeFiles/zbp_struct_tests.dir/preload/test_future_work.cc.o" "gcc" "tests/CMakeFiles/zbp_struct_tests.dir/preload/test_future_work.cc.o.d"
+  "/root/repo/tests/preload/test_sector_order_table.cc" "tests/CMakeFiles/zbp_struct_tests.dir/preload/test_sector_order_table.cc.o" "gcc" "tests/CMakeFiles/zbp_struct_tests.dir/preload/test_sector_order_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/zbp/CMakeFiles/zbp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/zbp/CMakeFiles/zbp_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/zbp/CMakeFiles/zbp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/zbp/CMakeFiles/zbp_preload.dir/DependInfo.cmake"
+  "/root/repo/build/src/zbp/CMakeFiles/zbp_btb.dir/DependInfo.cmake"
+  "/root/repo/build/src/zbp/CMakeFiles/zbp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/zbp/CMakeFiles/zbp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/zbp/CMakeFiles/zbp_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

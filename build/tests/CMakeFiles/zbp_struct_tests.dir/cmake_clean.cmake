@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zbp_struct_tests.dir/btb/test_btb_entry.cc.o"
+  "CMakeFiles/zbp_struct_tests.dir/btb/test_btb_entry.cc.o.d"
+  "CMakeFiles/zbp_struct_tests.dir/btb/test_btb_fuzz.cc.o"
+  "CMakeFiles/zbp_struct_tests.dir/btb/test_btb_fuzz.cc.o.d"
+  "CMakeFiles/zbp_struct_tests.dir/btb/test_set_assoc_btb.cc.o"
+  "CMakeFiles/zbp_struct_tests.dir/btb/test_set_assoc_btb.cc.o.d"
+  "CMakeFiles/zbp_struct_tests.dir/cache/test_icache.cc.o"
+  "CMakeFiles/zbp_struct_tests.dir/cache/test_icache.cc.o.d"
+  "CMakeFiles/zbp_struct_tests.dir/dir/test_ctb.cc.o"
+  "CMakeFiles/zbp_struct_tests.dir/dir/test_ctb.cc.o.d"
+  "CMakeFiles/zbp_struct_tests.dir/dir/test_history_state.cc.o"
+  "CMakeFiles/zbp_struct_tests.dir/dir/test_history_state.cc.o.d"
+  "CMakeFiles/zbp_struct_tests.dir/dir/test_pht.cc.o"
+  "CMakeFiles/zbp_struct_tests.dir/dir/test_pht.cc.o.d"
+  "CMakeFiles/zbp_struct_tests.dir/dir/test_surprise_bht.cc.o"
+  "CMakeFiles/zbp_struct_tests.dir/dir/test_surprise_bht.cc.o.d"
+  "CMakeFiles/zbp_struct_tests.dir/preload/test_btb2_engine.cc.o"
+  "CMakeFiles/zbp_struct_tests.dir/preload/test_btb2_engine.cc.o.d"
+  "CMakeFiles/zbp_struct_tests.dir/preload/test_future_work.cc.o"
+  "CMakeFiles/zbp_struct_tests.dir/preload/test_future_work.cc.o.d"
+  "CMakeFiles/zbp_struct_tests.dir/preload/test_sector_order_table.cc.o"
+  "CMakeFiles/zbp_struct_tests.dir/preload/test_sector_order_table.cc.o.d"
+  "zbp_struct_tests"
+  "zbp_struct_tests.pdb"
+  "zbp_struct_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zbp_struct_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

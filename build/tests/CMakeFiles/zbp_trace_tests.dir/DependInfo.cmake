@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/test_instruction.cc" "tests/CMakeFiles/zbp_trace_tests.dir/trace/test_instruction.cc.o" "gcc" "tests/CMakeFiles/zbp_trace_tests.dir/trace/test_instruction.cc.o.d"
+  "/root/repo/tests/trace/test_trace.cc" "tests/CMakeFiles/zbp_trace_tests.dir/trace/test_trace.cc.o" "gcc" "tests/CMakeFiles/zbp_trace_tests.dir/trace/test_trace.cc.o.d"
+  "/root/repo/tests/trace/test_trace_io.cc" "tests/CMakeFiles/zbp_trace_tests.dir/trace/test_trace_io.cc.o" "gcc" "tests/CMakeFiles/zbp_trace_tests.dir/trace/test_trace_io.cc.o.d"
+  "/root/repo/tests/trace/test_trace_stats.cc" "tests/CMakeFiles/zbp_trace_tests.dir/trace/test_trace_stats.cc.o" "gcc" "tests/CMakeFiles/zbp_trace_tests.dir/trace/test_trace_stats.cc.o.d"
+  "/root/repo/tests/workload/test_generator.cc" "tests/CMakeFiles/zbp_trace_tests.dir/workload/test_generator.cc.o" "gcc" "tests/CMakeFiles/zbp_trace_tests.dir/workload/test_generator.cc.o.d"
+  "/root/repo/tests/workload/test_multiprogram.cc" "tests/CMakeFiles/zbp_trace_tests.dir/workload/test_multiprogram.cc.o" "gcc" "tests/CMakeFiles/zbp_trace_tests.dir/workload/test_multiprogram.cc.o.d"
+  "/root/repo/tests/workload/test_program_builder.cc" "tests/CMakeFiles/zbp_trace_tests.dir/workload/test_program_builder.cc.o" "gcc" "tests/CMakeFiles/zbp_trace_tests.dir/workload/test_program_builder.cc.o.d"
+  "/root/repo/tests/workload/test_suites.cc" "tests/CMakeFiles/zbp_trace_tests.dir/workload/test_suites.cc.o" "gcc" "tests/CMakeFiles/zbp_trace_tests.dir/workload/test_suites.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/zbp/CMakeFiles/zbp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/zbp/CMakeFiles/zbp_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/zbp/CMakeFiles/zbp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/zbp/CMakeFiles/zbp_preload.dir/DependInfo.cmake"
+  "/root/repo/build/src/zbp/CMakeFiles/zbp_btb.dir/DependInfo.cmake"
+  "/root/repo/build/src/zbp/CMakeFiles/zbp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/zbp/CMakeFiles/zbp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/zbp/CMakeFiles/zbp_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

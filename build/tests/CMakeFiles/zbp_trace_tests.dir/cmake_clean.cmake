@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zbp_trace_tests.dir/trace/test_instruction.cc.o"
+  "CMakeFiles/zbp_trace_tests.dir/trace/test_instruction.cc.o.d"
+  "CMakeFiles/zbp_trace_tests.dir/trace/test_trace.cc.o"
+  "CMakeFiles/zbp_trace_tests.dir/trace/test_trace.cc.o.d"
+  "CMakeFiles/zbp_trace_tests.dir/trace/test_trace_io.cc.o"
+  "CMakeFiles/zbp_trace_tests.dir/trace/test_trace_io.cc.o.d"
+  "CMakeFiles/zbp_trace_tests.dir/trace/test_trace_stats.cc.o"
+  "CMakeFiles/zbp_trace_tests.dir/trace/test_trace_stats.cc.o.d"
+  "CMakeFiles/zbp_trace_tests.dir/workload/test_generator.cc.o"
+  "CMakeFiles/zbp_trace_tests.dir/workload/test_generator.cc.o.d"
+  "CMakeFiles/zbp_trace_tests.dir/workload/test_multiprogram.cc.o"
+  "CMakeFiles/zbp_trace_tests.dir/workload/test_multiprogram.cc.o.d"
+  "CMakeFiles/zbp_trace_tests.dir/workload/test_program_builder.cc.o"
+  "CMakeFiles/zbp_trace_tests.dir/workload/test_program_builder.cc.o.d"
+  "CMakeFiles/zbp_trace_tests.dir/workload/test_suites.cc.o"
+  "CMakeFiles/zbp_trace_tests.dir/workload/test_suites.cc.o.d"
+  "zbp_trace_tests"
+  "zbp_trace_tests.pdb"
+  "zbp_trace_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zbp_trace_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
