@@ -1,0 +1,30 @@
+#include "bench_util.hh"
+
+#include "zbp/runner/executor.hh"
+#include "zbp/runner/jsonl_sink.hh"
+
+namespace zbp::bench
+{
+
+void
+banner()
+{
+    static bool printed = false;
+    if (printed)
+        return;
+    printed = true;
+    const std::string sink = runner::JsonlSink::envPath();
+    std::printf("[zbp] len-scale %.3g (ZBP_LEN_SCALE) | jobs %u "
+                "(ZBP_JOBS) | results %s (ZBP_RESULTS_JSONL)\n",
+                workload::envLengthScale(), runner::jobsFromEnv(),
+                sink.empty() ? "off" : sink.c_str());
+}
+
+double
+scaleFromEnv()
+{
+    banner();
+    return workload::envLengthScale();
+}
+
+} // namespace zbp::bench

@@ -1,10 +1,15 @@
 /**
  * @file
  * Shared plumbing for the paper-reproduction bench binaries: length
- * scaling, progress output and common formatting.
+ * scaling, the common startup banner, progress output and common
+ * formatting.  Implementations live in bench_util.cc (linked as
+ * zbp_bench_util) so every binary logs one consistent banner instead
+ * of each translation unit inlining its own printing.
  *
- * Every binary honours ZBP_LEN_SCALE (default 1.0) so the whole harness
- * can be shortened for smoke runs (e.g. ZBP_LEN_SCALE=0.1).
+ * Every binary honours:
+ *   ZBP_LEN_SCALE      trace length multiplier (default 1.0)
+ *   ZBP_JOBS           worker threads for sharded runs (default: cores)
+ *   ZBP_RESULTS_JSONL  per-simulation JSONL results file (default: off)
  */
 
 #ifndef ZBP_BENCH_BENCH_UTIL_HH
@@ -15,6 +20,7 @@
 
 #include <unistd.h>
 
+#include "zbp/runner/job_runner.hh"
 #include "zbp/sim/simulator.hh"
 #include "zbp/stats/table.hh"
 #include "zbp/workload/suites.hh"
@@ -22,14 +28,15 @@
 namespace zbp::bench
 {
 
-inline double
-scaleFromEnv()
-{
-    const double s = workload::envLengthScale();
-    std::printf("[zbp] trace length scale: %.3g "
-                "(set ZBP_LEN_SCALE to change)\n", s);
-    return s;
-}
+/**
+ * Read ZBP_LEN_SCALE and print the one-line startup banner (scale,
+ * job count, results sink) exactly once per process.
+ */
+double scaleFromEnv();
+
+/** Print the banner without consuming the scale (for binaries that do
+ * not use suite traces). */
+void banner();
 
 inline void
 progressLine(const std::string &what)

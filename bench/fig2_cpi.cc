@@ -11,6 +11,9 @@
 
 #include "bench_util.hh"
 
+#include "zbp/runner/executor.hh"
+#include "zbp/runner/progress.hh"
+
 int
 main()
 {
@@ -33,12 +36,20 @@ main()
     t.setHeader({"trace", "base CPI", "BTB2 imp%", "largeBTB1 imp%",
                  "effectiveness%"});
 
+    // Generate the 13 traces sharded, then run all 39 simulations
+    // (13 traces x 3 configurations) through the job runner.
+    const auto &specs = workload::paperSuites();
+    std::vector<trace::Trace> traces(specs.size());
+    runner::ParallelExecutor exec;
+    exec.run(specs.size(), [&](std::size_t i) {
+        traces[i] = workload::makeSuiteTrace(specs[i], scale);
+    });
+    const auto rows = sim::runFig2Rows(traces);
+
     double sum_eff = 0.0, max_btb2 = 0.0;
     int n_eff = 0;
-    for (const auto &spec : workload::paperSuites()) {
-        bench::progressLine(spec.name);
-        const auto trace = workload::makeSuiteTrace(spec, scale);
-        const auto row = sim::runFig2Row(trace);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto &row = rows[i];
         const double i2 = row.btb2Improvement();
         const double i3 = row.largeBtb1Improvement();
         const double eff = row.effectiveness();
@@ -48,7 +59,8 @@ main()
         }
         if (i2 > max_btb2)
             max_btb2 = i2;
-        t.addRow({spec.paperName, stats::TextTable::num(row.base.cpi, 3),
+        t.addRow({specs[i].paperName,
+                  stats::TextTable::num(row.base.cpi, 3),
                   stats::TextTable::num(i2, 2),
                   stats::TextTable::num(i3, 2),
                   stats::TextTable::num(eff, 1)});

@@ -15,6 +15,8 @@
 
 #include "bench_util.hh"
 
+#include "zbp/runner/executor.hh"
+#include "zbp/runner/progress.hh"
 #include "zbp/workload/multiprogram.hh"
 
 int
@@ -28,42 +30,56 @@ main()
     t.setHeader({"workload", "cores (paper)", "BTB2 improvement %",
                  "paper hw %"});
 
-    // (a) WASDB+CBW2, single core.
-    {
-        bench::progressLine("WASDB+CBW2 single-core");
-        const auto trace = workload::makeSuiteTrace(
-                workload::findSuite("wasdb_cbw2"), scale);
-        const auto base = sim::runOne(sim::configNoBtb2(), trace);
-        const auto with = sim::runOne(sim::configBtb2(), trace);
-        t.addRow({"WASDB+CBW2", "1",
-                  stats::TextTable::num(cpu::cpiImprovement(base, with), 2),
-                  "5.3 (sim 8.5)"});
-    }
-
-    // (b) Web CICS/DB2, 4-way time-sliced proxy for the 4-core run.
-    {
-        std::vector<trace::Trace> threads;
-        for (unsigned i = 0; i < 4; ++i) {
-            bench::progressLine("CICS/DB2 instance " + std::to_string(i));
-            auto spec = workload::findSuite("cicsdb2");
-            // Disjoint address spaces and distinct behaviour per
-            // instance.
-            spec.build.seed += 1000 * (i + 1);
-            spec.build.base += Addr{i} << 32;
-            spec.gen.seed += 77 * (i + 1);
-            spec.gen.dispatcherBase += Addr{i} << 32;
-            spec.gen.length /= 4; // keep total run length comparable
-            threads.push_back(workload::makeSuiteTrace(spec, scale));
+    // (a) WASDB+CBW2, single core; (b) Web CICS/DB2, a 4-way
+    // time-sliced proxy for the 4-core run.  The five generator calls
+    // are sharded; the instance traces then fold into one
+    // multiprogrammed trace.
+    trace::Trace wasdb;
+    std::vector<trace::Trace> instances(4);
+    runner::ParallelExecutor gen;
+    gen.run(5, [&](std::size_t i) {
+        if (i == 0) {
+            wasdb = workload::makeSuiteTrace(
+                    workload::findSuite("wasdb_cbw2"), scale);
+            return;
         }
-        const auto trace = workload::multiprogram(threads, 100'000,
-                                                  "web_cicsdb2_x4");
-        bench::progressLine("Web CICS/DB2 4-way time-sliced");
-        const auto base = sim::runOne(sim::configNoBtb2(), trace);
-        const auto with = sim::runOne(sim::configBtb2(), trace);
-        t.addRow({"Web CICS/DB2 (4-way time-sliced proxy)", "4",
-                  stats::TextTable::num(cpu::cpiImprovement(base, with), 2),
-                  "3.4"});
+        const unsigned k = static_cast<unsigned>(i - 1);
+        auto spec = workload::findSuite("cicsdb2");
+        // Disjoint address spaces and distinct behaviour per instance.
+        spec.build.seed += 1000 * (k + 1);
+        spec.build.base += Addr{k} << 32;
+        spec.gen.seed += 77 * (k + 1);
+        spec.gen.dispatcherBase += Addr{k} << 32;
+        spec.gen.length /= 4; // keep total run length comparable
+        instances[k] = workload::makeSuiteTrace(spec, scale);
+    });
+    const auto web = workload::multiprogram(instances, 100'000,
+                                            "web_cicsdb2_x4");
+
+    // Four simulations (2 workloads x 2 configurations), sharded.
+    std::vector<runner::SimJob> jobs;
+    const trace::Trace *workloads[] = {&wasdb, &web};
+    for (const trace::Trace *tr : workloads) {
+        jobs.push_back({"no-btb2", sim::configNoBtb2(), tr});
+        jobs.push_back({"btb2", sim::configBtb2(), tr});
     }
+    runner::JobRunner jr;
+    jr.setProgress(runner::consoleProgress());
+    const auto res = jr.run(jobs);
+    for (const auto &r : res)
+        if (!r.ok)
+            fatal("figure 3 job failed: ", r.error);
+
+    t.addRow({"WASDB+CBW2", "1",
+              stats::TextTable::num(
+                      cpu::cpiImprovement(res[0].result, res[1].result),
+                      2),
+              "5.3 (sim 8.5)"});
+    t.addRow({"Web CICS/DB2 (4-way time-sliced proxy)", "4",
+              stats::TextTable::num(
+                      cpu::cpiImprovement(res[2].result, res[3].result),
+                      2),
+              "3.4"});
     bench::progressDone();
 
     t.addNote("hardware gains are smaller than single-core simulated "

@@ -10,6 +10,8 @@
 
 #include "bench_util.hh"
 
+#include "zbp/runner/progress.hh"
+
 int
 main()
 {
@@ -19,10 +21,15 @@ main()
     const auto &spec = workload::findSuite("daytrader_db");
     const auto trace = workload::makeSuiteTrace(spec, scale);
 
-    bench::progressLine("config 1 (no BTB2)");
-    const auto base = sim::runOne(sim::configNoBtb2(), trace);
-    bench::progressLine("config 2 (BTB2 enabled)");
-    const auto with = sim::runOne(sim::configBtb2(), trace);
+    runner::JobRunner jr;
+    jr.setProgress(runner::consoleProgress());
+    const auto res = jr.run({{"no-btb2", sim::configNoBtb2(), &trace},
+                             {"btb2", sim::configBtb2(), &trace}});
+    for (const auto &r : res)
+        if (!r.ok)
+            fatal("figure 4 job failed: ", r.error);
+    const auto &base = res[0].result;
+    const auto &with = res[1].result;
     bench::progressDone();
 
     auto pct = [](std::uint64_t n, std::uint64_t total) {

@@ -15,6 +15,9 @@
 
 #include "bench_util.hh"
 
+#include "zbp/runner/executor.hh"
+#include "zbp/runner/progress.hh"
+
 int
 main()
 {
@@ -22,12 +25,12 @@ main()
     const double scale = bench::scaleFromEnv();
 
     const char *suites[] = {"daytrader_db", "wasdb_cbw2", "cicsdb2"};
-    std::vector<trace::Trace> traces;
-    for (const char *s : suites) {
-        bench::progressLine(std::string("generating ") + s);
-        traces.push_back(
-                workload::makeSuiteTrace(workload::findSuite(s), scale));
-    }
+    std::vector<trace::Trace> traces(3);
+    runner::ParallelExecutor gen;
+    gen.run(3, [&](std::size_t i) {
+        traces[i] = workload::makeSuiteTrace(
+                workload::findSuite(suites[i]), scale);
+    });
 
     struct Variant
     {
@@ -78,23 +81,35 @@ main()
     header.push_back("avg imp% vs no-BTB2");
     t.setHeader(header);
 
-    std::vector<double> base_cpi;
-    for (const auto &v : variants) {
-        std::vector<std::string> row = {v.name};
+    // All variant x trace simulations as one sharded batch
+    // (variant-major).
+    std::vector<runner::SimJob> jobs;
+    for (const auto &v : variants)
+        for (const auto &tr : traces)
+            jobs.push_back({v.name, v.cfg, &tr});
+    runner::JobRunner jr;
+    jr.setProgress(runner::consoleProgress());
+    const auto res = jr.run(jobs);
+
+    auto cpi = [&](std::size_t v, std::size_t i) -> double {
+        const auto &r = res[v * traces.size() + i];
+        if (!r.ok)
+            fatal("future-work job '",
+                  jobs[v * traces.size() + i].configName, "' failed: ",
+                  r.error);
+        return r.result.cpi;
+    };
+
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+        std::vector<std::string> row = {variants[v].name};
         double sum_imp = 0.0;
         for (std::size_t i = 0; i < traces.size(); ++i) {
-            bench::progressLine(v.name + " / " + traces[i].name());
-            const auto r = sim::runOne(v.cfg, traces[i]);
-            row.push_back(stats::TextTable::num(r.cpi, 3));
-            if (base_cpi.size() <= i)
-                base_cpi.push_back(r.cpi);
-            else
-                sum_imp += (base_cpi[i] - r.cpi) / base_cpi[i] * 100.0;
+            row.push_back(stats::TextTable::num(cpi(v, i), 3));
+            sum_imp += (cpi(0, i) - cpi(v, i)) / cpi(0, i) * 100.0;
         }
-        row.push_back(&v == &variants.front()
-                              ? std::string("--")
-                              : stats::TextTable::num(
-                                        sum_imp / traces.size(), 2));
+        row.push_back(v == 0 ? std::string("--")
+                             : stats::TextTable::num(
+                                       sum_imp / traces.size(), 2));
         t.addRow(row);
     }
     bench::progressDone();

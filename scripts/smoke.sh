@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+#
+# Smoke-verify the repo: the full tier-1 build + test cycle, then one
+# sharded bench run exercising zbp::runner end to end (parallel
+# execution + JSONL export) at a small trace scale.
+#
+# Usage:
+#   scripts/smoke.sh               # full: configure, build, ctest, bench
+#   scripts/smoke.sh --bench-only  # just the bench leg (what the
+#                                  # runner_smoke ctest target runs, so
+#                                  # ctest does not recurse into itself)
+#
+# Environment:
+#   ZBP_SMOKE_BUILD_DIR  build tree (default: <repo>/build)
+#   ZBP_SMOKE_JOBS       worker threads for the bench leg (default: 4)
+#   ZBP_SMOKE_SCALE      trace length scale for the bench leg (default: 0.05)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${ZBP_SMOKE_BUILD_DIR:-$repo_root/build}"
+jobs="${ZBP_SMOKE_JOBS:-4}"
+scale="${ZBP_SMOKE_SCALE:-0.05}"
+bench_only=0
+[[ "${1:-}" == "--bench-only" ]] && bench_only=1
+
+if [[ "$bench_only" == 0 ]]; then
+    echo "== tier-1: configure + build + ctest =="
+    cmake -B "$build_dir" -S "$repo_root"
+    cmake --build "$build_dir" -j
+    (cd "$build_dir" && ctest --output-on-failure -j)
+fi
+
+echo "== runner smoke: fig5_btb2_size, ZBP_JOBS=$jobs, ZBP_LEN_SCALE=$scale =="
+bench="$build_dir/bench/fig5_btb2_size"
+if [[ ! -x "$bench" ]]; then
+    echo "smoke: missing $bench (build the repo first)" >&2
+    exit 1
+fi
+
+results="$(mktemp /tmp/zbp_smoke_XXXXXX.jsonl)"
+trap 'rm -f "$results"' EXIT
+rm -f "$results"
+
+ZBP_LEN_SCALE="$scale" ZBP_JOBS="$jobs" ZBP_RESULTS_JSONL="$results" \
+    "$bench"
+
+# The sweep is 13 baseline + 5 configurations x 13 traces = 78 jobs;
+# every job must have produced exactly one JSONL record, all of them ok.
+records="$(wc -l < "$results")"
+if [[ "$records" -ne 78 ]]; then
+    echo "smoke: expected 78 JSONL records, got $records" >&2
+    exit 1
+fi
+if ! grep -q '"config":"baseline"' "$results"; then
+    echo "smoke: no baseline records in $results" >&2
+    exit 1
+fi
+if grep -q '"ok":false' "$results"; then
+    echo "smoke: failed jobs recorded in $results:" >&2
+    grep '"ok":false' "$results" >&2
+    exit 1
+fi
+
+echo "smoke: OK ($records records, all jobs ok)"

@@ -1,0 +1,111 @@
+#include "zbp/runner/executor.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "zbp/common/log.hh"
+
+namespace zbp::runner
+{
+
+unsigned
+jobsFromEnv()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    const char *s = std::getenv("ZBP_JOBS");
+    if (s == nullptr || *s == '\0')
+        return hw;
+    char *end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    if (end == s || *end != '\0' || v < 1) {
+        // Resolution happens once per batch; warn only once per value
+        // so a sweep of many batches does not repeat itself.
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true))
+            warn("ignoring bad ZBP_JOBS '", s, "'");
+        return hw;
+    }
+    return static_cast<unsigned>(v);
+}
+
+unsigned
+resolveJobs(unsigned requested)
+{
+    return requested != 0 ? requested : jobsFromEnv();
+}
+
+ParallelExecutor::ParallelExecutor(unsigned jobs)
+    : nJobs(resolveJobs(jobs))
+{
+}
+
+std::vector<JobFailure>
+ParallelExecutor::run(std::size_t n,
+                      const std::function<void(std::size_t)> &fn) const
+{
+    ZBP_ASSERT(fn != nullptr, "ParallelExecutor::run with null job");
+    std::vector<JobFailure> failures;
+
+    auto attempt = [&](std::size_t i, std::mutex *mu) {
+        try {
+            fn(i);
+        } catch (const std::exception &e) {
+            JobFailure f{i, e.what()};
+            if (mu) {
+                std::lock_guard<std::mutex> lock(*mu);
+                failures.push_back(std::move(f));
+            } else {
+                failures.push_back(std::move(f));
+            }
+        } catch (...) {
+            JobFailure f{i, "unknown exception"};
+            if (mu) {
+                std::lock_guard<std::mutex> lock(*mu);
+                failures.push_back(std::move(f));
+            } else {
+                failures.push_back(std::move(f));
+            }
+        }
+    };
+
+    const unsigned workers = static_cast<unsigned>(
+            std::min<std::size_t>(nJobs, n));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            attempt(i, nullptr);
+        return failures;
+    }
+
+    std::atomic<std::size_t> cursor{0};
+    std::mutex mu;
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                    cursor.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            attempt(i, &mu);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+
+    std::sort(failures.begin(), failures.end(),
+              [](const JobFailure &a, const JobFailure &b) {
+                  return a.index < b.index;
+              });
+    return failures;
+}
+
+} // namespace zbp::runner

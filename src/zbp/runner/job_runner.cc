@@ -1,0 +1,158 @@
+#include "zbp/runner/job_runner.hh"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "zbp/runner/executor.hh"
+#include "zbp/runner/jsonl_sink.hh"
+
+namespace zbp::runner
+{
+
+namespace
+{
+
+std::uint64_t
+mixString(std::uint64_t h, const std::string &s)
+{
+    for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001B3ull; // FNV-1a step
+    }
+    return h;
+}
+
+/** The exported counter fields, mirroring sim::resultCsvHeader(). */
+struct Field
+{
+    const char *name;
+    std::uint64_t (*get)(const cpu::SimResult &);
+};
+
+constexpr Field kFields[] = {
+    {"cycles", [](const cpu::SimResult &r) { return r.cycles; }},
+    {"instructions",
+     [](const cpu::SimResult &r) { return r.instructions; }},
+    {"branches", [](const cpu::SimResult &r) { return r.branches; }},
+    {"takenBranches",
+     [](const cpu::SimResult &r) { return r.takenBranches; }},
+    {"correct", [](const cpu::SimResult &r) { return r.correct; }},
+    {"mispredictDir",
+     [](const cpu::SimResult &r) { return r.mispredictDir; }},
+    {"mispredictTarget",
+     [](const cpu::SimResult &r) { return r.mispredictTarget; }},
+    {"surpriseCompulsory",
+     [](const cpu::SimResult &r) { return r.surpriseCompulsory; }},
+    {"surpriseLatency",
+     [](const cpu::SimResult &r) { return r.surpriseLatency; }},
+    {"surpriseCapacity",
+     [](const cpu::SimResult &r) { return r.surpriseCapacity; }},
+    {"surpriseBenign",
+     [](const cpu::SimResult &r) { return r.surpriseBenign; }},
+    {"phantoms", [](const cpu::SimResult &r) { return r.phantoms; }},
+    {"icacheMisses",
+     [](const cpu::SimResult &r) { return r.icacheMisses; }},
+    {"dcacheMisses",
+     [](const cpu::SimResult &r) { return r.dcacheMisses; }},
+    {"btb1MissReports",
+     [](const cpu::SimResult &r) { return r.btb1MissReports; }},
+    {"btb2RowReads",
+     [](const cpu::SimResult &r) { return r.btb2RowReads; }},
+    {"btb2Transfers",
+     [](const cpu::SimResult &r) { return r.btb2Transfers; }},
+    {"predictionsMade",
+     [](const cpu::SimResult &r) { return r.predictionsMade; }},
+};
+
+} // namespace
+
+std::uint64_t
+JobRunner::deriveSeed(const std::string &config_name,
+                      const std::string &trace_name)
+{
+    std::uint64_t h = 0xCBF29CE484222325ull; // FNV offset basis
+    h = mixString(h, config_name);
+    h = mixString(h, "/");
+    h = mixString(h, trace_name);
+    // SplitMix64 finalizer: spread the FNV state over all 64 bits.
+    h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+    h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+    return h ^ (h >> 31);
+}
+
+std::string
+jobRecord(const SimJob &job, const SimJobResult &r)
+{
+    JsonObject o;
+    o.field("trace", job.trace != nullptr ? job.trace->name()
+                                          : std::string("<null>"));
+    o.field("config", job.configName);
+    o.field("seed", job.seed);
+    o.field("ok", r.ok);
+    o.field("seconds", r.seconds);
+    if (!r.ok) {
+        o.field("error", r.error);
+        return o.str();
+    }
+    o.field("cpi", r.result.cpi);
+    for (const auto &f : kFields)
+        o.field(f.name, f.get(r.result));
+    return o.str();
+}
+
+JobRunner::JobRunner(unsigned jobs) : nJobs(resolveJobs(jobs)) {}
+
+void
+JobRunner::setProgress(ProgressMeter::Callback cb)
+{
+    progress = std::move(cb);
+}
+
+void
+JobRunner::setSinkPath(std::string path)
+{
+    sinkPath = std::move(path);
+    sinkPathSet = true;
+}
+
+std::vector<SimJobResult>
+JobRunner::run(const std::vector<SimJob> &jobs)
+{
+    std::vector<SimJob> resolved = jobs;
+    for (auto &j : resolved)
+        if (j.seed == 0)
+            j.seed = deriveSeed(j.configName,
+                                j.trace != nullptr ? j.trace->name()
+                                                   : std::string());
+
+    JsonlSink sink(sinkPathSet ? sinkPath : JsonlSink::envPath());
+    ProgressMeter meter(resolved.size(), progress);
+    std::vector<SimJobResult> results(resolved.size());
+
+    ParallelExecutor exec(nJobs);
+    exec.run(resolved.size(), [&](std::size_t i) {
+        const SimJob &job = resolved[i];
+        SimJobResult &out = results[i];
+        const auto t0 = std::chrono::steady_clock::now();
+        try {
+            if (job.trace == nullptr)
+                throw std::runtime_error("job has no trace");
+            cpu::CoreModel model(job.cfg);
+            out.result = model.run(*job.trace);
+            out.ok = true;
+        } catch (const std::exception &e) {
+            out.error = e.what();
+        } catch (...) {
+            out.error = "unknown exception";
+        }
+        out.seconds = std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0).count();
+        sink.write(jobRecord(job, out));
+        const std::string label = job.configName + "/" +
+                (job.trace != nullptr ? job.trace->name() : "<null>");
+        meter.jobDone(label, out.seconds);
+    });
+    return results;
+}
+
+} // namespace zbp::runner

@@ -1,0 +1,114 @@
+#include "zbp/runner/jsonl_sink.hh"
+
+#include <cstdlib>
+
+#include "zbp/common/log.hh"
+
+namespace zbp::runner
+{
+
+std::string
+JsonObject::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        const auto u = static_cast<unsigned char>(c);
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (u < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+JsonObject &
+JsonObject::raw(const std::string &key, const std::string &value)
+{
+    if (!first)
+        body += ',';
+    first = false;
+    body += '"' + escape(key) + "\":" + value;
+    return *this;
+}
+
+JsonObject &
+JsonObject::field(const std::string &key, const std::string &v)
+{
+    return raw(key, '"' + escape(v) + '"');
+}
+
+JsonObject &
+JsonObject::field(const std::string &key, const char *v)
+{
+    return field(key, std::string(v));
+}
+
+JsonObject &
+JsonObject::field(const std::string &key, double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return raw(key, buf);
+}
+
+JsonObject &
+JsonObject::field(const std::string &key, std::uint64_t v)
+{
+    return raw(key, std::to_string(v));
+}
+
+JsonObject &
+JsonObject::field(const std::string &key, bool v)
+{
+    return raw(key, v ? "true" : "false");
+}
+
+JsonlSink::JsonlSink(const std::string &path) : filePath(path)
+{
+    if (filePath.empty())
+        return;
+    f = std::fopen(filePath.c_str(), "a");
+    if (f == nullptr)
+        fatal("cannot open results sink '", filePath, "' for append");
+}
+
+JsonlSink::~JsonlSink()
+{
+    if (f != nullptr)
+        std::fclose(f);
+}
+
+std::string
+JsonlSink::envPath()
+{
+    const char *s = std::getenv("ZBP_RESULTS_JSONL");
+    return s == nullptr ? std::string() : std::string(s);
+}
+
+std::size_t
+JsonlSink::linesWritten() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return nLines;
+}
+
+void
+JsonlSink::write(const std::string &json_line)
+{
+    if (f == nullptr)
+        return;
+    std::lock_guard<std::mutex> lock(mu);
+    std::fwrite(json_line.data(), 1, json_line.size(), f);
+    std::fputc('\n', f);
+    std::fflush(f);
+    ++nLines;
+}
+
+} // namespace zbp::runner

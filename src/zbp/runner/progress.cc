@@ -1,0 +1,58 @@
+#include "zbp/runner/progress.hh"
+
+#include <cstdio>
+
+#include <unistd.h>
+
+namespace zbp::runner
+{
+
+ProgressMeter::ProgressMeter(std::size_t total_, Callback cb_)
+    : total(total_), start(Clock::now()), cb(std::move(cb_))
+{
+}
+
+void
+ProgressMeter::jobDone(const std::string &label, double job_seconds)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    ++nDone;
+    if (!cb)
+        return;
+    Event e;
+    e.done = nDone;
+    e.total = total;
+    e.label = label;
+    e.jobSeconds = job_seconds;
+    e.elapsedSeconds = std::chrono::duration<double>(
+            Clock::now() - start).count();
+    e.etaSeconds = nDone == 0
+            ? 0.0
+            : e.elapsedSeconds / static_cast<double>(nDone) *
+              static_cast<double>(total > nDone ? total - nDone : 0);
+    cb(e);
+}
+
+std::size_t
+ProgressMeter::done() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return nDone;
+}
+
+ProgressMeter::Callback
+consoleProgress()
+{
+    if (!isatty(1))
+        return {};
+    return [](const ProgressMeter::Event &e) {
+        std::printf("[zbp] %3zu/%zu jobs | eta %5.1fs | %-32s %6.2fs\r",
+                    e.done, e.total, e.etaSeconds,
+                    e.label.substr(0, 32).c_str(), e.jobSeconds);
+        if (e.done == e.total)
+            std::printf("%78s\r", "");
+        std::fflush(stdout);
+    };
+}
+
+} // namespace zbp::runner

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Thread-safe progress accounting for sharded job execution: jobs
+ * done/total, wall-clock per job, and a running ETA derived from the
+ * mean completed-job duration.  Display is delegated to a callback so
+ * benches, tests and future TUIs can render however they like;
+ * consoleProgress() is the standard tty renderer.
+ */
+
+#ifndef ZBP_RUNNER_PROGRESS_HH
+#define ZBP_RUNNER_PROGRESS_HH
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <string>
+
+namespace zbp::runner
+{
+
+/** Aggregates completions; invokes the callback once per finished job. */
+class ProgressMeter
+{
+  public:
+    struct Event
+    {
+        std::size_t done = 0;    ///< jobs finished so far (including this)
+        std::size_t total = 0;
+        std::string label;       ///< the job that just finished
+        double jobSeconds = 0.0; ///< wall-clock of that job
+        double elapsedSeconds = 0.0; ///< since the meter was created
+        double etaSeconds = 0.0;     ///< projected time to finish the rest
+    };
+
+    using Callback = std::function<void(const Event &)>;
+
+    ProgressMeter(std::size_t total, Callback cb);
+
+    /** Record one finished job.  Thread-safe; the callback is invoked
+     * under the meter's lock so renderers need no synchronisation. */
+    void jobDone(const std::string &label, double job_seconds);
+
+    std::size_t done() const;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    mutable std::mutex mu;
+    std::size_t total;
+    std::size_t nDone = 0;
+    Clock::time_point start;
+    Callback cb;
+};
+
+/**
+ * Standard console renderer: a carriage-return status line on stdout
+ * when it is a tty, silence otherwise (piped output stays clean).
+ */
+ProgressMeter::Callback consoleProgress();
+
+} // namespace zbp::runner
+
+#endif // ZBP_RUNNER_PROGRESS_HH

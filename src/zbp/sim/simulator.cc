@@ -1,7 +1,46 @@
 #include "zbp/sim/simulator.hh"
 
+#include "zbp/common/log.hh"
+#include "zbp/runner/executor.hh"
+#include "zbp/runner/job_runner.hh"
+
 namespace zbp::sim
 {
+
+namespace
+{
+
+/** Adapt a string progress callback to the runner's event callback. */
+runner::ProgressMeter::Callback
+adaptProgress(const std::function<void(const std::string &)> &cb)
+{
+    if (!cb)
+        return {};
+    return [cb](const runner::ProgressMeter::Event &e) { cb(e.label); };
+}
+
+/** Unpack a batch, warning about (and zero-filling) failed jobs. */
+std::vector<cpu::SimResult>
+unpack(const std::vector<runner::SimJob> &jobs,
+       std::vector<runner::SimJobResult> &&raw)
+{
+    std::vector<cpu::SimResult> out;
+    out.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        if (!raw[i].ok) {
+            warn("simulation '", jobs[i].configName, "' on '",
+                 jobs[i].trace->name(), "' failed: ", raw[i].error);
+            cpu::SimResult empty;
+            empty.traceName = jobs[i].trace->name();
+            out.push_back(std::move(empty));
+        } else {
+            out.push_back(std::move(raw[i].result));
+        }
+    }
+    return out;
+}
+
+} // namespace
 
 double
 Fig2Row::btb2Improvement() const
@@ -34,33 +73,82 @@ runOne(const core::MachineParams &cfg, const trace::Trace &t)
 Fig2Row
 runFig2Row(const trace::Trace &t)
 {
-    Fig2Row row;
-    row.trace = t.name();
-    row.base = runOne(configNoBtb2(), t);
-    row.withBtb2 = runOne(configBtb2(), t);
-    row.largeBtb1 = runOne(configLargeBtb1(), t);
-    return row;
+    std::vector<trace::Trace> one;
+    one.push_back(t);
+    return runFig2Rows(one).front();
+}
+
+std::vector<Fig2Row>
+runFig2Rows(const std::vector<trace::Trace> &traces, unsigned jobs)
+{
+    // 3 N independent jobs, grouped [config1 x N][config2 x N][...] so
+    // result i maps back to (i / N, i % N).
+    struct Cfg
+    {
+        const char *name;
+        core::MachineParams params;
+    };
+    const Cfg cfgs[] = {
+        {"no-btb2", configNoBtb2()},
+        {"btb2", configBtb2()},
+        {"large-btb1", configLargeBtb1()},
+    };
+
+    std::vector<runner::SimJob> batch;
+    batch.reserve(3 * traces.size());
+    for (const auto &c : cfgs)
+        for (const auto &t : traces)
+            batch.push_back({c.name, c.params, &t});
+
+    runner::JobRunner jr(jobs);
+    jr.setProgress(runner::consoleProgress()); // tty-only status line
+    auto raw = jr.run(batch);
+    auto results = unpack(batch, std::move(raw));
+
+    const std::size_t n = traces.size();
+    std::vector<Fig2Row> rows(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        rows[i].trace = traces[i].name();
+        rows[i].base = std::move(results[i]);
+        rows[i].withBtb2 = std::move(results[n + i]);
+        rows[i].largeBtb1 = std::move(results[2 * n + i]);
+    }
+    return rows;
 }
 
 SuiteRunner::SuiteRunner(double scale)
 {
-    tr.reserve(workload::paperSuites().size());
-    for (const auto &spec : workload::paperSuites())
-        tr.push_back(workload::makeSuiteTrace(spec, scale));
+    const auto &specs = workload::paperSuites();
+    tr.resize(specs.size());
+    // Suite generation is seeded per spec, so sharding it is as
+    // deterministic as the simulations themselves.
+    runner::ParallelExecutor exec;
+    const auto failures = exec.run(specs.size(), [&](std::size_t i) {
+        tr[i] = workload::makeSuiteTrace(specs[i], scale);
+    });
+    for (const auto &f : failures)
+        panic("suite '", specs[f.index].name, "' failed to generate: ",
+              f.message);
+}
+
+std::vector<cpu::SimResult>
+SuiteRunner::runBatch(const core::MachineParams &cfg,
+                      const std::string &cfg_name)
+{
+    std::vector<runner::SimJob> batch;
+    batch.reserve(tr.size());
+    for (const auto &t : tr)
+        batch.push_back({cfg_name, cfg, &t});
+    runner::JobRunner jr(jobs);
+    jr.setProgress(adaptProgress(progress));
+    return unpack(batch, jr.run(batch));
 }
 
 const std::vector<cpu::SimResult> &
 SuiteRunner::baseline()
 {
-    if (base.empty()) {
-        const auto cfg = configNoBtb2();
-        base.reserve(tr.size());
-        for (const auto &t : tr) {
-            if (progress)
-                progress("baseline " + t.name());
-            base.push_back(runOne(cfg, t));
-        }
-    }
+    if (base.empty())
+        base = runBatch(configNoBtb2(), "baseline");
     return base;
 }
 
@@ -68,14 +156,11 @@ std::vector<double>
 SuiteRunner::improvements(const core::MachineParams &cfg)
 {
     const auto &b = baseline();
+    const auto results = runBatch(cfg, describe(cfg));
     std::vector<double> out;
     out.reserve(tr.size());
-    for (std::size_t i = 0; i < tr.size(); ++i) {
-        if (progress)
-            progress(tr[i].name());
-        const auto r = runOne(cfg, tr[i]);
-        out.push_back(cpu::cpiImprovement(b[i], r));
-    }
+    for (std::size_t i = 0; i < tr.size(); ++i)
+        out.push_back(cpu::cpiImprovement(b[i], results[i]));
     return out;
 }
 

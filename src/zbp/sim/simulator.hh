@@ -3,6 +3,11 @@
  * High-level experiment driver: run (config x trace) combinations and
  * compute the paper's derived metrics (CPI improvement, BTB2
  * effectiveness).  Every bench binary is a thin wrapper over this.
+ *
+ * All batch entry points shard their independent simulations across
+ * worker threads via zbp::runner (ZBP_JOBS / setJobs()); results are
+ * bit-identical to a serial run and each simulation emits one JSONL
+ * record when ZBP_RESULTS_JSONL is set.
  */
 
 #ifndef ZBP_SIM_SIMULATOR_HH
@@ -35,7 +40,7 @@ struct Fig2Row
     double effectiveness() const;
 };
 
-/** Run one configuration over one trace. */
+/** Run one configuration over one trace (in the calling thread). */
 cpu::SimResult runOne(const core::MachineParams &cfg,
                       const trace::Trace &t);
 
@@ -43,8 +48,17 @@ cpu::SimResult runOne(const core::MachineParams &cfg,
 Fig2Row runFig2Row(const trace::Trace &t);
 
 /**
+ * Run the Figure 2 comparison for every trace, sharding the 3 x N
+ * simulations across worker threads (@p jobs 0 = ZBP_JOBS / auto).
+ * Row order matches @p traces.
+ */
+std::vector<Fig2Row> runFig2Rows(const std::vector<trace::Trace> &traces,
+                                 unsigned jobs = 0);
+
+/**
  * Generates the 13 paper suites once and amortizes the config-1
- * baseline runs across parameter sweeps (Figures 5-7).
+ * baseline runs across parameter sweeps (Figures 5-7).  Generation
+ * and every batch of simulations run sharded across worker threads.
  */
 class SuiteRunner
 {
@@ -54,22 +68,31 @@ class SuiteRunner
 
     const std::vector<trace::Trace> &traces() const { return tr; }
 
+    /** Worker threads for subsequent batches (0 = ZBP_JOBS / auto). */
+    void setJobs(unsigned n) { jobs = n; }
+
     /** Baseline (config 1) results, computed on first use. */
     const std::vector<cpu::SimResult> &baseline();
 
-    /** Per-trace % CPI improvement of @p cfg over the baseline. */
+    /** Per-trace % CPI improvement of @p cfg over the baseline.  A
+     * failed simulation contributes 0.0 and a warning. */
     std::vector<double> improvements(const core::MachineParams &cfg);
 
     /** Mean of improvements() — the y-axis of Figures 5/6/7. */
     double averageImprovement(const core::MachineParams &cfg);
 
-    /** Optional progress callback (called once per simulation run). */
+    /** Optional progress callback (called once per completed
+     * simulation, from the completing worker, serialised). */
     void setProgress(std::function<void(const std::string &)> cb);
 
   private:
+    std::vector<cpu::SimResult> runBatch(const core::MachineParams &cfg,
+                                         const std::string &cfg_name);
+
     std::vector<trace::Trace> tr;
     std::vector<cpu::SimResult> base;
     std::function<void(const std::string &)> progress;
+    unsigned jobs = 0;
 };
 
 } // namespace zbp::sim

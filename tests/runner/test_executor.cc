@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the generic sharded executor: worker-count resolution from
+ * ZBP_JOBS, completion of every index under parallel execution, and
+ * per-job exception capture.
+ */
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "zbp/runner/executor.hh"
+
+namespace zbp::runner
+{
+namespace
+{
+
+class JobsEnv : public ::testing::Test
+{
+  protected:
+    void SetUp() override { unsetenv("ZBP_JOBS"); }
+    void TearDown() override { unsetenv("ZBP_JOBS"); }
+};
+
+TEST_F(JobsEnv, DefaultsToHardwareConcurrency)
+{
+    EXPECT_GE(jobsFromEnv(), 1u);
+}
+
+TEST_F(JobsEnv, HonoursValidValue)
+{
+    setenv("ZBP_JOBS", "7", 1);
+    EXPECT_EQ(jobsFromEnv(), 7u);
+    EXPECT_EQ(resolveJobs(0), 7u);
+}
+
+TEST_F(JobsEnv, ExplicitValueWinsOverEnv)
+{
+    setenv("ZBP_JOBS", "7", 1);
+    EXPECT_EQ(resolveJobs(3), 3u);
+}
+
+TEST_F(JobsEnv, RejectsGarbage)
+{
+    for (const char *bad : {"0", "-2", "abc", "4x", ""}) {
+        setenv("ZBP_JOBS", bad, 1);
+        EXPECT_GE(jobsFromEnv(), 1u) << "ZBP_JOBS=" << bad;
+    }
+}
+
+TEST(ParallelExecutor, RunsEveryIndexExactlyOnce)
+{
+    constexpr std::size_t kN = 200;
+    std::vector<std::atomic<int>> hits(kN);
+    ParallelExecutor exec(8);
+    const auto failures = exec.run(kN, [&](std::size_t i) {
+        hits[i].fetch_add(1);
+    });
+    EXPECT_TRUE(failures.empty());
+    for (std::size_t i = 0; i < kN; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelExecutor, SingleWorkerRunsInline)
+{
+    // With one worker the executor must not spawn threads: jobs run in
+    // index order on the calling thread.
+    std::vector<std::size_t> order;
+    ParallelExecutor exec(1);
+    exec.run(10, [&](std::size_t i) { order.push_back(i); });
+    ASSERT_EQ(order.size(), 10u);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelExecutor, CapturesExceptionsAndKeepsGoing)
+{
+    constexpr std::size_t kN = 64;
+    std::vector<std::atomic<int>> hits(kN);
+    ParallelExecutor exec(8);
+    const auto failures = exec.run(kN, [&](std::size_t i) {
+        hits[i].fetch_add(1);
+        if (i % 10 == 3)
+            throw std::runtime_error("job " + std::to_string(i) +
+                                     " exploded");
+    });
+    // Every job ran, including the ones after throwing jobs.
+    for (std::size_t i = 0; i < kN; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    // Failures: 3, 13, 23, 33, 43, 53, 63, sorted by index.
+    ASSERT_EQ(failures.size(), 7u);
+    for (std::size_t k = 0; k < failures.size(); ++k) {
+        EXPECT_EQ(failures[k].index, 10 * k + 3);
+        EXPECT_NE(failures[k].message.find("exploded"),
+                  std::string::npos);
+    }
+}
+
+TEST(ParallelExecutor, CapturesNonStdExceptions)
+{
+    ParallelExecutor exec(2);
+    const auto failures = exec.run(3, [](std::size_t i) {
+        if (i == 1)
+            throw 42; // not a std::exception
+    });
+    ASSERT_EQ(failures.size(), 1u);
+    EXPECT_EQ(failures[0].index, 1u);
+    EXPECT_EQ(failures[0].message, "unknown exception");
+}
+
+TEST(ParallelExecutor, ZeroJobsIsANoOp)
+{
+    ParallelExecutor exec(4);
+    int calls = 0;
+    const auto failures = exec.run(0, [&](std::size_t) { ++calls; });
+    EXPECT_TRUE(failures.empty());
+    EXPECT_EQ(calls, 0);
+}
+
+} // namespace
+} // namespace zbp::runner

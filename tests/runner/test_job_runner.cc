@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for the simulation job runner: the parallel-equals-serial
+ * determinism guarantee, exception isolation within a sweep, seed
+ * derivation, and progress accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "zbp/runner/job_runner.hh"
+#include "zbp/sim/configs.hh"
+#include "zbp/workload/suites.hh"
+
+namespace zbp::runner
+{
+namespace
+{
+
+std::vector<trace::Trace>
+smallTraces()
+{
+    std::vector<trace::Trace> v;
+    v.push_back(workload::makeSuiteTrace(workload::findSuite("cb84"),
+                                         0.01));
+    v.push_back(workload::makeSuiteTrace(workload::findSuite("tpf"),
+                                         0.01));
+    return v;
+}
+
+std::vector<SimJob>
+crossJobs(const std::vector<trace::Trace> &traces)
+{
+    std::vector<SimJob> jobs;
+    for (const auto &t : traces) {
+        jobs.push_back({"no-btb2", sim::configNoBtb2(), &t});
+        jobs.push_back({"btb2", sim::configBtb2(), &t});
+        jobs.push_back({"large-btb1", sim::configLargeBtb1(), &t});
+    }
+    return jobs;
+}
+
+/** Field-by-field equality; SimResult has no operator==. */
+void
+expectIdentical(const cpu::SimResult &a, const cpu::SimResult &b)
+{
+    EXPECT_EQ(a.traceName, b.traceName);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cpi, b.cpi); // bit-identical, not just close
+    EXPECT_EQ(a.branches, b.branches);
+    EXPECT_EQ(a.takenBranches, b.takenBranches);
+    EXPECT_EQ(a.correct, b.correct);
+    EXPECT_EQ(a.mispredictDir, b.mispredictDir);
+    EXPECT_EQ(a.mispredictTarget, b.mispredictTarget);
+    EXPECT_EQ(a.surpriseCompulsory, b.surpriseCompulsory);
+    EXPECT_EQ(a.surpriseLatency, b.surpriseLatency);
+    EXPECT_EQ(a.surpriseCapacity, b.surpriseCapacity);
+    EXPECT_EQ(a.surpriseBenign, b.surpriseBenign);
+    EXPECT_EQ(a.phantoms, b.phantoms);
+    EXPECT_EQ(a.icacheMisses, b.icacheMisses);
+    EXPECT_EQ(a.dcacheMisses, b.dcacheMisses);
+    EXPECT_EQ(a.btb1MissReports, b.btb1MissReports);
+    EXPECT_EQ(a.btb2RowReads, b.btb2RowReads);
+    EXPECT_EQ(a.btb2Transfers, b.btb2Transfers);
+    EXPECT_EQ(a.btb2FullSearches, b.btb2FullSearches);
+    EXPECT_EQ(a.btb2PartialSearches, b.btb2PartialSearches);
+    EXPECT_EQ(a.predictionsMade, b.predictionsMade);
+    EXPECT_EQ(a.statsText, b.statsText);
+}
+
+TEST(JobRunner, ParallelIsBitIdenticalToSerial)
+{
+    const auto traces = smallTraces();
+    const auto jobs = crossJobs(traces); // 6 jobs
+
+    JobRunner serial(1);
+    serial.setSinkPath("");
+    auto a = serial.run(jobs);
+
+    JobRunner parallel(8);
+    parallel.setSinkPath("");
+    auto b = parallel.run(jobs);
+
+    ASSERT_EQ(a.size(), jobs.size());
+    ASSERT_EQ(b.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        ASSERT_TRUE(a[i].ok) << "serial job " << i << ": " << a[i].error;
+        ASSERT_TRUE(b[i].ok) << "parallel job " << i << ": "
+                             << b[i].error;
+        expectIdentical(a[i].result, b[i].result);
+    }
+}
+
+TEST(JobRunner, OneFailingJobDoesNotPoisonTheSweep)
+{
+    const auto traces = smallTraces();
+    std::vector<SimJob> jobs;
+    jobs.push_back({"ok-1", sim::configNoBtb2(), &traces[0]});
+    jobs.push_back({"broken", sim::configNoBtb2(), nullptr});
+    jobs.push_back({"ok-2", sim::configBtb2(), &traces[1]});
+
+    JobRunner jr(4);
+    jr.setSinkPath("");
+    const auto res = jr.run(jobs);
+    ASSERT_EQ(res.size(), 3u);
+    EXPECT_TRUE(res[0].ok);
+    EXPECT_FALSE(res[1].ok);
+    EXPECT_NE(res[1].error.find("no trace"), std::string::npos);
+    EXPECT_TRUE(res[2].ok);
+    EXPECT_GT(res[0].result.cycles, 0u);
+    EXPECT_GT(res[2].result.cycles, 0u);
+}
+
+TEST(JobRunner, ProgressReportsEveryJobWithTiming)
+{
+    const auto traces = smallTraces();
+    const auto jobs = crossJobs(traces);
+
+    JobRunner jr(4);
+    jr.setSinkPath("");
+    std::vector<ProgressMeter::Event> events;
+    jr.setProgress([&](const ProgressMeter::Event &e) {
+        events.push_back(e); // serialised by the meter's lock
+    });
+    jr.run(jobs);
+
+    ASSERT_EQ(events.size(), jobs.size());
+    for (const auto &e : events) {
+        EXPECT_EQ(e.total, jobs.size());
+        EXPECT_GE(e.done, 1u);
+        EXPECT_LE(e.done, jobs.size());
+        EXPECT_GE(e.jobSeconds, 0.0);
+        EXPECT_GE(e.etaSeconds, 0.0);
+        EXPECT_NE(e.label.find('/'), std::string::npos);
+    }
+    EXPECT_EQ(events.back().done, jobs.size());
+    EXPECT_EQ(events.back().etaSeconds, 0.0);
+}
+
+TEST(JobRunner, SeedDerivationIsStableAndIdentityBased)
+{
+    const auto s1 = JobRunner::deriveSeed("btb2", "cb84");
+    EXPECT_EQ(s1, JobRunner::deriveSeed("btb2", "cb84"));
+    EXPECT_NE(s1, JobRunner::deriveSeed("btb2", "tpf"));
+    EXPECT_NE(s1, JobRunner::deriveSeed("no-btb2", "cb84"));
+    // The separator keeps ("ab","c") distinct from ("a","bc").
+    EXPECT_NE(JobRunner::deriveSeed("ab", "c"),
+              JobRunner::deriveSeed("a", "bc"));
+}
+
+} // namespace
+} // namespace zbp::runner

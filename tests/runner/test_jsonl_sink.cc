@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tests for the JSONL results sink: JSON encoding/escaping, append
+ * semantics, and a full round trip — run a sharded sweep with the sink
+ * attached, parse the file back, and match the records against the
+ * in-memory results.
+ */
+
+#include <cstdio>
+#include <fstream>
+
+#include <unistd.h>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "zbp/runner/job_runner.hh"
+#include "zbp/runner/jsonl_sink.hh"
+#include "zbp/sim/configs.hh"
+#include "zbp/workload/suites.hh"
+
+namespace zbp::runner
+{
+namespace
+{
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + "zbp_" + name + "_" +
+           std::to_string(::getpid()) + ".jsonl";
+}
+
+std::vector<std::string>
+readLines(const std::string &path)
+{
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    return lines;
+}
+
+/**
+ * Minimal flat-JSON field extractor, sufficient for the sink's own
+ * records (no nesting, no arrays).  Returns the raw value text:
+ * strings keep their quotes.
+ */
+std::map<std::string, std::string>
+parseFlat(const std::string &line)
+{
+    std::map<std::string, std::string> out;
+    EXPECT_GE(line.size(), 2u);
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    std::size_t i = 1;
+    while (i < line.size() - 1) {
+        EXPECT_EQ(line[i], '"') << "at offset " << i << " in " << line;
+        const std::size_t kend = line.find('"', i + 1);
+        const std::string key = line.substr(i + 1, kend - i - 1);
+        EXPECT_EQ(line[kend + 1], ':');
+        std::size_t j = kend + 2;
+        std::string value;
+        if (line[j] == '"') {
+            // String value; honour backslash escapes.
+            value += '"';
+            ++j;
+            while (line[j] != '"') {
+                if (line[j] == '\\') {
+                    value += line[j];
+                    ++j;
+                }
+                value += line[j];
+                ++j;
+            }
+            value += '"';
+            ++j;
+        } else {
+            while (j < line.size() - 1 && line[j] != ',')
+                value += line[j++];
+        }
+        out[key] = value;
+        if (line[j] == ',')
+            ++j;
+        i = j;
+    }
+    return out;
+}
+
+TEST(JsonObject, BuildsOrderedFields)
+{
+    JsonObject o;
+    o.field("s", "hi").field("d", 1.5).field("u", std::uint64_t{42});
+    o.field("b", true);
+    EXPECT_EQ(o.str(), "{\"s\":\"hi\",\"d\":1.5,\"u\":42,\"b\":true}");
+}
+
+TEST(JsonObject, EscapesQuotesBackslashesAndControls)
+{
+    JsonObject o;
+    o.field("k", std::string("a\"b\\c\nd"));
+    EXPECT_EQ(o.str(), "{\"k\":\"a\\\"b\\\\c\\u000ad\"}");
+}
+
+TEST(JsonlSink, DisabledSinkWritesNothing)
+{
+    JsonlSink sink("");
+    EXPECT_FALSE(sink.enabled());
+    sink.write("{\"x\":1}"); // must be a harmless no-op
+    EXPECT_EQ(sink.linesWritten(), 0u);
+}
+
+TEST(JsonlSink, AppendsOneLinePerRecord)
+{
+    const auto path = tempPath("append");
+    std::remove(path.c_str());
+    {
+        JsonlSink sink(path);
+        ASSERT_TRUE(sink.enabled());
+        sink.write("{\"x\":1}");
+        sink.write("{\"x\":2}");
+        EXPECT_EQ(sink.linesWritten(), 2u);
+    }
+    {
+        // Re-opening appends rather than truncating.
+        JsonlSink sink(path);
+        sink.write("{\"x\":3}");
+    }
+    const auto lines = readLines(path);
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_EQ(lines[0], "{\"x\":1}");
+    EXPECT_EQ(lines[2], "{\"x\":3}");
+    std::remove(path.c_str());
+}
+
+TEST(JsonlSink, SweepRoundTripMatchesInMemoryResults)
+{
+    const auto path = tempPath("roundtrip");
+    std::remove(path.c_str());
+
+    const auto trace = workload::makeSuiteTrace(
+            workload::findSuite("cb84"), 0.01);
+    std::vector<SimJob> jobs;
+    jobs.push_back({"no-btb2", sim::configNoBtb2(), &trace});
+    jobs.push_back({"btb2", sim::configBtb2(), &trace});
+    jobs.push_back({"broken", sim::configBtb2(), nullptr});
+
+    JobRunner jr(4);
+    jr.setSinkPath(path);
+    const auto res = jr.run(jobs);
+
+    const auto lines = readLines(path);
+    ASSERT_EQ(lines.size(), jobs.size()); // one record per job
+
+    // Records are written in completion order; index them by config.
+    std::map<std::string, std::map<std::string, std::string>> byConfig;
+    for (const auto &line : lines) {
+        auto rec = parseFlat(line);
+        byConfig[rec.at("config")] = rec;
+    }
+    ASSERT_EQ(byConfig.size(), 3u);
+
+    for (std::size_t i = 0; i < 2; ++i) {
+        ASSERT_TRUE(res[i].ok);
+        const auto &rec = byConfig.at('"' + jobs[i].configName + '"');
+        EXPECT_EQ(rec.at("trace"), "\"cb84\"");
+        EXPECT_EQ(rec.at("ok"), "true");
+        EXPECT_EQ(rec.at("cycles"),
+                  std::to_string(res[i].result.cycles));
+        EXPECT_EQ(rec.at("instructions"),
+                  std::to_string(res[i].result.instructions));
+        EXPECT_EQ(rec.at("branches"),
+                  std::to_string(res[i].result.branches));
+        // cpi survives the %.17g round trip exactly.
+        EXPECT_EQ(std::stod(rec.at("cpi")), res[i].result.cpi);
+        EXPECT_GE(std::stod(rec.at("seconds")), 0.0);
+    }
+
+    const auto &bad = byConfig.at("\"broken\"");
+    EXPECT_EQ(bad.at("ok"), "false");
+    EXPECT_EQ(bad.at("trace"), "\"<null>\"");
+    EXPECT_NE(bad.at("error").find("no trace"), std::string::npos);
+    EXPECT_EQ(bad.count("cpi"), 0u); // no result fields on failures
+    std::remove(path.c_str());
+}
+
+TEST(JsonlSink, JobRecordContainsTheCounterSchema)
+{
+    SimJob job;
+    job.configName = "cfg";
+    trace::Trace t("tr");
+    job.trace = &t;
+    job.seed = 7;
+    SimJobResult r;
+    r.ok = true;
+    r.seconds = 0.25;
+    r.result.cpi = 1.5;
+    r.result.cycles = 300;
+    r.result.instructions = 200;
+    const auto rec = parseFlat(jobRecord(job, r));
+    for (const char *key :
+         {"trace", "config", "seed", "ok", "seconds", "cpi", "cycles",
+          "instructions", "branches", "icacheMisses", "btb2RowReads",
+          "btb2Transfers", "predictionsMade"})
+        EXPECT_EQ(rec.count(key), 1u) << "missing field " << key;
+    EXPECT_EQ(rec.at("seed"), "7");
+    EXPECT_EQ(rec.at("cycles"), "300");
+}
+
+} // namespace
+} // namespace zbp::runner
