@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Simulator hot-path performance benchmarks: the allocation-free
+ * structure primitives (BTB row search/read, first-level search with
+ * candidate merge) and end-to-end CoreModel::run throughput with the
+ * event-skipping loop, with stats-text collection on and off.
+ *
+ * Headline trajectory numbers live in BENCH_sim.json, produced by
+ * scripts/perf.sh from a fixed-seed sweep; this binary is for zooming
+ * into individual layers when the headline moves.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "zbp/core/hierarchy.hh"
+#include "zbp/cpu/core_model.hh"
+#include "zbp/sim/configs.hh"
+#include "zbp/workload/generator.hh"
+#include "zbp/workload/program_builder.hh"
+
+namespace
+{
+
+using namespace zbp;
+
+// --- structure primitives -------------------------------------------
+
+void
+BM_SearchFromDense(benchmark::State &state)
+{
+    // Rows hold multiple same-row branches, so the offset-ordered
+    // insertion path is exercised, not just the empty-row fast path.
+    btb::SetAssocBtb t("btb1", btb::btb1Config());
+    for (Addr ia = 0; ia < 4096 * 8; ia += 10)
+        t.install(btb::BtbEntry::freshTaken(ia, ia + 64));
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(t.searchFrom(a));
+        a = (a + 14) & 0xFFFF;
+    }
+}
+BENCHMARK(BM_SearchFromDense);
+
+void
+BM_SearchFromEmpty(benchmark::State &state)
+{
+    // The fruitless-search case dominates sequential code regions.
+    btb::SetAssocBtb t("btb1", btb::btb1Config());
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(t.searchFrom(a));
+        a = (a + 32) & 0xFFFF;
+    }
+}
+BENCHMARK(BM_SearchFromEmpty);
+
+void
+BM_ReadRowDense(benchmark::State &state)
+{
+    btb::SetAssocBtb t("btb2", btb::btb2Config());
+    for (Addr ia = 0; ia < 4096 * 32; ia += 12)
+        t.install(btb::BtbEntry::freshTaken(ia, ia + 64));
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(t.readRow(a));
+        a = (a + 32) & 0x1FFFF;
+    }
+}
+BENCHMARK(BM_ReadRowDense);
+
+void
+BM_Lookup(benchmark::State &state)
+{
+    btb::SetAssocBtb t("btb1", btb::btb1Config());
+    for (Addr ia = 0; ia < 4096 * 8; ia += 24)
+        t.install(btb::BtbEntry::freshTaken(ia, ia + 64));
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(t.lookup(a));
+        a = (a + 24) & 0xFFFF;
+    }
+}
+BENCHMARK(BM_Lookup);
+
+void
+BM_FirstLevelSearchMerged(benchmark::State &state)
+{
+    // Both levels populated so the BTB1 + BTBP candidate merge and
+    // cross-level dedup run, not just one table's hits.
+    core::BranchPredictorHierarchy bp{core::MachineParams{}};
+    for (Addr ia = 0; ia < 4096 * 8; ia += 10) {
+        bp.btb1().install(btb::BtbEntry::freshTaken(ia, ia + 64));
+        bp.btbp().install(btb::BtbEntry::freshTaken(ia + 4, ia + 96));
+    }
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(bp.searchFirstLevel(a));
+        a = (a + 14) & 0xFFFF;
+    }
+}
+BENCHMARK(BM_FirstLevelSearchMerged);
+
+// --- end-to-end simulation ------------------------------------------
+
+trace::Trace
+benchTrace()
+{
+    workload::BuildParams bp;
+    bp.seed = 21;
+    bp.numFunctions = 400;
+    const auto prog = workload::buildProgram(bp);
+    workload::GenParams gp;
+    gp.seed = 22;
+    gp.length = 60'000;
+    return workload::generateTrace(prog, gp, "perf-sim");
+}
+
+void
+runEndToEnd(benchmark::State &state, core::MachineParams cfg,
+            bool stats_text)
+{
+    cfg.collectStatsText = stats_text;
+    const auto trace = benchTrace();
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        cpu::CoreModel model(cfg);
+        const auto r = model.run(trace);
+        cycles += r.cycles;
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(
+            static_cast<std::int64_t>(state.iterations()) * 60'000);
+    state.counters["cycles/s"] = benchmark::Counter(
+            static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+
+void
+BM_RunBtb2(benchmark::State &state)
+{
+    runEndToEnd(state, sim::configBtb2(), false);
+}
+BENCHMARK(BM_RunBtb2)->Unit(benchmark::kMillisecond);
+
+void
+BM_RunNoBtb2(benchmark::State &state)
+{
+    runEndToEnd(state, sim::configNoBtb2(), false);
+}
+BENCHMARK(BM_RunNoBtb2)->Unit(benchmark::kMillisecond);
+
+void
+BM_RunBtb2StatsText(benchmark::State &state)
+{
+    runEndToEnd(state, sim::configBtb2(), true);
+}
+BENCHMARK(BM_RunBtb2StatsText)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+#
+# Performance trajectory: time the fixed-seed Figure 2 sweep single-
+# threaded and write BENCH_sim.json (wall-clock, traces/sec, simulated
+# cycles/sec) next to the repo root, so hot-path changes have a
+# recorded headline number to move against the checked-in baseline.
+#
+# The workload is deliberately pinned: fig2_cpi, ZBP_JOBS=1,
+# ZBP_LEN_SCALE=0.25 — the same sweep the pre-optimisation baseline in
+# BENCH_sim.json was measured with.
+#
+# Usage:
+#   scripts/perf.sh            # run, print, and write BENCH_sim.json
+#
+# Environment:
+#   ZBP_PERF_BUILD_DIR  build tree (default: <repo>/build)
+#   ZBP_PERF_SCALE      trace length scale (default: 0.25 — changing it
+#                       invalidates the baseline comparison)
+#   ZBP_PERF_OUT        output path (default: <repo>/BENCH_sim.json)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${ZBP_PERF_BUILD_DIR:-$repo_root/build}"
+scale="${ZBP_PERF_SCALE:-0.25}"
+out="${ZBP_PERF_OUT:-$repo_root/BENCH_sim.json}"
+
+bench="$build_dir/bench/fig2_cpi"
+if [[ ! -x "$bench" ]]; then
+    echo "perf: missing $bench (build the repo first)" >&2
+    exit 1
+fi
+
+results="$(mktemp /tmp/zbp_perf_XXXXXX.jsonl)"
+trap 'rm -f "$results"' EXIT
+rm -f "$results"
+
+echo "== perf: fig2_cpi, ZBP_JOBS=1, ZBP_LEN_SCALE=$scale =="
+BENCH="$bench" RESULTS="$results" SCALE="$scale" OUT="$out" \
+    python3 - <<'EOF'
+import json
+import os
+import subprocess
+import time
+
+bench = os.environ["BENCH"]
+results = os.environ["RESULTS"]
+scale = os.environ["SCALE"]
+out = os.environ["OUT"]
+
+env = dict(os.environ, ZBP_JOBS="1", ZBP_LEN_SCALE=scale,
+           ZBP_RESULTS_JSONL=results)
+t0 = time.monotonic()
+subprocess.run([bench], check=True, env=env,
+               stdout=subprocess.DEVNULL)
+wall = time.monotonic() - t0
+
+jobs = 0
+cycles = 0
+insts = 0
+sim_seconds = 0.0
+with open(results) as f:
+    for line in f:
+        rec = json.loads(line)
+        if not rec.get("ok", False):
+            raise SystemExit(f"perf: failed job in sweep: {line}")
+        jobs += 1
+        cycles += rec["cycles"]
+        insts += rec["instructions"]
+        sim_seconds += rec["seconds"]
+
+current = {
+    "wall_seconds": round(wall, 3),
+    "sim_seconds": round(sim_seconds, 3),
+    "jobs": jobs,
+    "simulated_cycles": cycles,
+    "simulated_instructions": insts,
+    "traces_per_second": round(jobs / wall, 3),
+    "cycles_per_second": round(cycles / wall, 1),
+}
+
+# Single-thread baseline measured on the pre-optimisation tree
+# (per-cycle loop, heap-allocating hit lists, unconditional stats
+# text), same machine class, same pinned workload.
+baseline = {
+    "wall_seconds": 9.686,
+    "sim_seconds": 8.326,
+    "jobs": 39,
+    "simulated_cycles": 36289068,
+    "simulated_instructions": 18686757,
+    "traces_per_second": 4.026,
+    "cycles_per_second": 3746549.0,
+}
+
+doc = {
+    "benchmark": "fig2_cpi single-thread sweep",
+    "workload": {"bench": "fig2_cpi", "jobs": 1, "len_scale": scale},
+    "baseline_pre_optimization": baseline,
+    "current": current,
+    "speedup_vs_baseline": round(
+        baseline["wall_seconds"] / current["wall_seconds"], 2),
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+
+print(f"perf: wall {current['wall_seconds']}s, "
+      f"{current['traces_per_second']} traces/s, "
+      f"{current['cycles_per_second']:.3g} simulated cycles/s")
+print(f"perf: {doc['speedup_vs_baseline']}x vs pre-optimization "
+      f"baseline ({baseline['wall_seconds']}s)")
+print(f"perf: wrote {out}")
+EOF

@@ -17,6 +17,8 @@
 
 set -euo pipefail
 
+smoke_start=$SECONDS
+
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${ZBP_SMOKE_BUILD_DIR:-$repo_root/build}"
 jobs="${ZBP_SMOKE_JOBS:-4}"
@@ -63,3 +65,4 @@ if grep -q '"ok":false' "$results"; then
 fi
 
 echo "smoke: OK ($records records, all jobs ok)"
+echo "smoke: total wall-clock $((SECONDS - smoke_start))s"

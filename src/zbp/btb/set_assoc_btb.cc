@@ -1,7 +1,5 @@
 #include "zbp/btb/set_assoc_btb.hh"
 
-#include <algorithm>
-
 namespace zbp::btb
 {
 
@@ -32,89 +30,14 @@ SetAssocBtb::SetAssocBtb(std::string name, const BtbConfig &cfg_)
     ZBP_ASSERT(isPowerOf2(cfg.rows), "BTB rows must be a power of two");
     ZBP_ASSERT(isPowerOf2(cfg.rowBytes), "rowBytes must be a power of two");
     ZBP_ASSERT(cfg.ways >= 1, "BTB needs at least one way");
+    ZBP_ASSERT(cfg.ways <= kMaxBtbWays,
+               "BTB ways exceed the inline hit-list capacity");
     ZBP_ASSERT(cfg.tagBits >= 1 && cfg.tagBits <= 58, "bad tagBits");
+    cfg.precompute();
     slots.resize(cfg.entries());
     lru.reserve(cfg.rows);
     for (std::uint32_t r = 0; r < cfg.rows; ++r)
         lru.emplace_back(cfg.ways);
-}
-
-BtbEntry *
-SetAssocBtb::rowPtr(std::uint32_t row)
-{
-    return &slots[static_cast<std::size_t>(row) * cfg.ways];
-}
-
-const BtbEntry *
-SetAssocBtb::rowPtr(std::uint32_t row) const
-{
-    return &slots[static_cast<std::size_t>(row) * cfg.ways];
-}
-
-bool
-SetAssocBtb::tagMatch(Addr entry_ia, Addr ia) const
-{
-    // Both addresses are in the same row by construction; the tag is the
-    // low tagBits of the address above the row-index field, plus the
-    // byte offset within the row (distinguishing branches in one row).
-    const std::uint64_t span = std::uint64_t{cfg.rows} * cfg.rowBytes;
-    const std::uint64_t tag_a = (entry_ia / span) & maskBits(cfg.tagBits);
-    const std::uint64_t tag_b = (ia / span) & maskBits(cfg.tagBits);
-    return tag_a == tag_b;
-}
-
-std::vector<BtbHit>
-SetAssocBtb::searchFrom(Addr search_addr) const
-{
-    const std::uint32_t row = rowOf(search_addr);
-    const BtbEntry *r = rowPtr(row);
-    std::vector<BtbHit> hits;
-    for (std::uint32_t w = 0; w < cfg.ways; ++w) {
-        const BtbEntry &e = r[w];
-        if (!e.valid || !tagMatch(e.ia, search_addr))
-            continue;
-        // Same-row offset comparison: only branches at or after the
-        // search point are candidates.
-        if ((e.ia % cfg.rowBytes) < (search_addr % cfg.rowBytes))
-            continue;
-        hits.push_back({row, w, &e});
-    }
-    std::sort(hits.begin(), hits.end(),
-              [this](const BtbHit &a, const BtbHit &b) {
-                  const auto oa = a.entry->ia % cfg.rowBytes;
-                  const auto ob = b.entry->ia % cfg.rowBytes;
-                  return oa != ob ? oa < ob : a.way < b.way;
-              });
-    return hits;
-}
-
-std::vector<BtbHit>
-SetAssocBtb::readRow(Addr row_addr) const
-{
-    const std::uint32_t row = rowOf(row_addr);
-    const BtbEntry *r = rowPtr(row);
-    std::vector<BtbHit> hits;
-    for (std::uint32_t w = 0; w < cfg.ways; ++w) {
-        const BtbEntry &e = r[w];
-        if (e.valid && tagMatch(e.ia, row_addr))
-            hits.push_back({row, w, &e});
-    }
-    return hits;
-}
-
-std::optional<BtbHit>
-SetAssocBtb::lookup(Addr ia) const
-{
-    const std::uint32_t row = rowOf(ia);
-    const BtbEntry *r = rowPtr(row);
-    for (std::uint32_t w = 0; w < cfg.ways; ++w) {
-        const BtbEntry &e = r[w];
-        if (e.valid && tagMatch(e.ia, ia) &&
-            (e.ia % cfg.rowBytes) == (ia % cfg.rowBytes)) {
-            return BtbHit{row, w, &e};
-        }
-    }
-    return std::nullopt;
 }
 
 BtbEntry &
@@ -141,7 +64,7 @@ SetAssocBtb::install(const BtbEntry &e, bool make_mru)
     // Same-branch update in place.
     for (std::uint32_t w = 0; w < cfg.ways; ++w) {
         if (r[w].valid && tagMatch(r[w].ia, e.ia) &&
-            (r[w].ia % cfg.rowBytes) == (e.ia % cfg.rowBytes)) {
+            ((r[w].ia ^ e.ia) & cfg.offsetMask) == 0) {
             r[w] = e;
             if (make_mru)
                 lru[row].touch(w);
@@ -205,6 +128,10 @@ SetAssocBtb::reset()
 {
     for (auto &s : slots)
         s.clear();
+    // Recency must go with the contents: a reset table should fill way
+    // 0 first again, not in whatever order history left behind.
+    for (auto &l : lru)
+        l.reset();
 }
 
 std::uint64_t

@@ -17,6 +17,7 @@
 #ifndef ZBP_BTB_SET_ASSOC_BTB_HH
 #define ZBP_BTB_SET_ASSOC_BTB_HH
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -30,6 +31,10 @@
 namespace zbp::btb
 {
 
+/** Upper bound on ways for the inline hit list (largest real config,
+ * BTBP/BTB2, uses 6; the Fig. 5 sweep never exceeds that). */
+constexpr std::uint32_t kMaxBtbWays = 8;
+
 /** Geometry of one BTB level. */
 struct BtbConfig
 {
@@ -40,7 +45,27 @@ struct BtbConfig
      * values re-introduce the aliasing the paper discusses. */
     unsigned tagBits = 40;
 
+    // Derived shift/mask constants so the per-access address math is
+    // all shifts (rows and rowBytes are powers of two).  Filled in by
+    // precompute(); a default-initialised config is unusable until a
+    // SetAssocBtb (whose constructor calls it) owns it.
+    unsigned rowShift = 0;          ///< log2(rowBytes)
+    std::uint64_t rowMask = 0;      ///< rows - 1
+    std::uint64_t offsetMask = 0;   ///< rowBytes - 1
+    unsigned tagShift = 0;          ///< log2(rows * rowBytes)
+    std::uint64_t tagMask = 0;      ///< maskBits(tagBits)
+
     std::uint64_t entries() const { return std::uint64_t{rows} * ways; }
+
+    void
+    precompute()
+    {
+        rowShift = floorLog2(rowBytes);
+        rowMask = std::uint64_t{rows} - 1;
+        offsetMask = std::uint64_t{rowBytes} - 1;
+        tagShift = floorLog2(std::uint64_t{rows} * rowBytes);
+        tagMask = maskBits(tagBits);
+    }
 };
 
 /** zEC12 BTB1: 4k branches, 1k x 4, IA bits 49:58. */
@@ -58,6 +83,47 @@ struct BtbHit
     const BtbEntry *entry;
 };
 
+/**
+ * Fixed-capacity hit list: at most one hit per way, so a row access can
+ * never produce more than kMaxBtbWays hits.  Returned by value from the
+ * row-access primitives without touching the heap.
+ */
+class BtbHitList
+{
+  public:
+    using const_iterator = const BtbHit *;
+
+    std::size_t size() const { return n; }
+    bool empty() const { return n == 0; }
+
+    const BtbHit &operator[](std::size_t i) const { return hits[i]; }
+
+    const_iterator begin() const { return hits.data(); }
+    const_iterator end() const { return hits.data() + n; }
+
+    void
+    push_back(const BtbHit &h)
+    {
+        ZBP_ASSERT(n < kMaxBtbWays, "BtbHitList overflow");
+        hits[n++] = h;
+    }
+
+    /** Insert @p h before position @p pos, shifting the tail up. */
+    void
+    insertAt(std::size_t pos, const BtbHit &h)
+    {
+        ZBP_ASSERT(pos <= n && n < kMaxBtbWays, "BtbHitList overflow");
+        for (std::size_t i = n; i > pos; --i)
+            hits[i] = hits[i - 1];
+        hits[pos] = h;
+        ++n;
+    }
+
+  private:
+    std::array<BtbHit, kMaxBtbWays> hits;
+    std::size_t n = 0;
+};
+
 /** Generic tagged set-associative BTB. */
 class SetAssocBtb
 {
@@ -71,27 +137,84 @@ class SetAssocBtb
     std::uint32_t
     rowOf(Addr ia) const
     {
-        return static_cast<std::uint32_t>((ia / cfg.rowBytes) &
-                                          (cfg.rows - 1));
+        return static_cast<std::uint32_t>((ia >> cfg.rowShift) &
+                                          cfg.rowMask);
     }
 
     /** Does @p entry_ia tag-match a lookup of @p ia (same row assumed)? */
-    bool tagMatch(Addr entry_ia, Addr ia) const;
+    bool
+    tagMatch(Addr entry_ia, Addr ia) const
+    {
+        // The tag is the low tagBits of the address above the row-index
+        // field; XOR-then-mask compares both tags in two ops.
+        return (((entry_ia ^ ia) >> cfg.tagShift) & cfg.tagMask) == 0;
+    }
 
     /**
      * Search the row of @p search_addr for valid, tag-matching branches
      * located at or after @p search_addr, in ascending address order.
      * This is the first-level search primitive: one call models one
-     * row access of the b0..b3 pipeline.
+     * row access of the b0..b3 pipeline.  Defined here (not in the
+     * .cc) so the per-search callers inline the way loop.
      */
-    std::vector<BtbHit> searchFrom(Addr search_addr) const;
+    BtbHitList
+    searchFrom(Addr search_addr) const
+    {
+        const std::uint32_t row = rowOf(search_addr);
+        const BtbEntry *r = rowPtr(row);
+        const std::uint64_t from = search_addr & cfg.offsetMask;
+        BtbHitList hits;
+        // Walking ways in ascending order and inserting by row offset
+        // keeps the list sorted by (offset, way) without a sort pass.
+        for (std::uint32_t w = 0; w < cfg.ways; ++w) {
+            const BtbEntry &e = r[w];
+            if (!e.valid || !tagMatch(e.ia, search_addr))
+                continue;
+            // Same-row offset comparison: only branches at or after
+            // the search point are candidates.
+            const std::uint64_t off = e.ia & cfg.offsetMask;
+            if (off < from)
+                continue;
+            std::size_t pos = hits.size();
+            while (pos > 0 &&
+                   (hits[pos - 1].entry->ia & cfg.offsetMask) > off)
+                --pos;
+            hits.insertAt(pos, {row, w, &e});
+        }
+        return hits;
+    }
 
     /** All valid tag-matching branches anywhere in the row of @p addr
-     * (BTB2 bulk read primitive: one row per cycle). */
-    std::vector<BtbHit> readRow(Addr row_addr) const;
+     * (BTB2 bulk read primitive: one row per cycle), in way order. */
+    BtbHitList
+    readRow(Addr row_addr) const
+    {
+        const std::uint32_t row = rowOf(row_addr);
+        const BtbEntry *r = rowPtr(row);
+        BtbHitList hits;
+        for (std::uint32_t w = 0; w < cfg.ways; ++w) {
+            const BtbEntry &e = r[w];
+            if (e.valid && tagMatch(e.ia, row_addr))
+                hits.push_back({row, w, &e});
+        }
+        return hits;
+    }
 
     /** Exact-address lookup (update path). Returns nullopt on miss. */
-    std::optional<BtbHit> lookup(Addr ia) const;
+    std::optional<BtbHit>
+    lookup(Addr ia) const
+    {
+        const std::uint32_t row = rowOf(ia);
+        const BtbEntry *r = rowPtr(row);
+        for (std::uint32_t w = 0; w < cfg.ways; ++w) {
+            const BtbEntry &e = r[w];
+            if (e.valid && tagMatch(e.ia, ia) &&
+                ((e.ia ^ ia) & cfg.offsetMask) == 0) {
+                return BtbHit{row, w, &e};
+            }
+        }
+        return std::nullopt;
+    }
 
     /** Mutable access for in-place update of a known slot. */
     BtbEntry &at(std::uint32_t row, std::uint32_t way);
@@ -139,8 +262,17 @@ class SetAssocBtb
     }
 
   private:
-    BtbEntry *rowPtr(std::uint32_t row);
-    const BtbEntry *rowPtr(std::uint32_t row) const;
+    BtbEntry *
+    rowPtr(std::uint32_t row)
+    {
+        return &slots[static_cast<std::size_t>(row) * cfg.ways];
+    }
+
+    const BtbEntry *
+    rowPtr(std::uint32_t row) const
+    {
+        return &slots[static_cast<std::size_t>(row) * cfg.ways];
+    }
 
     std::string btbName;
     BtbConfig cfg;

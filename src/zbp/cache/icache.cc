@@ -11,6 +11,8 @@ ICache::ICache(const ICacheParams &p) : prm(p)
                "size not divisible by line*ways");
     numSets = prm.sizeBytes / (prm.lineBytes * prm.ways);
     ZBP_ASSERT(isPowerOf2(numSets), "set count must be pow2");
+    lineShift = floorLog2(prm.lineBytes);
+    setShift = floorLog2(numSets);
     lines.resize(static_cast<std::size_t>(numSets) * prm.ways);
     lru.reserve(numSets);
     for (std::uint32_t s = 0; s < numSets; ++s)
@@ -20,13 +22,13 @@ ICache::ICache(const ICacheParams &p) : prm(p)
 std::uint64_t
 ICache::setIndex(Addr addr) const
 {
-    return (addr / prm.lineBytes) & (numSets - 1);
+    return (addr >> lineShift) & (numSets - 1);
 }
 
 Addr
 ICache::tagOf(Addr addr) const
 {
-    return addr / prm.lineBytes / numSets;
+    return addr >> (lineShift + setShift);
 }
 
 bool

@@ -105,6 +105,8 @@ class ICache
 
     ICacheParams prm;
     std::uint32_t numSets;
+    unsigned lineShift;           ///< log2(lineBytes)
+    unsigned setShift;            ///< log2(numSets)
     std::vector<Line> lines;      ///< numSets * ways, row-major
     std::vector<LruState> lru;    ///< one per set
 

@@ -8,14 +8,19 @@
  * taken-branch loop).  The FIT learns, for a taken branch, where the
  * search will land next; the acceleration only applies when the learned
  * target still matches the prediction actually made.
+ *
+ * Storage: a flat node array with an intrusive doubly-linked LRU list.
+ * At 64 entries a linear scan over one packed array beats a node-based
+ * map — no hashing, no pointer chasing, no allocation per learn (the
+ * previous std::list + std::unordered_map implementation paid a heap
+ * node for every insertion on this per-taken-prediction path).
  */
 
 #ifndef ZBP_CORE_FIT_HH
 #define ZBP_CORE_FIT_HH
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
+#include <vector>
 
 #include "zbp/common/types.hh"
 #include "zbp/stats/stats.hh"
@@ -27,7 +32,10 @@ namespace zbp::core
 class FastIndexTable
 {
   public:
-    explicit FastIndexTable(unsigned entries = 64) : capacity(entries) {}
+    explicit FastIndexTable(unsigned entries = 64)
+        : capacity(entries), nodes(entries)
+    {
+    }
 
     /**
      * Query at prediction time: does the FIT know this taken branch and
@@ -36,11 +44,11 @@ class FastIndexTable
     bool
     hit(Addr branch_ia, Addr predicted_target)
     {
-        auto it = map.find(branch_ia);
-        if (it == map.end())
+        const unsigned i = find(branch_ia);
+        if (i == kNone)
             return false;
-        order.splice(order.begin(), order, it->second); // promote to MRU
-        if (it->second->target != predicted_target) {
+        promote(i);
+        if (nodes[i].target != predicted_target) {
             ++nMismatch;
             return false;
         }
@@ -52,30 +60,34 @@ class FastIndexTable
     void
     learn(Addr branch_ia, Addr target)
     {
-        auto it = map.find(branch_ia);
-        if (it != map.end()) {
-            it->second->target = target;
-            order.splice(order.begin(), order, it->second);
+        const unsigned i = find(branch_ia);
+        if (i != kNone) {
+            nodes[i].target = target;
+            promote(i);
             return;
         }
         if (capacity == 0)
             return;
-        if (map.size() >= capacity) {
-            map.erase(order.back().ia);
-            order.pop_back();
+        unsigned slot;
+        if (count >= capacity) {
+            slot = tail; // evict the LRU node, reusing its slot
+            unlink(slot);
+        } else {
+            slot = count++;
         }
-        order.push_front(Node{branch_ia, target});
-        map[branch_ia] = order.begin();
+        nodes[slot].ia = branch_ia;
+        nodes[slot].target = target;
+        linkFront(slot);
     }
 
     void
     reset()
     {
-        map.clear();
-        order.clear();
+        count = 0;
+        head = tail = kNone;
     }
 
-    std::size_t size() const { return map.size(); }
+    std::size_t size() const { return count; }
 
     void
     registerStats(stats::Group &g) const
@@ -85,15 +97,67 @@ class FastIndexTable
     }
 
   private:
+    static constexpr unsigned kNone = ~0u;
+
     struct Node
     {
-        Addr ia;
-        Addr target;
+        Addr ia = 0;
+        Addr target = 0;
+        unsigned prev = kNone;
+        unsigned next = kNone;
     };
 
+    /** All slots below count are live, so one pass over the packed
+     * array is the whole lookup. */
+    unsigned
+    find(Addr branch_ia) const
+    {
+        for (unsigned i = 0; i < count; ++i)
+            if (nodes[i].ia == branch_ia)
+                return i;
+        return kNone;
+    }
+
+    void
+    unlink(unsigned i)
+    {
+        Node &n = nodes[i];
+        if (n.prev != kNone)
+            nodes[n.prev].next = n.next;
+        else
+            head = n.next;
+        if (n.next != kNone)
+            nodes[n.next].prev = n.prev;
+        else
+            tail = n.prev;
+    }
+
+    void
+    linkFront(unsigned i)
+    {
+        nodes[i].prev = kNone;
+        nodes[i].next = head;
+        if (head != kNone)
+            nodes[head].prev = i;
+        head = i;
+        if (tail == kNone)
+            tail = i;
+    }
+
+    void
+    promote(unsigned i)
+    {
+        if (head == i)
+            return;
+        unlink(i);
+        linkFront(i);
+    }
+
     unsigned capacity;
-    std::list<Node> order; ///< front = MRU
-    std::unordered_map<Addr, std::list<Node>::iterator> map;
+    std::vector<Node> nodes;
+    unsigned count = 0;     ///< live slots (always the prefix)
+    unsigned head = kNone;  ///< MRU
+    unsigned tail = kNone;  ///< LRU
 
     stats::Counter nHits;
     stats::Counter nMismatch;

@@ -17,24 +17,25 @@ BranchPredictorHierarchy::BranchPredictorHierarchy(const MachineParams &p)
 {
 }
 
-std::vector<Candidate>
+CandidateList
 BranchPredictorHierarchy::searchFirstLevel(Addr search_addr) const
 {
-    std::vector<Candidate> out;
+    CandidateList out;
 
+    // Insertion keeps the list ordered by perceived IA throughout, so
+    // the duplicate check and the final sort collapse into the
+    // insertion-position scan.
     auto consume = [&](const btb::SetAssocBtb &t, PredictionSource src) {
+        const Addr row_base = alignDown(search_addr, t.config().rowBytes);
         for (const auto &h : t.searchFrom(search_addr)) {
-            const Addr row_base =
-                    alignDown(search_addr, t.config().rowBytes);
             const Addr perceived =
-                    row_base + (h.entry->ia % t.config().rowBytes);
+                    row_base + (h.entry->ia & t.config().offsetMask);
             // Collapse duplicates across levels (same perceived IA):
             // BTB1 is consumed first and wins.
-            const bool dup = std::any_of(
-                    out.begin(), out.end(), [&](const Candidate &c) {
-                        return c.perceivedIa == perceived;
-                    });
-            if (dup)
+            std::size_t pos = 0;
+            while (pos < out.size() && out[pos].perceivedIa < perceived)
+                ++pos;
+            if (pos < out.size() && out[pos].perceivedIa == perceived)
                 continue;
             Candidate c;
             c.entry = *h.entry;
@@ -43,17 +44,13 @@ BranchPredictorHierarchy::searchFirstLevel(Addr search_addr) const
             // MRU-way information affects re-index timing (Table 1).
             c.inMruWay = src == PredictionSource::kBtb1 &&
                          t.isMru(h.row, h.way);
-            out.push_back(c);
+            out.insertAt(pos, c);
         }
     };
 
     consume(*btb1Ptr, PredictionSource::kBtb1);
     consume(*btbpPtr, PredictionSource::kBtbp);
 
-    std::sort(out.begin(), out.end(),
-              [](const Candidate &a, const Candidate &b) {
-                  return a.perceivedIa < b.perceivedIa;
-              });
     return out;
 }
 
@@ -65,13 +62,16 @@ BranchPredictorHierarchy::makePrediction(const Candidate &c,
     p.seq = seq;
     p.ia = c.perceivedIa;
     p.source = c.source;
-    p.hist = specHist;
+    // Fold the pre-branch speculative history once; the same hashes
+    // serve the lookups below and the resolve-time training.
+    p.hist = hashesOf(specHist);
 
     // Direction: bimodal state, PHT override when the entry's gate bit
     // allows it and the PHT has a tag hit.
     bool taken = c.entry.dir.taken();
     if (c.entry.phtAllowed) {
-        if (auto d = phtTable.lookup(p.ia, specHist)) {
+        if (auto d = phtTable.lookupHashed(p.ia, p.hist.phtIndex,
+                                           p.hist.phtTagHash)) {
             if (*d != taken)
                 ++nPhtOverrides;
             taken = *d;
@@ -84,7 +84,7 @@ BranchPredictorHierarchy::makePrediction(const Candidate &c,
     if (taken) {
         p.target = c.entry.target;
         if (c.entry.ctbAllowed) {
-            if (auto t = ctbTable.lookup(p.ia, specHist)) {
+            if (auto t = ctbTable.lookupHashed(p.ia, p.hist.ctbIndex)) {
                 if (*t != p.target)
                     ++nCtbOverrides;
                 p.target = *t;
@@ -129,7 +129,7 @@ BranchPredictorHierarchy::makePrediction(const Candidate &c,
 void
 BranchPredictorHierarchy::trainAfterResolve(btb::BtbEntry &entry,
                                             const Prediction *pred,
-                                            const dir::HistoryState &hist,
+                                            const dir::HistoryHashes &hashes,
                                             trace::InstKind kind,
                                             bool taken, Addr target)
 {
@@ -142,9 +142,12 @@ BranchPredictorHierarchy::trainAfterResolve(btb::BtbEntry &entry,
     // state mispredicted (multi-directional behaviour detected).
     if (kind == trace::InstKind::kCondBranch) {
         if (entry.phtAllowed) {
-            phtTable.update(entry.ia, hist, taken, bimodal_was_wrong);
+            phtTable.updateHashed(entry.ia, hashes.phtIndex,
+                                  hashes.phtTagHash, taken,
+                                  bimodal_was_wrong);
         } else if (bimodal_was_wrong) {
-            phtTable.update(entry.ia, hist, taken, true);
+            phtTable.updateHashed(entry.ia, hashes.phtIndex,
+                                  hashes.phtTagHash, taken, true);
             entry.phtAllowed = true;
         }
     }
@@ -153,11 +156,11 @@ BranchPredictorHierarchy::trainAfterResolve(btb::BtbEntry &entry,
     // branch; gate the CTB on and keep it trained.
     if (taken && target != kNoAddr) {
         if (entry.target != target) {
-            ctbTable.update(entry.ia, hist, target);
+            ctbTable.updateHashed(entry.ia, hashes.ctbIndex, target);
             entry.ctbAllowed = true;
             entry.target = target;
         } else if (entry.ctbAllowed) {
-            ctbTable.update(entry.ia, hist, target);
+            ctbTable.updateHashed(entry.ia, hashes.ctbIndex, target);
         }
     }
 }
@@ -200,15 +203,17 @@ BranchPredictorHierarchy::resolveSurprise(Addr ia, trace::InstKind kind,
     archHist.push(ia, taken);
 
     // The branch may actually be present but was missed by the search
-    // flow (latency); train it in place.
+    // flow (latency); train it in place.  Note: archHist already
+    // includes this branch (pushed above), matching the pre-hashes
+    // behaviour of passing the live architectural history.
     if (auto h = btb1Ptr->lookup(ia)) {
-        trainAfterResolve(btb1Ptr->at(h->row, h->way), nullptr, archHist,
-                          kind, taken, target);
+        trainAfterResolve(btb1Ptr->at(h->row, h->way), nullptr,
+                          hashesOf(archHist), kind, taken, target);
         return;
     }
     if (auto h = btbpPtr->lookup(ia)) {
-        trainAfterResolve(btbpPtr->at(h->row, h->way), nullptr, archHist,
-                          kind, taken, target);
+        trainAfterResolve(btbpPtr->at(h->row, h->way), nullptr,
+                          hashesOf(archHist), kind, taken, target);
         return;
     }
 
@@ -219,7 +224,7 @@ BranchPredictorHierarchy::resolveSurprise(Addr ia, trace::InstKind kind,
         btbpPtr->install(e);
         if (prm.btb2Enabled)
             btb2Ptr->install(e);
-        installCycle[ia] = now;
+        installCycle.assign(ia, now);
         ++nSurpriseInstalls;
     }
 }
@@ -234,10 +239,10 @@ BranchPredictorHierarchy::preload(Addr ia, Addr target)
 std::optional<Cycle>
 BranchPredictorHierarchy::lastInstall(Addr ia) const
 {
-    const auto it = installCycle.find(ia);
-    if (it == installCycle.end())
+    const Cycle *c = installCycle.find(ia);
+    if (c == nullptr)
         return std::nullopt;
-    return it->second;
+    return *c;
 }
 
 void

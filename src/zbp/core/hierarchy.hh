@@ -19,9 +19,9 @@
 #ifndef ZBP_CORE_HIERARCHY_HH
 #define ZBP_CORE_HIERARCHY_HH
 
+#include <array>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "zbp/btb/set_assoc_btb.hh"
@@ -33,6 +33,7 @@
 #include "zbp/dir/pht.hh"
 #include "zbp/dir/surprise_bht.hh"
 #include "zbp/trace/instruction.hh"
+#include "zbp/util/flat_addr_map.hh"
 
 namespace zbp::core
 {
@@ -47,6 +48,43 @@ struct Candidate
      * entry.ia only under tag aliasing. */
     Addr perceivedIa;
     bool inMruWay;            ///< BTB1 MRU-way hit (affects timing)
+};
+
+/**
+ * Fixed-capacity, perceived-IA-ordered candidate list.  One first-level
+ * search consumes at most one hit per way of BTB1 and BTBP, so the
+ * bound is 2 x kMaxBtbWays; keeping it inline makes searchFirstLevel
+ * allocation-free.
+ */
+class CandidateList
+{
+  public:
+    static constexpr std::size_t kCapacity = 2 * btb::kMaxBtbWays;
+
+    using const_iterator = const Candidate *;
+
+    std::size_t size() const { return n; }
+    bool empty() const { return n == 0; }
+
+    const Candidate &operator[](std::size_t i) const { return cands[i]; }
+
+    const_iterator begin() const { return cands.data(); }
+    const_iterator end() const { return cands.data() + n; }
+
+    /** Insert @p c before position @p pos, shifting the tail up. */
+    void
+    insertAt(std::size_t pos, const Candidate &c)
+    {
+        ZBP_ASSERT(pos <= n && n < kCapacity, "CandidateList overflow");
+        for (std::size_t i = n; i > pos; --i)
+            cands[i] = cands[i - 1];
+        cands[pos] = c;
+        ++n;
+    }
+
+  private:
+    std::array<Candidate, kCapacity> cands;
+    std::size_t n = 0;
 };
 
 /** The full first+second level branch prediction state. */
@@ -76,7 +114,7 @@ class BranchPredictorHierarchy
      * ascending perceived-address order (duplicates collapsed, BTB1
      * copy preferred).
      */
-    std::vector<Candidate> searchFirstLevel(Addr search_addr) const;
+    CandidateList searchFirstLevel(Addr search_addr) const;
 
     /**
      * Turn a candidate into a broadcast prediction: choose direction
@@ -118,8 +156,17 @@ class BranchPredictorHierarchy
     const MachineParams &params() const { return prm; }
 
   private:
+    /** Fold @p h into the PHT/CTB index+tag hashes (the per-table
+     * geometry lives in the tables, hence a hierarchy-level helper). */
+    dir::HistoryHashes
+    hashesOf(const dir::HistoryState &h) const
+    {
+        return h.hashes(phtTable.indexWidth(), ctbTable.indexWidth(),
+                        phtTable.tagWidth());
+    }
+
     void trainAfterResolve(btb::BtbEntry &entry, const Prediction *pred,
-                           const dir::HistoryState &hist,
+                           const dir::HistoryHashes &hashes,
                            trace::InstKind kind, bool taken, Addr target);
 
     MachineParams prm;
@@ -133,7 +180,7 @@ class BranchPredictorHierarchy
     dir::HistoryState specHist;
     dir::HistoryState archHist;
 
-    std::unordered_map<Addr, Cycle> installCycle;
+    FlatAddrMap<Cycle> installCycle;
 
     stats::Counter nPredictions;
     stats::Counter nPromotions;

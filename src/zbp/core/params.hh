@@ -98,6 +98,11 @@ struct MachineParams
     /** Report BTB1 misses from decode-time surprises as well (the
      * paper's §3.4 "alternative definition"; off in hardware). */
     bool decodeTimeMissReports = false;
+
+    /** Build SimResult::statsText (the full stats::Group dump).  On by
+     * default for tests and reports; sweeps turn it off to keep string
+     * formatting out of the hot path.  Counters are unaffected. */
+    bool collectStatsText = true;
 };
 
 } // namespace zbp::core

@@ -34,10 +34,12 @@ struct Prediction
     bool usedPht = false;    ///< direction came from the PHT
     bool usedCtb = false;    ///< target came from the CTB
 
-    /** Snapshot of the speculative history *before* this branch was
-     * applied; carried with the prediction so PHT/CTB training at
-     * resolve time uses the same index the lookup used. */
-    dir::HistoryState hist;
+    /** PHT/CTB hashes of the speculative history *before* this branch
+     * was applied; carried with the prediction so training at resolve
+     * time uses the same indices the lookup used.  Only the folded
+     * hashes travel — a full HistoryState snapshot made every queued
+     * prediction ~150 bytes heavier and forced resolve to re-fold. */
+    dir::HistoryHashes hist;
 };
 
 } // namespace zbp::core

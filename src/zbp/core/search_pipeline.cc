@@ -6,7 +6,11 @@ namespace zbp::core
 SearchPipeline::SearchPipeline(const SearchParams &p,
                                BranchPredictorHierarchy &bp_,
                                preload::MissSink *miss_sink)
-    : prm(p), bp(bp_), sink(miss_sink)
+    : prm(p), bp(bp_), sink(miss_sink),
+      // The tick() queue-full check bounds the occupancy at
+      // maxQueuedPredictions plus one row's worth of broadcasts, so
+      // the ring never grows in steady state.
+      preds(p.maxQueuedPredictions + btb::kMaxBtbWays)
 {
     ZBP_ASSERT(prm.missSearchLimit >= 1, "missSearchLimit must be >= 1");
     ZBP_ASSERT(prm.seqBurst >= 1, "seqBurst must be >= 1");

@@ -25,13 +25,12 @@
 #ifndef ZBP_CORE_SEARCH_PIPELINE_HH
 #define ZBP_CORE_SEARCH_PIPELINE_HH
 
-#include <deque>
-
 #include "zbp/core/hierarchy.hh"
 #include "zbp/core/params.hh"
 #include "zbp/core/prediction.hh"
 #include "zbp/preload/miss_sink.hh"
 #include "zbp/stats/stats.hh"
+#include "zbp/util/ring_buffer.hh"
 
 namespace zbp::core
 {
@@ -53,8 +52,20 @@ class SearchPipeline
     /** Advance one cycle. */
     void tick(Cycle now);
 
+    /**
+     * Earliest future cycle at which tick() can act: the next b0 slot,
+     * or kNoCycle when halted.  While the prediction queue is full
+     * this value sits in the past on purpose — the queue-full stall is
+     * counted per cycle, so the caller must not skip any cycle then.
+     */
+    Cycle
+    nextEventAt() const
+    {
+        return searching ? nextSearchAt : kNoCycle;
+    }
+
     /** Broadcast predictions in program order, oldest first. */
-    std::deque<Prediction> &queue() { return preds; }
+    RingBuffer<Prediction> &queue() { return preds; }
 
     bool active() const { return searching; }
     Addr searchAddress() const { return searchAddr; }
@@ -87,7 +98,7 @@ class SearchPipeline
     BranchPredictorHierarchy &bp;
     preload::MissSink *sink;
 
-    std::deque<Prediction> preds;
+    RingBuffer<Prediction> preds;
     std::uint64_t nextSeq = 1; // 0 reserved: "nothing consumed" cursor
 
     bool searching = false;

@@ -29,6 +29,7 @@ CoreModel::CoreModel(const core::MachineParams &p) : prm(p)
     }
     pipe = std::make_unique<core::SearchPipeline>(prm.search, *bp,
                                                   eng.get());
+    fetchBuf = RingBuffer<FetchedInst>(prm.cpu.fetchBufferInsts + 1);
 }
 
 CoreModel::~CoreModel() = default;
@@ -67,8 +68,11 @@ void
 CoreModel::processEvents(Cycle now)
 {
     while (!events.empty() && events.front().at <= now) {
-        const ResolveEvent ev = events.front();
-        events.pop_front();
+        // Dispatch from a reference and pop afterwards: none of the
+        // handlers below enqueues events, so the slot cannot be
+        // reused/moved underneath us, and skipping the ~200-byte copy
+        // matters on this per-resolve path.
+        const ResolveEvent &ev = events.front();
         switch (ev.kind) {
           case ResolveEvent::Kind::kPredicted:
             bp->resolvePredicted(ev.pred, ev.ikind, ev.taken, ev.target,
@@ -84,6 +88,7 @@ CoreModel::processEvents(Cycle now)
             lastRestartCycle = ev.at;
             break;
         }
+        events.pop_front();
     }
 }
 
@@ -227,10 +232,19 @@ CoreModel::fetchTick(Cycle now)
 const core::Prediction *
 CoreModel::nextFetchPred() const
 {
-    for (const auto &p : pipe->queue())
-        if (p.seq > fetchSeqCursor)
-            return &p;
-    return nullptr;
+    // The queue holds consecutive sequence numbers (one producer,
+    // front-only pops), so the first entry past the cursor sits at a
+    // directly computable index instead of needing a scan.
+    const auto &q = pipe->queue();
+    if (q.empty())
+        return nullptr;
+    const std::uint64_t front_seq = q.front().seq;
+    const std::size_t i = front_seq > fetchSeqCursor
+            ? 0
+            : static_cast<std::size_t>(fetchSeqCursor - front_seq + 1);
+    if (i >= q.size())
+        return nullptr;
+    return &q[i];
 }
 
 const core::Prediction *
@@ -239,9 +253,16 @@ CoreModel::findFetchPredFor(Addr ia) const
     // Predictions can be emitted behind fetch (the search catching up
     // after a restart); skip such stragglers and take the first
     // unconsumed prediction for this branch address.
-    for (const auto &p : pipe->queue())
-        if (p.seq > fetchSeqCursor && p.ia == ia)
-            return &p;
+    const auto &q = pipe->queue();
+    if (q.empty())
+        return nullptr;
+    const std::uint64_t front_seq = q.front().seq;
+    std::size_t i = front_seq > fetchSeqCursor
+            ? 0
+            : static_cast<std::size_t>(fetchSeqCursor - front_seq + 1);
+    for (; i < q.size(); ++i)
+        if (q[i].ia == ia)
+            return &q[i];
     return nullptr;
 }
 
@@ -509,8 +530,7 @@ CoreModel::redirectFetchAfter(Cycle resume_at)
     // The instructions already fetched past the current decode point
     // were (conceptually) squashed by a redirect; refetch them when the
     // pipeline restarts.
-    while (!fetchBuf.empty())
-        fetchBuf.pop_back();
+    fetchBuf.clear();
     fetchIdx = decodeIdx;
     fetchStall = FetchStall::kWaitResume;
     fetchResumeAt = resume_at;
@@ -520,6 +540,65 @@ CoreModel::redirectFetchAfter(Cycle resume_at)
     // prediction decode has not consumed yet.
     if (!pipe->queue().empty())
         fetchSeqCursor = pipe->queue().front().seq - 1;
+}
+
+Cycle
+CoreModel::nextWakeAt(Cycle now, Cycle last_progress_at) const
+{
+    // The watchdog compares against the current cycle, so the loop may
+    // never skip past the first cycle on which it would fire.
+    Cycle w = last_progress_at + kWatchdogCycles + 1;
+
+    // Resolve/restart events are appended with a constant decode-to-
+    // resolve delta, so the deque is time-ordered and the front is the
+    // earliest (processEvents already relies on this).
+    if (!events.empty())
+        w = std::min(w, events.front().at);
+
+    w = std::min(w, pipe->nextEventAt());
+    if (eng)
+        w = std::min(w, eng->nextEventAt());
+
+    // Decode: acts once both its stall and the front fetch-buffer
+    // entry's ready cycle have elapsed.
+    if (!fetchBuf.empty())
+        w = std::min(w, std::max(decodeBlockedUntil,
+                                 fetchBuf.front().ready));
+
+    // Fetch.  Candidates may lie at or before now (a no-op recheck is
+    // harmless — waking too early is always safe, only waking late
+    // would change behaviour); the caller clamps to now + 1.
+    if (fetchIdx < tr->size()) {
+        switch (fetchStall) {
+          case FetchStall::kWaitPrediction: {
+            // Wakes when the matching prediction broadcasts or the
+            // resume cycle arrives; a *new* matching prediction can
+            // only appear on a search-pipeline event, covered above.
+            const core::Prediction *p =
+                    findFetchPredFor((*tr)[fetchIdx - 1].ia);
+            if (p != nullptr)
+                w = std::min(w, p->availableAt);
+            if (fetchResumeAt != kNoCycle)
+                w = std::min(w, fetchResumeAt);
+            break;
+          }
+          case FetchStall::kWaitResume:
+            // An unset resume cycle means the redirect that will set it
+            // is still in flight in decode or the event queue, both
+            // covered above.
+            if (fetchResumeAt != kNoCycle)
+                w = std::min(w, fetchResumeAt);
+            break;
+          case FetchStall::kNone:
+            // A full buffer unblocks via decode draining it, covered
+            // above; otherwise fetch runs again as soon as the I-cache
+            // fill (if any) completes.
+            if (fetchBuf.size() < prm.cpu.fetchBufferInsts)
+                w = std::min(w, std::max(fetchBlockedUntil, now + 1));
+            break;
+        }
+    }
+    return w;
 }
 
 SimResult
@@ -536,9 +615,14 @@ CoreModel::run(const trace::Trace &t)
     Cycle last_progress_at = 0;
     std::size_t last_decode_idx = 0;
     while (decodeIdx < t.size()) {
-        processEvents(cycle);
-        pipe->tick(cycle);
-        if (eng)
+        // Components whose tick is a strict no-op before their wake-up
+        // cycle are gated here instead of paying the call: the guards
+        // are the same conditions the ticks re-check internally.
+        if (!events.empty() && events.front().at <= cycle)
+            processEvents(cycle);
+        if (pipe->nextEventAt() <= cycle)
+            pipe->tick(cycle);
+        if (eng && eng->nextEventAt() <= cycle)
             eng->tick(cycle);
         fetchTick(cycle);
         decodeTick(cycle);
@@ -563,6 +647,19 @@ CoreModel::run(const trace::Trace &t)
             last_progress_at = cycle;
         }
         ++cycle;
+        // Idle-skip: jump over cycles in which no component can act.
+        // All state transitions happen at computed wake-up cycles, so
+        // this is observationally equivalent to per-cycle ticking (the
+        // golden-counter tests pin this).  The final loop exit keeps
+        // the per-cycle count: no skip once decode has finished.
+        // Fast path: while fetch streams sequentially it can act every
+        // cycle, so the wake-up is `cycle` itself — don't compute it.
+        if (decodeIdx < t.size() &&
+            !(fetchStall == FetchStall::kNone && fetchIdx < t.size() &&
+              fetchBlockedUntil <= cycle &&
+              fetchBuf.size() < prm.cpu.fetchBufferInsts))
+            cycle = std::max(cycle,
+                             nextWakeAt(cycle - 1, last_progress_at));
         if (cycle > max_cycles) {
             std::fprintf(stderr, "cursor=%llu buf=%zu events=%zu "
                          "dBlocked=%llu fBlocked=%llu\n",
@@ -617,6 +714,9 @@ CoreModel::run(const trace::Trace &t)
         r.btb2FullSearches = eng->fullSearchCount();
         r.btb2PartialSearches = eng->partialSearchCount();
     }
+
+    if (!prm.collectStatsText)
+        return r;
 
     // Full stats dump.
     stats::Group gh("hierarchy");

@@ -22,7 +22,6 @@
 #ifndef ZBP_CPU_CORE_MODEL_HH
 #define ZBP_CPU_CORE_MODEL_HH
 
-#include <deque>
 #include <memory>
 #include <string>
 
@@ -34,6 +33,7 @@
 #include "zbp/preload/btb2_engine.hh"
 #include "zbp/preload/sector_order_table.hh"
 #include "zbp/trace/trace.hh"
+#include "zbp/util/ring_buffer.hh"
 
 namespace zbp::cpu
 {
@@ -161,6 +161,15 @@ class CoreModel
     void scheduleRestart(Addr addr, Cycle at);
     void redirectFetchAfter(Cycle resume_at);
 
+    /**
+     * Idle-skip support: the earliest cycle after @p now at which any
+     * tick can change state, clamped so the run loop's forward-progress
+     * watchdog still fires at its exact per-cycle-loop cycle.  Skipping
+     * straight to this cycle is observationally equivalent to ticking
+     * through the quiescent cycles in between.
+     */
+    Cycle nextWakeAt(Cycle now, Cycle last_progress_at) const;
+
     /** The next prediction fetch has not yet consumed (the prediction
      * stream is consumed strictly in emission order). */
     const core::Prediction *nextFetchPred() const;
@@ -180,7 +189,7 @@ class CoreModel
     const trace::Trace *tr = nullptr;
     std::size_t fetchIdx = 0;
     std::size_t decodeIdx = 0;
-    std::deque<FetchedInst> fetchBuf;
+    RingBuffer<FetchedInst> fetchBuf;
     FetchStall fetchStall = FetchStall::kNone;
     Cycle fetchResumeAt = kNoCycle;
     Cycle fetchBlockedUntil = 0; ///< I-cache miss wait
@@ -188,7 +197,7 @@ class CoreModel
     std::uint64_t fetchSeqCursor = 0; ///< last prediction seq fetch used
     Cycle decodeBlockedUntil = 0;
     Cycle lastRestartCycle = 0;
-    std::deque<ResolveEvent> events;
+    RingBuffer<ResolveEvent> events{64};
     OutcomeTracker outcomes;
     std::uint64_t nTaken = 0;
     std::uint64_t nBranches = 0;

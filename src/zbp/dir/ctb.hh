@@ -34,11 +34,27 @@ class Ctb
         indexBits = floorLog2(entries);
     }
 
+    unsigned indexWidth() const { return indexBits; }
+
+    /** Freeze the index for @p h; tags are ia-only, so the index is the
+     * whole history dependence. */
+    std::uint64_t indexOf(const HistoryState &h) const
+    {
+        return h.ctbIndex(indexBits);
+    }
+
     /** Path-correlated target for @p ia, or nullopt on tag miss. */
     std::optional<Addr>
     lookup(Addr ia, const HistoryState &h) const
     {
-        const Entry &e = table[h.ctbIndex(indexBits)];
+        return lookupHashed(ia, indexOf(h));
+    }
+
+    /** lookup() with the history pre-folded. */
+    std::optional<Addr>
+    lookupHashed(Addr ia, std::uint64_t index) const
+    {
+        const Entry &e = table[index];
         if (e.valid && e.tag == tagOf(ia))
             return e.target;
         return std::nullopt;
@@ -48,7 +64,14 @@ class Ctb
     void
     update(Addr ia, const HistoryState &h, Addr target)
     {
-        Entry &e = table[h.ctbIndex(indexBits)];
+        updateHashed(ia, indexOf(h), target);
+    }
+
+    /** update() with the history pre-folded. */
+    void
+    updateHashed(Addr ia, std::uint64_t index, Addr target)
+    {
+        Entry &e = table[index];
         e.valid = true;
         e.tag = tagOf(ia);
         e.target = target;

@@ -22,6 +22,23 @@
 namespace zbp::dir
 {
 
+/**
+ * The three history-derived hash values the PHT and CTB need, frozen
+ * at prediction time.  Carrying these in a Prediction instead of a
+ * full HistoryState snapshot (~150 bytes of ring buffer) keeps the
+ * resolve path from re-folding the history and makes every queue and
+ * event copy of a prediction several times smaller.  Table tags mix in
+ * the branch address separately (known only at resolve time, where the
+ * entry may differ from the perceived address under tag aliasing), so
+ * only the history-dependent parts are frozen here.
+ */
+struct HistoryHashes
+{
+    std::uint64_t phtIndex = 0;   ///< PHT row index
+    std::uint64_t phtTagHash = 0; ///< history part of the PHT tag
+    std::uint64_t ctbIndex = 0;   ///< CTB row index (CTB tags are ia-only)
+};
+
 /** Combined direction + taken-path history with copy semantics. */
 class HistoryState
 {
@@ -64,6 +81,30 @@ class HistoryState
     pathTagHash(unsigned bits) const
     {
         return path.fold(kPathDepth, bits) ^ (dirs.value() & maskBits(bits));
+    }
+
+    /**
+     * All three table hashes in one traversal of the path ring.
+     * Bit-identical to {phtIndex(pht_index_bits),
+     * pathTagHash(tag_bits), ctbIndex(ctb_index_bits)} but ~3x cheaper:
+     * this runs once per prediction on the search hot path.
+     */
+    HistoryHashes
+    hashes(unsigned pht_index_bits, unsigned ctb_index_bits,
+           unsigned tag_bits) const
+    {
+        PathHistory::FoldStep fp(kPhtPathDepth, pht_index_bits);
+        PathHistory::FoldStep fc(kPathDepth, ctb_index_bits);
+        PathHistory::FoldStep ft(kPathDepth, tag_bits);
+        path.fold3(fp, fc, ft);
+        const std::uint64_t d = dirs.value() &
+                ((std::uint64_t{1} << kDirDepth) - 1);
+        HistoryHashes hh;
+        hh.phtIndex = (fp.acc ^ d ^ (d << 3)) &
+                      ((std::uint64_t{1} << pht_index_bits) - 1);
+        hh.phtTagHash = ft.acc ^ (dirs.value() & maskBits(tag_bits));
+        hh.ctbIndex = fc.acc;
+        return hh;
     }
 
     void

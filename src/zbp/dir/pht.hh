@@ -37,6 +37,21 @@ class Pht
         indexBits = floorLog2(entries);
     }
 
+    /** Freeze the history-dependent parts of this table's hashes so a
+     * later lookup/update (possibly against a different ia, under tag
+     * aliasing) needs no history at all. */
+    unsigned indexWidth() const { return indexBits; }
+    unsigned tagWidth() const { return tagBits; }
+
+    std::uint64_t indexOf(const HistoryState &h) const
+    {
+        return h.phtIndex(indexBits);
+    }
+    std::uint64_t tagHashOf(const HistoryState &h) const
+    {
+        return h.pathTagHash(tagBits);
+    }
+
     /**
      * Look up the direction for @p ia under history @p h.
      * @return the predicted direction on tag hit, nullopt on miss.
@@ -44,8 +59,16 @@ class Pht
     std::optional<bool>
     lookup(Addr ia, const HistoryState &h) const
     {
-        const Entry &e = table[h.phtIndex(indexBits)];
-        if (e.valid && e.tag == tagOf(ia, h))
+        return lookupHashed(ia, indexOf(h), tagHashOf(h));
+    }
+
+    /** lookup() with the history pre-folded (hot path: the search
+     * pipeline folds once per prediction and carries the hashes). */
+    std::optional<bool>
+    lookupHashed(Addr ia, std::uint64_t index, std::uint64_t tag_hash) const
+    {
+        const Entry &e = table[index];
+        if (e.valid && e.tag == tagOf(ia, tag_hash))
             return e.dir.taken();
         return std::nullopt;
     }
@@ -59,8 +82,16 @@ class Pht
     void
     update(Addr ia, const HistoryState &h, bool taken, bool allocate)
     {
-        Entry &e = table[h.phtIndex(indexBits)];
-        const std::uint16_t tag = tagOf(ia, h);
+        updateHashed(ia, indexOf(h), tagHashOf(h), taken, allocate);
+    }
+
+    /** update() with the history pre-folded. */
+    void
+    updateHashed(Addr ia, std::uint64_t index, std::uint64_t tag_hash,
+                 bool taken, bool allocate)
+    {
+        Entry &e = table[index];
+        const std::uint16_t tag = tagOf(ia, tag_hash);
         if (e.valid && e.tag == tag) {
             e.dir.update(taken);
             return;
@@ -91,14 +122,14 @@ class Pht
     };
 
     std::uint16_t
-    tagOf(Addr ia, const HistoryState &h) const
+    tagOf(Addr ia, std::uint64_t tag_hash) const
     {
         // Branch-address bits mixed with extra path bits: the classic
         // ppm-like tag that separates different branches sharing an
-        // index without widening the index.
+        // index without widening the index.  The history contribution
+        // (@p tag_hash = pathTagHash) arrives pre-folded.
         const std::uint64_t a = ia >> 1;
-        const std::uint64_t t =
-                a ^ (a >> indexBits) ^ (h.pathTagHash(tagBits) << 1);
+        const std::uint64_t t = a ^ (a >> indexBits) ^ (tag_hash << 1);
         return static_cast<std::uint16_t>(t & maskBits(tagBits));
     }
 

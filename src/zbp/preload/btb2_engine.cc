@@ -1,5 +1,7 @@
 #include "zbp/preload/btb2_engine.hh"
 
+#include <algorithm>
+
 namespace zbp::preload
 {
 
@@ -202,8 +204,9 @@ Btb2Engine::tick(Cycle now)
 {
     // Retire pipelined reads: write the hits into the BTBP.
     while (!pipe.empty() && pipe.front().due <= now) {
-        for (const auto &e : pipe.front().entries) {
-            btbp.install(e);
+        const PendingWrite &pw = pipe.front();
+        for (unsigned i = 0; i < pw.n; ++i) {
+            btbp.install(pw.entries[i]);
             ++nHits;
         }
         pipe.pop_front();
@@ -249,19 +252,18 @@ Btb2Engine::tick(Cycle now)
     ++nRowReads;
     nextReadAt = now + prm.rowReadInterval;
 
-    auto hits = btb2.readRow(row_addr);
+    const auto hits = btb2.readRow(row_addr);
     PendingWrite pw;
     pw.due = now + prm.pipeDepth;
-    pw.entries.reserve(hits.size());
     for (const auto &h : hits) {
-        pw.entries.push_back(*h.entry);
+        pw.entries[pw.n++] = *h.entry;
         if (prm.semiExclusive)
             btb2.demote(h.row, h.way); // likely replaced by future victims
         if (prm.multiBlockTransfer)
             t.targetBlocks[blockOf(h.entry->target)] += 1;
     }
-    if (!pw.entries.empty())
-        pipe.push_back(std::move(pw));
+    if (pw.n != 0)
+        pipe.push_back(pw);
 
     if (!t.schedule.empty())
         return;
@@ -281,6 +283,29 @@ Btb2Engine::tick(Cycle now)
     } else {
         finishTracker(t, now);
     }
+}
+
+Cycle
+Btb2Engine::nextEventAt() const
+{
+    // All due stamps are now + pipeDepth with a constant depth, so the
+    // deque is due-ordered and the front is the earliest retirement.
+    Cycle w = kNoCycle;
+    if (!pipe.empty())
+        w = std::min(w, pipe.front().due);
+    bool rows_pending = false;
+    for (const auto &t : trk) {
+        if (t.phase == Tracker::Phase::kWaiting && t.btb1MissValid)
+            w = std::min(w, t.startableAt);
+        if ((t.phase == Tracker::Phase::kPartial ||
+             t.phase == Tracker::Phase::kFull) &&
+            !t.schedule.empty()) {
+            rows_pending = true;
+        }
+    }
+    if (rows_pending)
+        w = std::min(w, nextReadAt);
+    return w;
 }
 
 void

@@ -26,7 +26,7 @@
 #ifndef ZBP_PRELOAD_BTB2_ENGINE_HH
 #define ZBP_PRELOAD_BTB2_ENGINE_HH
 
-#include <deque>
+#include <array>
 #include <map>
 #include <vector>
 
@@ -35,6 +35,7 @@
 #include "zbp/preload/miss_sink.hh"
 #include "zbp/preload/sector_order_table.hh"
 #include "zbp/stats/stats.hh"
+#include "zbp/util/ring_buffer.hh"
 
 namespace zbp::preload
 {
@@ -61,6 +62,39 @@ struct Btb2EngineParams
     unsigned maxChainedBlocks = 1;   ///< chain depth bound per miss
 };
 
+/** Remaining row addresses of one tracker's search, read head first.
+ * Fixed capacity: a full block schedule is kBlockBytes / rowBytes rows
+ * and rowBytes is at least 32, so 128 entries always suffice. */
+class RowSchedule
+{
+  public:
+    static constexpr unsigned kCapacity = kBlockBytes / 32;
+
+    bool empty() const { return head == n; }
+    std::size_t size() const { return n - head; }
+    Addr front() const { return rows[head]; }
+    void pop_front() { ++head; }
+
+    void
+    push_back(Addr a)
+    {
+        ZBP_ASSERT(n < kCapacity, "row schedule overflow");
+        rows[n++] = a;
+    }
+
+    void
+    clear()
+    {
+        head = 0;
+        n = 0;
+    }
+
+  private:
+    std::array<Addr, kCapacity> rows;
+    unsigned head = 0;
+    unsigned n = 0;
+};
+
 /** One 4 KB-block search tracker. */
 struct Tracker
 {
@@ -79,7 +113,7 @@ struct Tracker
     bool icMissValid = false;
     Cycle startableAt = 0;   ///< earliest cycle a read may issue
     /** Scheduled row addresses remaining to read. */
-    std::deque<Addr> schedule;
+    RowSchedule schedule;
     /** Rows read so far in the current phase. */
     unsigned rowsDone = 0;
     /** Multi-block chaining depth (0 = demand-allocated tracker). */
@@ -108,6 +142,15 @@ class Btb2Engine : public MissSink
      * reads whose pipeline latency has elapsed (writing hits into the
      * BTBP). */
     void tick(Cycle now);
+
+    /**
+     * Earliest future cycle at which tick() can change state: the next
+     * pipeline retirement, the earliest activation of a waiting
+     * tracker, or the read-port cadence while a search has rows left.
+     * kNoCycle when fully quiescent.  Externally-driven transitions
+     * (noteBtb1Miss / noteICacheMiss) are the callers' wake-ups.
+     */
+    Cycle nextEventAt() const;
 
     /** Drop all in-flight state (machine restart between runs). */
     void reset();
@@ -158,13 +201,15 @@ class Btb2Engine : public MissSink
     const cache::ICache &icache;
 
     std::vector<Tracker> trk;
-    /** In-flight row reads: retire cycle + the entries read. */
+    /** In-flight row reads: retire cycle + the entries read.  One row
+     * yields at most one entry per way, so the payload is inline. */
     struct PendingWrite
     {
         Cycle due;
-        std::vector<btb::BtbEntry> entries;
+        std::array<btb::BtbEntry, btb::kMaxBtbWays> entries;
+        unsigned n = 0;
     };
-    std::deque<PendingWrite> pipe;
+    RingBuffer<PendingWrite> pipe{16};
     unsigned rrNext = 0; ///< round-robin cursor over trackers
 
     stats::Counter nMissReports;

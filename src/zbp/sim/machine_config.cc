@@ -124,6 +124,10 @@ keyTable()
          Key{[](MP &p, const std::string &v) {
              return parseBool(v, p.decodeTimeMissReports);
          }}},
+        {"collectStatsText",
+         Key{[](MP &p, const std::string &v) {
+             return parseBool(v, p.collectStatsText);
+         }}},
         {"phtEntries",
          Key{[](MP &p, const std::string &v) {
              return parseU32(v, p.phtEntries);

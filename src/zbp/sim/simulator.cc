@@ -88,11 +88,14 @@ runFig2Rows(const std::vector<trace::Trace> &traces, unsigned jobs)
         const char *name;
         core::MachineParams params;
     };
-    const Cfg cfgs[] = {
+    Cfg cfgs[] = {
         {"no-btb2", configNoBtb2()},
         {"btb2", configBtb2()},
         {"large-btb1", configLargeBtb1()},
     };
+    // Sweep path: counters only, no per-run stats-text formatting.
+    for (auto &c : cfgs)
+        c.params.collectStatsText = false;
 
     std::vector<runner::SimJob> batch;
     batch.reserve(3 * traces.size());
@@ -135,10 +138,12 @@ std::vector<cpu::SimResult>
 SuiteRunner::runBatch(const core::MachineParams &cfg,
                       const std::string &cfg_name)
 {
+    core::MachineParams sweep_cfg = cfg;
+    sweep_cfg.collectStatsText = false; // counters only in sweeps
     std::vector<runner::SimJob> batch;
     batch.reserve(tr.size());
     for (const auto &t : tr)
-        batch.push_back({cfg_name, cfg, &t});
+        batch.push_back({cfg_name, sweep_cfg, &t});
     runner::JobRunner jr(jobs);
     jr.setProgress(adaptProgress(progress));
     return unpack(batch, jr.run(batch));

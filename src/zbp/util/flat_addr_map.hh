@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Open-addressing Addr -> value map for simulator-internal bookkeeping.
+ *
+ * std::unordered_map pays a heap node per insertion and a pointer chase
+ * per lookup; on per-resolve paths (e.g. the surprise-install cycle
+ * book) that malloc traffic is pure overhead — and it is invisible to
+ * gprof, which does not sample shared-library time.  This table keeps
+ * everything in one flat power-of-two array with linear probing and
+ * grows by doubling at 70% load.  Only the operations the simulator
+ * needs exist: assign, find, clear.
+ */
+
+#ifndef ZBP_UTIL_FLAT_ADDR_MAP_HH
+#define ZBP_UTIL_FLAT_ADDR_MAP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "zbp/common/log.hh"
+#include "zbp/common/types.hh"
+
+namespace zbp
+{
+
+/** Flat open-addressing map from Addr to @p V (V default-constructible). */
+template <typename V>
+class FlatAddrMap
+{
+  public:
+    explicit FlatAddrMap(std::size_t min_capacity = 64)
+    {
+        std::size_t cap = 16;
+        while (cap < min_capacity)
+            cap <<= 1;
+        slots.resize(cap);
+    }
+
+    /** Insert or overwrite the value for @p key. */
+    void
+    assign(Addr key, const V &value)
+    {
+        if ((count + 1) * 10 >= slots.size() * 7)
+            grow();
+        Slot &s = probe(key);
+        if (!s.used) {
+            s.used = true;
+            s.key = key;
+            ++count;
+        }
+        s.value = value;
+    }
+
+    /** Pointer to the value for @p key, or nullptr when absent. */
+    const V *
+    find(Addr key) const
+    {
+        const Slot &s = probe(key);
+        return s.used ? &s.value : nullptr;
+    }
+
+    void
+    clear()
+    {
+        for (auto &s : slots)
+            s.used = false;
+        count = 0;
+    }
+
+    std::size_t size() const { return count; }
+
+  private:
+    struct Slot
+    {
+        Addr key = 0;
+        V value{};
+        bool used = false;
+    };
+
+    static std::size_t
+    hashOf(Addr key)
+    {
+        // Fibonacci multiplicative mix; low bits become the probe start
+        // after masking.
+        return static_cast<std::size_t>(
+                (key * 0x9E3779B97F4A7C15ull) >> 17);
+    }
+
+    /** The slot holding @p key, or the empty slot where it would go. */
+    Slot &
+    probe(Addr key)
+    {
+        const std::size_t mask = slots.size() - 1;
+        std::size_t i = hashOf(key) & mask;
+        while (slots[i].used && slots[i].key != key)
+            i = (i + 1) & mask;
+        return slots[i];
+    }
+
+    const Slot &
+    probe(Addr key) const
+    {
+        return const_cast<FlatAddrMap *>(this)->probe(key);
+    }
+
+    void
+    grow()
+    {
+        std::vector<Slot> old = std::move(slots);
+        slots.assign(old.size() * 2, Slot{});
+        count = 0;
+        for (const Slot &s : old) {
+            if (!s.used)
+                continue;
+            Slot &d = probe(s.key);
+            ZBP_ASSERT(!d.used, "rehash collision on distinct keys");
+            d = s;
+            ++count;
+        }
+    }
+
+    std::vector<Slot> slots;
+    std::size_t count = 0;
+};
+
+} // namespace zbp
+
+#endif // ZBP_UTIL_FLAT_ADDR_MAP_HH

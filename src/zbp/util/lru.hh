@@ -55,6 +55,14 @@ class LruState
         moveTo(way, 0);
     }
 
+    /** Back to the initial recency order (way 0 LRU .. N-1 MRU). */
+    void
+    reset()
+    {
+        for (unsigned w = 0; w < order.size(); ++w)
+            order[w] = static_cast<std::uint8_t>(w);
+    }
+
     /** Recency rank of @p way: 0 = LRU .. ways-1 = MRU. */
     unsigned
     rank(unsigned way) const

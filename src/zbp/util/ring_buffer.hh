@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Fixed-capacity FIFO ring buffer with a std::deque-compatible API
+ * subset.
+ *
+ * The simulator's hot path shuttles predictions, fetched instructions
+ * and resolve events through FIFO queues every cycle.  std::deque
+ * allocates and frees chunks continuously as elements flow through it
+ * (for a ~200-byte element a libstdc++ chunk holds only two elements),
+ * which dominates the profile without ever showing up in it — the
+ * malloc time lands in libc, outside the sampled text.  RingBuffer
+ * keeps one flat power-of-two array and masks indices instead; the
+ * steady state performs no allocation at all.  When a push outgrows
+ * the array the buffer doubles (amortized, rare — queues in this
+ * model are bounded by machine parameters).
+ */
+
+#ifndef ZBP_UTIL_RING_BUFFER_HH
+#define ZBP_UTIL_RING_BUFFER_HH
+
+#include <cstddef>
+#include <iterator>
+#include <utility>
+#include <vector>
+
+#include "zbp/common/bitfield.hh"
+#include "zbp/common/log.hh"
+
+namespace zbp
+{
+
+/** Allocation-free-in-steady-state FIFO queue. */
+template <typename T>
+class RingBuffer
+{
+  public:
+    /** @param min_capacity initial capacity hint (rounded up to a
+     * power of two). */
+    explicit RingBuffer(std::size_t min_capacity = 16)
+    {
+        std::size_t cap = 2;
+        while (cap < min_capacity)
+            cap <<= 1;
+        buf.resize(cap);
+    }
+
+    bool empty() const { return count == 0; }
+    std::size_t size() const { return count; }
+
+    T &front() { return buf[head]; }
+    const T &front() const { return buf[head]; }
+    T &back() { return (*this)[count - 1]; }
+    const T &back() const { return (*this)[count - 1]; }
+
+    T &operator[](std::size_t i) { return buf[(head + i) & mask()]; }
+    const T &
+    operator[](std::size_t i) const
+    {
+        return buf[(head + i) & mask()];
+    }
+
+    void
+    push_back(const T &v)
+    {
+        if (count == buf.size())
+            grow();
+        buf[(head + count) & mask()] = v;
+        ++count;
+    }
+
+    void
+    push_back(T &&v)
+    {
+        if (count == buf.size())
+            grow();
+        buf[(head + count) & mask()] = std::move(v);
+        ++count;
+    }
+
+    void
+    pop_front()
+    {
+        ZBP_ASSERT(count != 0, "pop_front on empty RingBuffer");
+        head = (head + 1) & mask();
+        --count;
+    }
+
+    void
+    clear()
+    {
+        head = 0;
+        count = 0;
+    }
+
+    std::size_t capacity() const { return buf.size(); }
+
+    /** Minimal forward iterator so range-for and std algorithms work. */
+    template <typename RB, typename V>
+    class Iter
+    {
+      public:
+        using iterator_category = std::forward_iterator_tag;
+        using value_type = V;
+        using difference_type = std::ptrdiff_t;
+        using pointer = V *;
+        using reference = V &;
+
+        Iter(RB *rb_, std::size_t i_) : rb(rb_), i(i_) {}
+        reference operator*() const { return (*rb)[i]; }
+        pointer operator->() const { return &(*rb)[i]; }
+        Iter &
+        operator++()
+        {
+            ++i;
+            return *this;
+        }
+        Iter
+        operator++(int)
+        {
+            Iter t = *this;
+            ++i;
+            return t;
+        }
+        bool operator==(const Iter &o) const { return i == o.i; }
+        bool operator!=(const Iter &o) const { return i != o.i; }
+
+      private:
+        RB *rb;
+        std::size_t i;
+    };
+
+    using iterator = Iter<RingBuffer, T>;
+    using const_iterator = Iter<const RingBuffer, const T>;
+
+    iterator begin() { return {this, 0}; }
+    iterator end() { return {this, count}; }
+    const_iterator begin() const { return {this, 0}; }
+    const_iterator end() const { return {this, count}; }
+
+  private:
+    std::size_t mask() const { return buf.size() - 1; }
+
+    void
+    grow()
+    {
+        std::vector<T> bigger(buf.size() * 2);
+        for (std::size_t i = 0; i < count; ++i)
+            bigger[i] = std::move((*this)[i]);
+        buf.swap(bigger);
+        head = 0;
+    }
+
+    std::vector<T> buf;
+    std::size_t head = 0;
+    std::size_t count = 0;
+};
+
+} // namespace zbp
+
+#endif // ZBP_UTIL_RING_BUFFER_HH

@@ -14,6 +14,7 @@
 #ifndef ZBP_UTIL_SHIFT_HISTORY_HH
 #define ZBP_UTIL_SHIFT_HISTORY_HH
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 
@@ -60,7 +61,10 @@ class DirectionHistory
 class PathHistory
 {
   public:
-    static constexpr unsigned kMaxDepth = 16;
+    // Tight bound: the deepest configured history is 12 (HistoryState).
+    // This array is copied per broadcast prediction and per resolve
+    // event, so unused slots are pure memcpy overhead.
+    static constexpr unsigned kMaxDepth = 12;
 
     explicit PathHistory(unsigned depth_) : depthVal(depth_)
     {
@@ -72,7 +76,7 @@ class PathHistory
     void
     push(Addr taken_branch_ia)
     {
-        head = (head + 1) % depthVal;
+        head = head + 1 == depthVal ? 0 : head + 1;
         ring[head] = taken_branch_ia;
     }
 
@@ -87,27 +91,90 @@ class PathHistory
     {
         ZBP_ASSERT(k >= 1 && k <= depthVal, "fold depth out of range");
         ZBP_ASSERT(out_bits >= 1 && out_bits <= 64, "fold width");
+        // This runs for every PHT/CTB index and tag computation, so
+        // the per-entry modulos are strength-reduced to conditional
+        // subtracts and the mask is hoisted (same values as the naive
+        // form: idx and rot never exceed twice their modulus).
+        const std::uint64_t m = out_bits >= 64
+                ? ~std::uint64_t{0}
+                : ((std::uint64_t{1} << out_bits) - 1);
         std::uint64_t h = 0;
+        unsigned idx = head;
+        unsigned rot = 0;
         for (unsigned age = 0; age < k; ++age) {
-            const unsigned idx = (head + depthVal - age) % depthVal;
             // Drop the low bit (z instructions are 2-byte aligned) and
             // rotate by age within the output width.
             std::uint64_t a = ring[idx] >> 1;
-            const unsigned rot = (age * 5) % out_bits;
-            const std::uint64_t m = out_bits >= 64
-                    ? ~std::uint64_t{0}
-                    : ((std::uint64_t{1} << out_bits) - 1);
             if (out_bits < 64)
                 a ^= a >> out_bits;
             a &= m;
             if (rot != 0)
                 a = ((a << rot) | (a >> (out_bits - rot))) & m;
             h ^= a;
+            idx = idx == 0 ? depthVal - 1 : idx - 1;
+            rot += 5;
+            while (rot >= out_bits)
+                rot -= out_bits;
         }
-        const std::uint64_t m = out_bits >= 64
-                ? ~std::uint64_t{0}
-                : ((std::uint64_t{1} << out_bits) - 1);
         return h & m;
+    }
+
+    /**
+     * One accumulator of a fused multi-fold: identical math to fold(),
+     * with the per-entry state (rotation, mask) kept alongside so
+     * several folds of different depth/width can share one traversal
+     * of the ring (and its loads) via fold3().
+     */
+    struct FoldStep
+    {
+        FoldStep(unsigned k_, unsigned bits_)
+            : bits(bits_), k(k_),
+              m(bits_ >= 64 ? ~std::uint64_t{0}
+                            : ((std::uint64_t{1} << bits_) - 1))
+        {
+        }
+
+        void
+        step(std::uint64_t v, unsigned age)
+        {
+            if (age >= k)
+                return;
+            std::uint64_t x = v;
+            if (bits < 64)
+                x ^= x >> bits;
+            x &= m;
+            if (rot != 0)
+                x = ((x << rot) | (x >> (bits - rot))) & m;
+            acc ^= x;
+            rot += 5;
+            while (rot >= bits)
+                rot -= bits;
+        }
+
+        std::uint64_t acc = 0;
+        unsigned rot = 0;
+        unsigned bits;
+        unsigned k;
+        std::uint64_t m;
+    };
+
+    /** Run three folds over one pass of the ring.  Each accumulator
+     * ends with exactly the value fold(its k, its bits) returns. */
+    void
+    fold3(FoldStep &a, FoldStep &b, FoldStep &c) const
+    {
+        const unsigned kmax =
+                std::max(a.k, std::max(b.k, c.k));
+        ZBP_ASSERT(kmax >= 1 && kmax <= depthVal,
+                   "fold depth out of range");
+        unsigned idx = head;
+        for (unsigned age = 0; age < kmax; ++age) {
+            const std::uint64_t v = ring[idx] >> 1;
+            a.step(v, age);
+            b.step(v, age);
+            c.step(v, age);
+            idx = idx == 0 ? depthVal - 1 : idx - 1;
+        }
     }
 
     void

@@ -231,6 +231,22 @@ TEST(SetAssocBtb, Reset)
     EXPECT_FALSE(t.lookup(0x04).has_value());
 }
 
+TEST(SetAssocBtb, ResetRestoresLruOrder)
+{
+    // Regression: reset() used to clear the entries but keep the LRU
+    // state, so a reset table behaved like one with history (stale
+    // MRU column, recency-ordered replacement) instead of a new one.
+    SetAssocBtb fresh("fresh", tinyConfig());
+    SetAssocBtb t("t", tinyConfig());
+    t.install(entry(0x04, 0x1111)); // way 0 becomes MRU
+    t.reset();
+    EXPECT_EQ(t.validCount(), 0u);
+
+    // Every way's recency must match a brand-new table's.
+    for (std::uint32_t w = 0; w < tinyConfig().ways; ++w)
+        EXPECT_EQ(t.isMru(0, w), fresh.isMru(0, w)) << "way " << w;
+}
+
 TEST(SetAssocBtbDeathTest, NonPow2RowsRejected)
 {
     BtbConfig cfg = tinyConfig();

@@ -70,6 +70,30 @@ TEST(HistoryState, ClearMatchesFresh)
     EXPECT_EQ(h.ctbIndex(11), fresh.ctbIndex(11));
 }
 
+TEST(HistoryState, FusedHashesMatchSeparateFolds)
+{
+    // hashes() shares one ring traversal between the three table
+    // hashes; it must agree bit-for-bit with the per-hash folds at
+    // every push, across several geometries.
+    HistoryState h;
+    std::uint64_t ia = 0x4000;
+    for (int i = 0; i < 64; ++i) {
+        h.push(ia, (i % 3) != 0);
+        ia = ia * 2862933555777941757ull + 3037000493ull;
+        for (unsigned idx_bits : {10u, 12u}) {
+            for (unsigned ctb_bits : {9u, 11u}) {
+                for (unsigned tag_bits : {8u, 10u}) {
+                    const HistoryHashes hh =
+                            h.hashes(idx_bits, ctb_bits, tag_bits);
+                    EXPECT_EQ(hh.phtIndex, h.phtIndex(idx_bits));
+                    EXPECT_EQ(hh.ctbIndex, h.ctbIndex(ctb_bits));
+                    EXPECT_EQ(hh.phtTagHash, h.pathTagHash(tag_bits));
+                }
+            }
+        }
+    }
+}
+
 TEST(HistoryState, DepthsMatchPaper)
 {
     // 12 previous predicted directions, 6 previous taken IAs for the
