@@ -61,8 +61,10 @@ cmdGen(const char *suite, const char *path, double scale)
 {
     const auto &spec = workload::findSuite(suite);
     const auto t = workload::makeSuiteTrace(spec, scale);
-    if (!trace::saveTraceFile(t, path)) {
-        std::fprintf(stderr, "error: cannot write %s\n", path);
+    try {
+        trace::saveTraceFile(t, path);
+    } catch (const trace::TraceIoError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
     }
     std::printf("wrote %zu instructions to %s\n", t.size(), path);
@@ -73,8 +75,10 @@ int
 cmdInfo(const char *path)
 {
     trace::Trace t;
-    if (!trace::loadTraceFile(path, t)) {
-        std::fprintf(stderr, "error: cannot read %s\n", path);
+    try {
+        t = trace::loadTraceFile(path);
+    } catch (const trace::TraceIoError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
     }
     const auto st = trace::computeStats(t);
@@ -96,8 +100,10 @@ int
 cmdSim(const char *path, int cfg, const char *cfg_file)
 {
     trace::Trace t;
-    if (!trace::loadTraceFile(path, t)) {
-        std::fprintf(stderr, "error: cannot read %s\n", path);
+    try {
+        t = trace::loadTraceFile(path);
+    } catch (const trace::TraceIoError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
     }
     core::MachineParams p;

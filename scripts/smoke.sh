@@ -65,4 +65,46 @@ if grep -q '"ok":false' "$results"; then
 fi
 
 echo "smoke: OK ($records records, all jobs ok)"
+
+# Resume leg: replaying the same sweep against its own results file
+# must satisfy every job from the checkpoint and write zero new
+# records.
+echo "== resume smoke: rerun against the checkpoint =="
+resumed="$(mktemp /tmp/zbp_smoke_resume_XXXXXX.jsonl)"
+trap 'rm -f "$results" "$resumed"' EXIT
+rm -f "$resumed"
+ZBP_LEN_SCALE="$scale" ZBP_JOBS="$jobs" ZBP_RESULTS_JSONL="$resumed" \
+    ZBP_RESUME_JSONL="$results" "$bench"
+new_records="$(wc -l < "$resumed" 2>/dev/null || echo 0)"
+if [[ "$new_records" -ne 0 ]]; then
+    echo "smoke: resume re-ran $new_records jobs, expected 0" >&2
+    exit 1
+fi
+echo "smoke: resume OK (all $records jobs satisfied from checkpoint)"
+
+# Corrupted-trace leg: a damaged trace file must be rejected with a
+# descriptive error and a nonzero exit, never a crash or silent
+# partial parse.
+echo "== corrupted-trace smoke: trace_tool on a damaged file =="
+tool="$build_dir/examples/trace_tool"
+if [[ ! -x "$tool" ]]; then
+    echo "smoke: missing $tool (build the repo first)" >&2
+    exit 1
+fi
+tracefile="$(mktemp /tmp/zbp_smoke_trace_XXXXXX.zbpt)"
+trap 'rm -f "$results" "$resumed" "$tracefile"' EXIT
+"$tool" gen cb84 "$tracefile" 0.01 >/dev/null
+"$tool" info "$tracefile" >/dev/null   # sanity: intact file parses
+printf '\xff' | dd of="$tracefile" bs=1 seek=9 count=1 \
+    conv=notrunc status=none             # corrupt the header version
+if "$tool" info "$tracefile" >/dev/null 2>&1; then
+    echo "smoke: trace_tool accepted a corrupted trace" >&2
+    exit 1
+fi
+reject_msg="$("$tool" info "$tracefile" 2>&1 || true)"
+if ! grep -q "error:" <<<"$reject_msg"; then
+    echo "smoke: corrupted trace rejected without an error message" >&2
+    exit 1
+fi
+echo "smoke: corrupted-trace OK (rejected with a descriptive error)"
 echo "smoke: total wall-clock $((SECONDS - smoke_start))s"

@@ -134,6 +134,44 @@ SetAssocBtb::reset()
         l.reset();
 }
 
+void
+SetAssocBtb::attachFaultInjector(fault::FaultInjector &inj,
+                                 fault::Site site)
+{
+    faults = &inj;
+    faultSite = site;
+    inj.attach(site, [this](Rng &rng, std::uint64_t where) {
+        corruptEntry(rng, where);
+    });
+}
+
+void
+SetAssocBtb::corruptEntry(Rng &rng, Addr where)
+{
+    // A parity hit lands on one way of the accessed row.  Hitting an
+    // empty way has no architectural effect; a populated way either
+    // loses its entry outright or keeps it with a flipped stored bit.
+    BtbEntry &e = rowPtr(rowOf(where))[rng.below(cfg.ways)];
+    if (!e.valid)
+        return;
+    switch (rng.below(3)) {
+      case 0:
+        // Parity-scrubbed: the entry is dropped (next use = surprise).
+        e.clear();
+        break;
+      case 1:
+        // Stored target bit flip: a taken prediction goes to a wrong
+        // address and is corrected at resolve (mispredictTarget).
+        e.target ^= Addr{1} << rng.below(48);
+        break;
+      default:
+        // Stored tag bit flip: the entry stops matching its branch
+        // (and may alias another), staying within the same row.
+        e.ia ^= Addr{1} << (cfg.tagShift + rng.below(8));
+        break;
+    }
+}
+
 std::uint64_t
 SetAssocBtb::validCount() const
 {

@@ -25,6 +25,7 @@
 
 #include "zbp/btb/btb_entry.hh"
 #include "zbp/common/bitfield.hh"
+#include "zbp/fault/fault_injector.hh"
 #include "zbp/stats/stats.hh"
 #include "zbp/util/lru.hh"
 
@@ -160,6 +161,8 @@ class SetAssocBtb
     BtbHitList
     searchFrom(Addr search_addr) const
     {
+        if (faults != nullptr)
+            faults->onAccess(faultSite, search_addr);
         const std::uint32_t row = rowOf(search_addr);
         const BtbEntry *r = rowPtr(row);
         const std::uint64_t from = search_addr & cfg.offsetMask;
@@ -189,6 +192,8 @@ class SetAssocBtb
     BtbHitList
     readRow(Addr row_addr) const
     {
+        if (faults != nullptr)
+            faults->onAccess(faultSite, row_addr);
         const std::uint32_t row = rowOf(row_addr);
         const BtbEntry *r = rowPtr(row);
         BtbHitList hits;
@@ -204,6 +209,8 @@ class SetAssocBtb
     std::optional<BtbHit>
     lookup(Addr ia) const
     {
+        if (faults != nullptr)
+            faults->onAccess(faultSite, ia);
         const std::uint32_t row = rowOf(ia);
         const BtbEntry *r = rowPtr(row);
         for (std::uint32_t w = 0; w < cfg.ways; ++w) {
@@ -250,6 +257,14 @@ class SetAssocBtb
     /** Invalidate everything. */
     void reset();
 
+    /**
+     * Wire this table into @p inj as @p site: every searchFrom /
+     * readRow / lookup becomes an injection opportunity, and the
+     * registered callback corrupts one way of the accessed row the way
+     * a parity hit would (invalidate, or flip a target/tag bit).
+     */
+    void attachFaultInjector(fault::FaultInjector &inj, fault::Site site);
+
     /** Number of currently valid entries (O(size); for tests/stats). */
     std::uint64_t validCount() const;
 
@@ -274,10 +289,15 @@ class SetAssocBtb
         return &slots[static_cast<std::size_t>(row) * cfg.ways];
     }
 
+    /** Apply one parity-hit-like corruption to the row of @p where. */
+    void corruptEntry(Rng &rng, Addr where);
+
     std::string btbName;
     BtbConfig cfg;
     std::vector<BtbEntry> slots; ///< rows x ways
     std::vector<LruState> lru;
+    fault::FaultInjector *faults = nullptr; ///< null = injection off
+    fault::Site faultSite = fault::Site::kBtb1;
 
     stats::Counter nInstalls;
     stats::Counter nEvictions;

@@ -14,6 +14,7 @@
 
 #include "zbp/btb/set_assoc_btb.hh"
 #include "zbp/cache/icache.hh"
+#include "zbp/fault/fault_injector.hh"
 #include "zbp/preload/btb2_engine.hh"
 #include "zbp/preload/sector_order_table.hh"
 
@@ -103,6 +104,18 @@ struct MachineParams
      * default for tests and reports; sweeps turn it off to keep string
      * formatting out of the hot path.  Counters are unaffected. */
     bool collectStatsText = true;
+
+    /** Predictor-state fault injection (off by default; when off, no
+     * injector is constructed and every hook is a null test). */
+    fault::FaultParams faults;
+
+    /**
+     * Reject degenerate configurations with a descriptive
+     * std::invalid_argument before any table is sized from them
+     * (CoreModel's constructor calls this; sweep/config-file code paths
+     * may call it earlier for friendlier reporting).
+     */
+    void validate() const;
 };
 
 } // namespace zbp::core

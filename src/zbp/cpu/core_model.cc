@@ -1,6 +1,8 @@
 #include "zbp/cpu/core_model.hh"
 
 #include <algorithm>
+#include <cmath>
+#include <sstream>
 
 namespace zbp::cpu
 {
@@ -16,8 +18,49 @@ cpiImprovement(const SimResult &base, const SimResult &test)
     return (base.cpi - test.cpi) / base.cpi * 100.0;
 }
 
+std::string
+simInvariantError(const SimResult &r)
+{
+    std::ostringstream err;
+    const std::uint64_t outcomes =
+            r.correct + r.mispredictDir + r.mispredictTarget +
+            r.surpriseCompulsory + r.surpriseLatency + r.surpriseCapacity +
+            r.surpriseBenign;
+    if (outcomes != r.branches) {
+        err << "outcome counts sum to " << outcomes << " but "
+            << r.branches << " branches were decoded";
+        return err.str();
+    }
+    if (r.resolves != r.branches) {
+        err << r.resolves << " branch resolves for " << r.branches
+            << " decoded branches";
+        return err.str();
+    }
+    if (r.takenBranches > r.branches) {
+        err << r.takenBranches << " taken branches exceed " << r.branches
+            << " branches";
+        return err.str();
+    }
+    if (r.branches > r.instructions) {
+        err << r.branches << " branches exceed " << r.instructions
+            << " instructions";
+        return err.str();
+    }
+    if (r.instructions != 0) {
+        const double cpi = static_cast<double>(r.cycles) /
+                           static_cast<double>(r.instructions);
+        if (std::abs(cpi - r.cpi) > 1e-9 * (1.0 + cpi)) {
+            err << "cpi " << r.cpi << " inconsistent with " << r.cycles
+                << " cycles / " << r.instructions << " instructions";
+            return err.str();
+        }
+    }
+    return {};
+}
+
 CoreModel::CoreModel(const core::MachineParams &p) : prm(p)
 {
+    prm.validate();
     bp = std::make_unique<core::BranchPredictorHierarchy>(prm);
     l1i = std::make_unique<cache::ICache>(prm.icache);
     if (prm.dcacheEnabled)
@@ -30,6 +73,17 @@ CoreModel::CoreModel(const core::MachineParams &p) : prm(p)
     pipe = std::make_unique<core::SearchPipeline>(prm.search, *bp,
                                                   eng.get());
     fetchBuf = RingBuffer<FetchedInst>(prm.cpu.fetchBufferInsts + 1);
+    if (prm.faults.enabled) {
+        inj = std::make_unique<fault::FaultInjector>(prm.faults);
+        bp->btb1().attachFaultInjector(*inj, fault::Site::kBtb1);
+        bp->btbp().attachFaultInjector(*inj, fault::Site::kBtbp);
+        bp->btb2().attachFaultInjector(*inj, fault::Site::kBtb2);
+        bp->pht().attachFaultInjector(*inj);
+        bp->ctb().attachFaultInjector(*inj);
+        sotTable->attachFaultInjector(*inj);
+        if (eng)
+            eng->attachFaultInjector(*inj);
+    }
 }
 
 CoreModel::~CoreModel() = default;
@@ -50,8 +104,11 @@ CoreModel::startRun(const trace::Trace &t)
     nBranches = 0;
     nDataAccesses = 0;
     nWatchdogResets = 0;
+    nResolves = 0;
     fetchSeqCursor = 0;
     lastRestartCycle = 0;
+    if (inj)
+        inj->reset();
 }
 
 void
@@ -77,10 +134,12 @@ CoreModel::processEvents(Cycle now)
           case ResolveEvent::Kind::kPredicted:
             bp->resolvePredicted(ev.pred, ev.ikind, ev.taken, ev.target,
                                  ev.at);
+            ++nResolves;
             break;
           case ResolveEvent::Kind::kSurprise:
             bp->resolveSurprise(ev.ia, ev.ikind, ev.taken, ev.target,
                                 ev.at);
+            ++nResolves;
             break;
           case ResolveEvent::Kind::kRestart:
             pipe->restart(ev.restartAddr, ev.at);
@@ -558,6 +617,8 @@ CoreModel::nextWakeAt(Cycle now, Cycle last_progress_at) const
     w = std::min(w, pipe->nextEventAt());
     if (eng)
         w = std::min(w, eng->nextEventAt());
+    if (inj)
+        w = std::min(w, inj->nextTargetedAt());
 
     // Decode: acts once both its stall and the front fetch-buffer
     // entry's ready cycle have elapsed.
@@ -604,7 +665,8 @@ CoreModel::nextWakeAt(Cycle now, Cycle last_progress_at) const
 SimResult
 CoreModel::run(const trace::Trace &t)
 {
-    ZBP_ASSERT(!t.empty(), "cannot simulate an empty trace");
+    if (t.empty())
+        throw std::invalid_argument("cannot simulate an empty trace");
     startRun(t);
 
     pipe->restart(t[0].ia, 0);
@@ -614,10 +676,21 @@ CoreModel::run(const trace::Trace &t)
     const Cycle max_cycles = 1000 + t.size() * 300;
     Cycle last_progress_at = 0;
     std::size_t last_decode_idx = 0;
+    std::uint64_t poll = 0;
     while (decodeIdx < t.size()) {
+        if (cancel != nullptr && ((++poll & 0xFFF) == 0) &&
+            cancel->load(std::memory_order_relaxed)) {
+            throw SimCancelled("simulation cancelled at cycle " +
+                               std::to_string(cycle) + " (" +
+                               std::to_string(decodeIdx) + " of " +
+                               std::to_string(t.size()) +
+                               " instructions decoded)");
+        }
         // Components whose tick is a strict no-op before their wake-up
         // cycle are gated here instead of paying the call: the guards
         // are the same conditions the ticks re-check internally.
+        if (inj && inj->nextTargetedAt() <= cycle)
+            inj->tick(cycle);
         if (!events.empty() && events.front().at <= cycle)
             processEvents(cycle);
         if (pipe->nextEventAt() <= cycle)
@@ -677,15 +750,24 @@ CoreModel::run(const trace::Trace &t)
                              (unsigned long long)p.target,
                              (unsigned long long)p.availableAt);
             }
-            panic("simulation wedged: cycle ", cycle, " decodeIdx ",
-                  decodeIdx, " of ", t.size(), " fetchIdx ", fetchIdx,
-                  " stall ", static_cast<int>(fetchStall),
-                  " fetchResumeAt ", fetchResumeAt,
-                  " searchAddr ", pipe->searchAddress(),
-                  " active ", pipe->active());
+            std::ostringstream msg;
+            msg << "simulation wedged: cycle " << cycle << " decodeIdx "
+                << decodeIdx << " of " << t.size() << " fetchIdx "
+                << fetchIdx << " stall " << static_cast<int>(fetchStall)
+                << " fetchResumeAt " << fetchResumeAt << " searchAddr "
+                << pipe->searchAddress() << " active " << pipe->active();
+            throw std::runtime_error(msg.str());
         }
     }
     pipe->halt();
+
+    // Branches decoded near the end of the trace have resolve events
+    // scheduled past the final cycle; the machine is done with them (no
+    // further prediction can depend on their training), so they count
+    // as resolved without replaying the training side effects.
+    for (std::size_t i = 0; i < events.size(); ++i)
+        if (events[i].kind != ResolveEvent::Kind::kRestart)
+            ++nResolves;
 
     SimResult r;
     r.traceName = t.name();
@@ -703,6 +785,8 @@ CoreModel::run(const trace::Trace &t)
     r.surpriseBenign = outcomes.count(Outcome::kSurpriseBenign);
     r.phantoms = outcomes.count(Outcome::kPhantom);
     r.watchdogResets = nWatchdogResets;
+    r.resolves = nResolves;
+    r.faultsInjected = inj ? inj->injected() : 0;
     r.icacheMisses = l1i->misses();
     r.dcacheMisses = l1d ? l1d->misses() : 0;
     r.dataAccesses = nDataAccesses;
@@ -714,6 +798,10 @@ CoreModel::run(const trace::Trace &t)
         r.btb2FullSearches = eng->fullSearchCount();
         r.btb2PartialSearches = eng->partialSearchCount();
     }
+
+    if (const std::string err = simInvariantError(r); !err.empty())
+        throw std::logic_error("simulation invariant violated (" +
+                               r.traceName + "): " + err);
 
     if (!prm.collectStatsText)
         return r;

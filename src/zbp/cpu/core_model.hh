@@ -22,7 +22,9 @@
 #ifndef ZBP_CPU_CORE_MODEL_HH
 #define ZBP_CPU_CORE_MODEL_HH
 
+#include <atomic>
 #include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "zbp/cache/icache.hh"
@@ -37,6 +39,17 @@
 
 namespace zbp::cpu
 {
+
+/**
+ * Thrown by CoreModel::run when the cancellation flag wired in via
+ * setCancelFlag flips to true (cooperative cancellation: the runner's
+ * per-job timeout watchdog sets the flag, the run loop polls it).
+ */
+class SimCancelled : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
 
 /** Everything a simulation run reports. */
 struct SimResult
@@ -71,6 +84,14 @@ struct SimResult
     std::uint64_t predictionsMade = 0;
     std::uint64_t watchdogResets = 0;
 
+    /** Branches whose resolve event was processed (every decoded branch
+     * schedules exactly one; the invariant checker pins the identity). */
+    std::uint64_t resolves = 0;
+
+    /** Predictor-state faults actually injected (0 unless fault
+     * injection was enabled in the machine parameters). */
+    std::uint64_t faultsInjected = 0;
+
     /** Full text dump of every registered stat group. */
     std::string statsText;
 
@@ -93,6 +114,17 @@ struct SimResult
 /** Percent CPI improvement of @p test over @p base (positive = faster). */
 double cpiImprovement(const SimResult &base, const SimResult &test);
 
+/**
+ * Self-consistency check over a finished run's counters: every branch
+ * accounted for by exactly one outcome, every branch resolved, CPI
+ * consistent with cycles/instructions.  Returns an empty string when
+ * all invariants hold, else a description of the first violation.
+ * CoreModel::run calls this and throws std::logic_error on violation —
+ * injected faults may only surface as extra mispredicts or preload
+ * waste, never as books that don't balance.
+ */
+std::string simInvariantError(const SimResult &r);
+
 /** One simulated machine, runnable over one trace. */
 class CoreModel
 {
@@ -103,8 +135,22 @@ class CoreModel
     CoreModel(const CoreModel &) = delete;
     CoreModel &operator=(const CoreModel &) = delete;
 
-    /** Simulate @p t to completion and return the results. */
+    /** Simulate @p t to completion and return the results.
+     * Throws std::invalid_argument on an empty trace, SimCancelled if
+     * the cancel flag fires, std::runtime_error if the model wedges,
+     * and std::logic_error if the result violates its invariants. */
     SimResult run(const trace::Trace &t);
+
+    /**
+     * Cooperative cancellation: the run loop polls @p flag (every few
+     * thousand iterations — cheap) and throws SimCancelled when it
+     * reads true.  Pass nullptr to detach.  The flag must outlive every
+     * subsequent run() call.
+     */
+    void setCancelFlag(const std::atomic<bool> *flag) { cancel = flag; }
+
+    /** The fault injector, or nullptr when injection is disabled. */
+    fault::FaultInjector *faultInjector() { return inj.get(); }
 
     /** Component access for white-box tests. */
     core::BranchPredictorHierarchy &hierarchy() { return *bp; }
@@ -184,6 +230,8 @@ class CoreModel
     std::unique_ptr<preload::SectorOrderTable> sotTable;
     std::unique_ptr<preload::Btb2Engine> eng;
     std::unique_ptr<core::SearchPipeline> pipe;
+    std::unique_ptr<fault::FaultInjector> inj; ///< null = injection off
+    const std::atomic<bool> *cancel = nullptr;
 
     // Run state.
     const trace::Trace *tr = nullptr;
@@ -203,6 +251,7 @@ class CoreModel
     std::uint64_t nBranches = 0;
     std::uint64_t nDataAccesses = 0;
     std::uint64_t nWatchdogResets = 0;
+    std::uint64_t nResolves = 0;
 
 };
 

@@ -19,6 +19,7 @@
 #include "zbp/common/bitfield.hh"
 #include "zbp/common/types.hh"
 #include "zbp/dir/history.hh"
+#include "zbp/fault/fault_injector.hh"
 
 namespace zbp::dir
 {
@@ -54,6 +55,8 @@ class Ctb
     std::optional<Addr>
     lookupHashed(Addr ia, std::uint64_t index) const
     {
+        if (faults != nullptr)
+            faults->onAccess(fault::Site::kCtb, index);
         const Entry &e = table[index];
         if (e.valid && e.tag == tagOf(ia))
             return e.target;
@@ -86,6 +89,34 @@ class Ctb
 
     std::size_t size() const { return table.size(); }
 
+    /** Wire this table into @p inj: each lookup is an injection
+     * opportunity on the indexed entry. */
+    void
+    attachFaultInjector(fault::FaultInjector &inj)
+    {
+        faults = &inj;
+        inj.attach(fault::Site::kCtb,
+                   [this](Rng &rng, std::uint64_t index) {
+                       Entry &e = table[index & (table.size() - 1)];
+                       if (!e.valid)
+                           return;
+                       switch (rng.below(3)) {
+                         case 0:
+                           e = Entry{}; // parity-scrubbed
+                           break;
+                         case 1:
+                           e.tag ^= static_cast<std::uint16_t>(
+                                   1u << rng.below(tagBits));
+                           break;
+                         default:
+                           // Stored target bit flip: a wrong indirect
+                           // target, corrected at resolve.
+                           e.target ^= Addr{1} << rng.below(48);
+                           break;
+                       }
+                   });
+    }
+
   private:
     struct Entry
     {
@@ -105,6 +136,7 @@ class Ctb
     unsigned tagBits;
     unsigned indexBits;
     std::vector<Entry> table;
+    fault::FaultInjector *faults = nullptr; ///< null = injection off
 };
 
 } // namespace zbp::dir

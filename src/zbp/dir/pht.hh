@@ -20,6 +20,7 @@
 
 #include "zbp/common/bitfield.hh"
 #include "zbp/dir/history.hh"
+#include "zbp/fault/fault_injector.hh"
 #include "zbp/stats/stats.hh"
 #include "zbp/util/saturating_counter.hh"
 
@@ -67,6 +68,8 @@ class Pht
     std::optional<bool>
     lookupHashed(Addr ia, std::uint64_t index, std::uint64_t tag_hash) const
     {
+        if (faults != nullptr)
+            faults->onAccess(fault::Site::kPht, index);
         const Entry &e = table[index];
         if (e.valid && e.tag == tagOf(ia, tag_hash))
             return e.dir.taken();
@@ -113,6 +116,37 @@ class Pht
 
     std::size_t size() const { return table.size(); }
 
+    /** Wire this table into @p inj: each lookup is an injection
+     * opportunity on the indexed entry. */
+    void
+    attachFaultInjector(fault::FaultInjector &inj)
+    {
+        faults = &inj;
+        inj.attach(fault::Site::kPht,
+                   [this](Rng &rng, std::uint64_t index) {
+                       Entry &e = table[index & (table.size() - 1)];
+                       if (!e.valid)
+                           return;
+                       switch (rng.below(3)) {
+                         case 0:
+                           e = Entry{}; // parity-scrubbed
+                           break;
+                         case 1:
+                           // Tag bit flip: the entry stops matching (or
+                           // aliases another branch's history path).
+                           e.tag ^= static_cast<std::uint16_t>(
+                                   1u << rng.below(tagBits));
+                           break;
+                         default:
+                           // Direction state flip: at worst one extra
+                           // mispredict before retraining.
+                           e.dir.set(static_cast<std::uint8_t>(
+                                   rng.below(Bimodal2::kMax + 1)));
+                           break;
+                       }
+                   });
+    }
+
   private:
     struct Entry
     {
@@ -136,6 +170,7 @@ class Pht
     unsigned tagBits;
     unsigned indexBits;
     std::vector<Entry> table;
+    fault::FaultInjector *faults = nullptr; ///< null = injection off
 };
 
 } // namespace zbp::dir

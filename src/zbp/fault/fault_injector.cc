@@ -1,0 +1,67 @@
+#include "zbp/fault/fault_injector.hh"
+
+#include <algorithm>
+
+namespace zbp::fault
+{
+
+const char *
+siteName(Site s)
+{
+    switch (s) {
+      case Site::kBtb1:
+        return "btb1";
+      case Site::kBtbp:
+        return "btbp";
+      case Site::kBtb2:
+        return "btb2";
+      case Site::kPht:
+        return "pht";
+      case Site::kCtb:
+        return "ctb";
+      case Site::kSot:
+        return "sot";
+      case Site::kTransfer:
+        return "transfer";
+    }
+    return "?";
+}
+
+FaultInjector::FaultInjector(const FaultParams &p)
+    : prm(p), rng(p.seed), schedule(p.targeted)
+{
+    for (unsigned i = 0; i < kSiteCount; ++i)
+        rate[i] = prm.siteRate[i] < 0.0 ? prm.rate : prm.siteRate[i];
+    std::stable_sort(schedule.begin(), schedule.end(),
+                     [](const TargetedFault &a, const TargetedFault &b) {
+                         return a.at < b.at;
+                     });
+}
+
+void
+FaultInjector::attach(Site s, InjectFn fn)
+{
+    inject[static_cast<unsigned>(s)] = std::move(fn);
+}
+
+void
+FaultInjector::fire(Site s, std::uint64_t where)
+{
+    const auto &fn = inject[static_cast<unsigned>(s)];
+    if (!fn)
+        return; // site not wired in this machine (e.g. BTB2 disabled)
+    fn(rng, where);
+    ++nInjected;
+    ++perSite[static_cast<unsigned>(s)];
+}
+
+void
+FaultInjector::reset()
+{
+    rng.seed(prm.seed);
+    perSite.fill(0);
+    nextTargeted = 0;
+    nInjected = 0;
+}
+
+} // namespace zbp::fault

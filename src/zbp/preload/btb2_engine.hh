@@ -155,6 +155,14 @@ class Btb2Engine : public MissSink
     /** Drop all in-flight state (machine restart between runs). */
     void reset();
 
+    /**
+     * Wire the bulk-transfer path into @p inj as Site::kTransfer: each
+     * entry retired from the read pipe into the BTBP is an injection
+     * opportunity (the in-flight copy is dropped or target-flipped; the
+     * BTB2's own rows are covered separately via Site::kBtb2).
+     */
+    void attachFaultInjector(fault::FaultInjector &inj);
+
     const std::vector<Tracker> &trackers() const { return trk; }
 
     void
@@ -211,6 +219,10 @@ class Btb2Engine : public MissSink
     };
     RingBuffer<PendingWrite> pipe{16};
     unsigned rrNext = 0; ///< round-robin cursor over trackers
+    fault::FaultInjector *faults = nullptr; ///< null = injection off
+    /** The in-flight entry the kTransfer callback corrupts (set only
+     * around the onAccess call in tick()). */
+    btb::BtbEntry *transferCursor = nullptr;
 
     stats::Counter nMissReports;
     stats::Counter nIcReports;

@@ -26,6 +26,7 @@
 
 #include "zbp/common/bitfield.hh"
 #include "zbp/common/types.hh"
+#include "zbp/fault/fault_injector.hh"
 #include "zbp/stats/stats.hh"
 #include "zbp/util/lru.hh"
 
@@ -129,6 +130,12 @@ class SectorOrderTable
 
     void reset();
 
+    /** Wire this table into @p inj: each order() query is an injection
+     * opportunity on the queried set (a corrupted pattern only steers
+     * the bulk transfer worse — pure preload waste, never a wrong
+     * simulation result). */
+    void attachFaultInjector(fault::FaultInjector &inj);
+
     void
     registerStats(stats::Group &g) const
     {
@@ -148,6 +155,7 @@ class SectorOrderTable
     std::uint32_t setOf(Addr block) const;
     const Entry *find(Addr block) const;
     void writeBack();
+    void corruptEntry(Rng &rng, Addr where);
 
     /** Build the priority order from a pattern (static helper, also used
      * by tests). */
@@ -159,6 +167,7 @@ class SectorOrderTable
     std::uint32_t numSets;
     std::vector<Entry> table; ///< numSets x ways
     std::vector<LruState> lru;
+    fault::FaultInjector *faults = nullptr; ///< null = injection off
 
     // Live tracking state ("as a function of instruction checkpoint").
     bool tracking = false;

@@ -64,7 +64,10 @@ ParallelExecutor::run(std::size_t n,
                 failures.push_back(std::move(f));
             }
         } catch (...) {
-            JobFailure f{i, "unknown exception"};
+            // Non-std::exception throws (ints, custom types) must not
+            // tear down the pool thread; capture them like any other
+            // failure so the sweep completes.
+            JobFailure f{i, "unknown error"};
             if (mu) {
                 std::lock_guard<std::mutex> lock(*mu);
                 failures.push_back(std::move(f));

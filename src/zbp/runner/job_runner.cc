@@ -1,10 +1,19 @@
 #include "zbp/runner/job_runner.hh"
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
+#include <unordered_map>
 
+#include "zbp/common/log.hh"
 #include "zbp/runner/executor.hh"
 #include "zbp/runner/jsonl_sink.hh"
+#include "zbp/trace/trace_io.hh"
 
 namespace zbp::runner
 {
@@ -22,49 +31,364 @@ mixString(std::uint64_t h, const std::string &s)
     return h;
 }
 
-/** The exported counter fields, mirroring sim::resultCsvHeader(). */
+/** The exported counter fields, mirroring sim::resultCsvHeader().
+ * Member pointers (not getters) so resume can write them back when
+ * reconstructing a SimResult from a JSONL record. */
 struct Field
 {
     const char *name;
-    std::uint64_t (*get)(const cpu::SimResult &);
+    std::uint64_t cpu::SimResult::*member;
 };
 
 constexpr Field kFields[] = {
-    {"cycles", [](const cpu::SimResult &r) { return r.cycles; }},
-    {"instructions",
-     [](const cpu::SimResult &r) { return r.instructions; }},
-    {"branches", [](const cpu::SimResult &r) { return r.branches; }},
-    {"takenBranches",
-     [](const cpu::SimResult &r) { return r.takenBranches; }},
-    {"correct", [](const cpu::SimResult &r) { return r.correct; }},
-    {"mispredictDir",
-     [](const cpu::SimResult &r) { return r.mispredictDir; }},
-    {"mispredictTarget",
-     [](const cpu::SimResult &r) { return r.mispredictTarget; }},
-    {"surpriseCompulsory",
-     [](const cpu::SimResult &r) { return r.surpriseCompulsory; }},
-    {"surpriseLatency",
-     [](const cpu::SimResult &r) { return r.surpriseLatency; }},
-    {"surpriseCapacity",
-     [](const cpu::SimResult &r) { return r.surpriseCapacity; }},
-    {"surpriseBenign",
-     [](const cpu::SimResult &r) { return r.surpriseBenign; }},
-    {"phantoms", [](const cpu::SimResult &r) { return r.phantoms; }},
-    {"icacheMisses",
-     [](const cpu::SimResult &r) { return r.icacheMisses; }},
-    {"dcacheMisses",
-     [](const cpu::SimResult &r) { return r.dcacheMisses; }},
-    {"btb1MissReports",
-     [](const cpu::SimResult &r) { return r.btb1MissReports; }},
-    {"btb2RowReads",
-     [](const cpu::SimResult &r) { return r.btb2RowReads; }},
-    {"btb2Transfers",
-     [](const cpu::SimResult &r) { return r.btb2Transfers; }},
-    {"predictionsMade",
-     [](const cpu::SimResult &r) { return r.predictionsMade; }},
+    {"cycles", &cpu::SimResult::cycles},
+    {"instructions", &cpu::SimResult::instructions},
+    {"branches", &cpu::SimResult::branches},
+    {"takenBranches", &cpu::SimResult::takenBranches},
+    {"correct", &cpu::SimResult::correct},
+    {"mispredictDir", &cpu::SimResult::mispredictDir},
+    {"mispredictTarget", &cpu::SimResult::mispredictTarget},
+    {"surpriseCompulsory", &cpu::SimResult::surpriseCompulsory},
+    {"surpriseLatency", &cpu::SimResult::surpriseLatency},
+    {"surpriseCapacity", &cpu::SimResult::surpriseCapacity},
+    {"surpriseBenign", &cpu::SimResult::surpriseBenign},
+    {"phantoms", &cpu::SimResult::phantoms},
+    {"icacheMisses", &cpu::SimResult::icacheMisses},
+    {"dcacheMisses", &cpu::SimResult::dcacheMisses},
+    {"btb1MissReports", &cpu::SimResult::btb1MissReports},
+    {"btb2RowReads", &cpu::SimResult::btb2RowReads},
+    {"btb2Transfers", &cpu::SimResult::btb2Transfers},
+    {"predictionsMade", &cpu::SimResult::predictionsMade},
+    {"resolves", &cpu::SimResult::resolves},
+    {"faultsInjected", &cpu::SimResult::faultsInjected},
 };
 
+double
+timeoutFromEnv()
+{
+    const char *s = std::getenv("ZBP_JOB_TIMEOUT");
+    if (s == nullptr || *s == '\0')
+        return 0.0;
+    char *end = nullptr;
+    const double v = std::strtod(s, &end);
+    if (end == s || *end != '\0' || !(v >= 0.0)) {
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true))
+            warn("ignoring bad ZBP_JOB_TIMEOUT '", s, "'");
+        return 0.0;
+    }
+    return v;
+}
+
+unsigned
+retriesFromEnv()
+{
+    const char *s = std::getenv("ZBP_JOB_RETRIES");
+    if (s == nullptr || *s == '\0')
+        return 0;
+    char *end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    if (end == s || *end != '\0' || v < 0 || v > 100) {
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true))
+            warn("ignoring bad ZBP_JOB_RETRIES '", s, "'");
+        return 0;
+    }
+    return static_cast<unsigned>(v);
+}
+
+std::string
+resumePathFromEnv()
+{
+    const char *s = std::getenv("ZBP_RESUME_JSONL");
+    return s != nullptr ? std::string(s) : std::string();
+}
+
+/**
+ * One shared deadline watcher for all workers: each attempt arms an
+ * entry (deadline + cancellation flag), the watcher thread scans every
+ * few milliseconds and sets the flags of overdue entries, and the
+ * model's run loop turns a set flag into SimCancelled.  The thread
+ * only exists when a timeout is configured.
+ */
+class TimeoutWatchdog
+{
+  public:
+    explicit TimeoutWatchdog(double seconds) : limit(seconds)
+    {
+        if (limit > 0.0)
+            th = std::thread([this] { loop(); });
+    }
+
+    ~TimeoutWatchdog()
+    {
+        if (th.joinable()) {
+            {
+                std::lock_guard<std::mutex> lk(mu);
+                stop = true;
+            }
+            cv.notify_all();
+            th.join();
+        }
+    }
+
+    bool enabled() const { return limit > 0.0; }
+    double seconds() const { return limit; }
+
+    /** RAII per-attempt registration; no-op when disabled. */
+    class Scope
+    {
+      public:
+        Scope(TimeoutWatchdog &w_, std::atomic<bool> &flag) : w(w_)
+        {
+            if (w.enabled()) {
+                id = w.arm(flag);
+                armed = true;
+            }
+        }
+        ~Scope()
+        {
+            if (armed)
+                w.disarm(id);
+        }
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        TimeoutWatchdog &w;
+        std::size_t id = 0;
+        bool armed = false;
+    };
+
+  private:
+    struct Entry
+    {
+        std::chrono::steady_clock::time_point deadline;
+        std::atomic<bool> *flag;
+        bool active;
+    };
+
+    std::size_t
+    arm(std::atomic<bool> &flag)
+    {
+        const auto deadline = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(limit));
+        std::lock_guard<std::mutex> lk(mu);
+        entries.push_back({deadline, &flag, true});
+        return entries.size() - 1;
+    }
+
+    void
+    disarm(std::size_t id)
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        entries[id].active = false;
+    }
+
+    void
+    loop()
+    {
+        std::unique_lock<std::mutex> lk(mu);
+        while (!stop) {
+            cv.wait_for(lk, std::chrono::milliseconds(5));
+            const auto now = std::chrono::steady_clock::now();
+            for (auto &e : entries) {
+                if (e.active && now >= e.deadline) {
+                    e.flag->store(true, std::memory_order_relaxed);
+                    e.active = false;
+                }
+            }
+        }
+    }
+
+    double limit;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<Entry> entries; ///< grows by one per attempt; bounded
+    bool stop = false;
+    std::thread th;
+};
+
+// ---- minimal JSONL field extraction (for resume) --------------------
+//
+// Records are produced by jobRecord() below, so the shapes are known:
+// flat objects, keys unique.  The extractors tolerate unknown fields
+// and malformed lines (they just fail to match, and the line is
+// ignored) — a truncated checkpoint from a crashed sweep must never
+// break the resumed run.
+
+bool
+findValue(const std::string &line, const std::string &key,
+          std::size_t &value_begin)
+{
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t at = line.find(needle);
+    if (at == std::string::npos)
+        return false;
+    value_begin = at + needle.size();
+    return value_begin < line.size();
+}
+
+bool
+extractString(const std::string &line, const std::string &key,
+              std::string &out)
+{
+    std::size_t i;
+    if (!findValue(line, key, i) || line[i] != '"')
+        return false;
+    ++i;
+    std::string s;
+    while (i < line.size() && line[i] != '"') {
+        if (line[i] == '\\' && i + 1 < line.size()) {
+            ++i;
+            switch (line[i]) {
+              case 'n': s += '\n'; break;
+              case 't': s += '\t'; break;
+              case 'u':
+                // \u00XX escapes only ever encode control bytes here;
+                // resume identity never contains them, skip the code.
+                i += 4;
+                s += '?';
+                break;
+              default: s += line[i]; break;
+            }
+        } else {
+            s += line[i];
+        }
+        ++i;
+    }
+    if (i >= line.size())
+        return false; // unterminated string: corrupt line
+    out = std::move(s);
+    return true;
+}
+
+bool
+extractU64(const std::string &line, const std::string &key,
+           std::uint64_t &out)
+{
+    std::size_t i;
+    if (!findValue(line, key, i))
+        return false;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(line.c_str() + i, &end, 10);
+    if (end == line.c_str() + i)
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+extractDouble(const std::string &line, const std::string &key,
+              double &out)
+{
+    std::size_t i;
+    if (!findValue(line, key, i))
+        return false;
+    char *end = nullptr;
+    const double v = std::strtod(line.c_str() + i, &end);
+    if (end == line.c_str() + i)
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+extractBool(const std::string &line, const std::string &key, bool &out)
+{
+    std::size_t i;
+    if (!findValue(line, key, i))
+        return false;
+    if (line.compare(i, 4, "true") == 0) {
+        out = true;
+        return true;
+    }
+    if (line.compare(i, 5, "false") == 0) {
+        out = false;
+        return true;
+    }
+    return false;
+}
+
+std::string
+resumeKey(const std::string &config, const std::string &trace,
+          std::uint64_t seed)
+{
+    return config + '\x1f' + trace + '\x1f' + std::to_string(seed);
+}
+
+/** Parse a prior results file into identity -> reconstructed result.
+ * Only ok=true records are kept (failed jobs must re-run).  Malformed
+ * lines are skipped. */
+std::unordered_map<std::string, SimJobResult>
+loadResumeFile(const std::string &path)
+{
+    std::unordered_map<std::string, SimJobResult> prior;
+    std::ifstream is(path);
+    if (!is) {
+        warn("resume file '", path, "' cannot be opened; ignoring");
+        return prior;
+    }
+    std::string line;
+    std::size_t malformed = 0;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        std::string config, tname;
+        std::uint64_t seed = 0;
+        bool ok = false;
+        if (!extractString(line, "config", config) ||
+            !extractString(line, "trace", tname) ||
+            !extractU64(line, "seed", seed) ||
+            !extractBool(line, "ok", ok)) {
+            ++malformed;
+            continue;
+        }
+        if (!ok)
+            continue;
+        SimJobResult r;
+        r.ok = true;
+        r.resumed = true;
+        r.result.traceName = tname;
+        (void)extractDouble(line, "seconds", r.seconds);
+        (void)extractDouble(line, "cpi", r.result.cpi);
+        std::uint64_t attempts = 1;
+        (void)extractU64(line, "attempts", attempts);
+        r.attempts = static_cast<unsigned>(attempts);
+        bool complete = true;
+        for (const auto &f : kFields) {
+            std::uint64_t v = 0;
+            if (!extractU64(line, f.name, v)) {
+                complete = false;
+                break;
+            }
+            r.result.*f.member = v;
+        }
+        if (!complete) {
+            ++malformed;
+            continue; // e.g. a half-written final line: re-run the job
+        }
+        prior[resumeKey(config, tname, seed)] = std::move(r);
+    }
+    if (malformed != 0)
+        warn("resume file '", path, "': skipped ", malformed,
+             " malformed record(s)");
+    return prior;
+}
+
 } // namespace
+
+std::string
+jobTraceId(const SimJob &job)
+{
+    if (job.trace != nullptr)
+        return job.trace->name();
+    if (!job.tracePath.empty())
+        return job.tracePath;
+    return "<null>";
+}
 
 std::uint64_t
 JobRunner::deriveSeed(const std::string &config_name,
@@ -84,19 +408,19 @@ std::string
 jobRecord(const SimJob &job, const SimJobResult &r)
 {
     JsonObject o;
-    o.field("trace", job.trace != nullptr ? job.trace->name()
-                                          : std::string("<null>"));
+    o.field("trace", jobTraceId(job));
     o.field("config", job.configName);
     o.field("seed", job.seed);
     o.field("ok", r.ok);
     o.field("seconds", r.seconds);
+    o.field("attempts", static_cast<std::uint64_t>(r.attempts));
     if (!r.ok) {
         o.field("error", r.error);
         return o.str();
     }
     o.field("cpi", r.result.cpi);
     for (const auto &f : kFields)
-        o.field(f.name, f.get(r.result));
+        o.field(f.name, r.result.*f.member);
     return o.str();
 }
 
@@ -115,41 +439,126 @@ JobRunner::setSinkPath(std::string path)
     sinkPathSet = true;
 }
 
+void
+JobRunner::setJobTimeout(double seconds)
+{
+    jobTimeout = seconds;
+    jobTimeoutSet = true;
+}
+
+void
+JobRunner::setRetries(unsigned n)
+{
+    retries = n;
+    retriesSet = true;
+}
+
+void
+JobRunner::setResumePath(std::string path)
+{
+    resumePath = std::move(path);
+    resumePathSet = true;
+}
+
 std::vector<SimJobResult>
 JobRunner::run(const std::vector<SimJob> &jobs)
 {
     std::vector<SimJob> resolved = jobs;
     for (auto &j : resolved)
         if (j.seed == 0)
-            j.seed = deriveSeed(j.configName,
-                                j.trace != nullptr ? j.trace->name()
-                                                   : std::string());
+            j.seed = deriveSeed(j.configName, jobTraceId(j));
+
+    const std::string rpath =
+            resumePathSet ? resumePath : resumePathFromEnv();
+    std::unordered_map<std::string, SimJobResult> prior;
+    if (!rpath.empty())
+        prior = loadResumeFile(rpath);
+
+    const double timeout = jobTimeoutSet ? jobTimeout : timeoutFromEnv();
+    const unsigned max_attempts =
+            1 + (retriesSet ? retries : retriesFromEnv());
 
     JsonlSink sink(sinkPathSet ? sinkPath : JsonlSink::envPath());
     ProgressMeter meter(resolved.size(), progress);
     std::vector<SimJobResult> results(resolved.size());
+    TimeoutWatchdog dog(timeout);
 
     ParallelExecutor exec(nJobs);
     exec.run(resolved.size(), [&](std::size_t i) {
         const SimJob &job = resolved[i];
         SimJobResult &out = results[i];
+        const std::string label = job.configName + "/" + jobTraceId(job);
+
+        if (!prior.empty()) {
+            const auto it =
+                    prior.find(resumeKey(job.configName, jobTraceId(job),
+                                         job.seed));
+            if (it != prior.end()) {
+                // Satisfied by the checkpoint: do not re-run, do not
+                // re-write to the sink (the record already exists in
+                // the resumed-from file).
+                out = it->second;
+                meter.jobDone(label + " (resumed)", 0.0);
+                return;
+            }
+        }
+
         const auto t0 = std::chrono::steady_clock::now();
-        try {
-            if (job.trace == nullptr)
-                throw std::runtime_error("job has no trace");
-            cpu::CoreModel model(job.cfg);
-            out.result = model.run(*job.trace);
-            out.ok = true;
-        } catch (const std::exception &e) {
-            out.error = e.what();
-        } catch (...) {
-            out.error = "unknown exception";
+        for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
+            out.attempts = attempt;
+            bool retryable = false;
+            try {
+                trace::Trace local;
+                const trace::Trace *tp = job.trace;
+                if (tp == nullptr) {
+                    if (job.tracePath.empty())
+                        throw std::runtime_error(
+                                "job has no trace (null trace pointer "
+                                "and empty tracePath)");
+                    local = trace::loadTraceFile(job.tracePath);
+                    tp = &local;
+                }
+                cpu::CoreModel model(job.cfg);
+                std::atomic<bool> cancelled{false};
+                TimeoutWatchdog::Scope scope(dog, cancelled);
+                model.setCancelFlag(&cancelled);
+                out.result = model.run(*tp);
+                out.ok = true;
+                out.error.clear();
+                break;
+            } catch (const cpu::SimCancelled &e) {
+                // Over the wall-clock limit: a retry would hit it
+                // again, so fail the job immediately.
+                out.ok = false;
+                out.error = "timed out after " +
+                        std::to_string(dog.seconds()) + "s: " + e.what();
+                break;
+            } catch (const RetryableError &e) {
+                out.ok = false;
+                out.error = e.what();
+                retryable = true;
+            } catch (const trace::TraceOpenError &e) {
+                out.ok = false;
+                out.error = e.what();
+                retryable = true;
+            } catch (const std::exception &e) {
+                out.ok = false;
+                out.error = e.what();
+                break;
+            } catch (...) {
+                out.ok = false;
+                out.error = "unknown error";
+                break;
+            }
+            if (!retryable || attempt == max_attempts)
+                break;
+            // Deterministic exponential backoff before the retry.
+            std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10u << (attempt - 1)));
         }
         out.seconds = std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - t0).count();
         sink.write(jobRecord(job, out));
-        const std::string label = job.configName + "/" +
-                (job.trace != nullptr ? job.trace->name() : "<null>");
         meter.jobDone(label, out.seconds);
     });
     return results;

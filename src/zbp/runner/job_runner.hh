@@ -31,17 +31,29 @@ namespace zbp::runner
 /** One schedulable simulation: a machine configuration over a trace. */
 struct SimJob
 {
+    SimJob() = default;
+    SimJob(std::string config_name, core::MachineParams c,
+           const trace::Trace *t, std::uint64_t s = 0)
+        : configName(std::move(config_name)), cfg(std::move(c)),
+          trace(t), seed(s)
+    {}
+
     std::string configName;       ///< label for progress + JSONL
     core::MachineParams cfg;
     const trace::Trace *trace = nullptr; ///< non-owning; must outlive run()
 
+    /** Alternative to `trace`: load this .zbpt file inside the worker
+     * (per attempt, so a transient open failure is retryable).  Used
+     * when the trace set is too large to keep resident, or when jobs
+     * are replayed from a results file.  Ignored if `trace` is set. */
+    std::string tracePath;
+
     /**
-     * Per-job RNG seed.  0 = derive from (configName, trace name) via
-     * deriveSeed(), so the value depends only on job identity.  The
-     * core model is currently seed-free (fully deterministic); the
-     * seed is carried so stochastic components added later inherit
-     * the parallel-equals-serial guarantee, and it is exported in the
-     * JSONL record for reproduction.
+     * Per-job RNG seed.  0 = derive from (configName, trace identity)
+     * via deriveSeed(), so the value depends only on job identity.  The
+     * seed feeds the fault injector (when enabled) and is exported in
+     * the JSONL record for reproduction; derivation from identity keeps
+     * the parallel-equals-serial guarantee.
      */
     std::uint64_t seed = 0;
 };
@@ -52,6 +64,8 @@ struct SimJobResult
     bool ok = false;
     std::string error;     ///< set when !ok
     double seconds = 0.0;  ///< wall-clock of this job
+    unsigned attempts = 1; ///< execution attempts (retries + 1)
+    bool resumed = false;  ///< satisfied from a resume file, not re-run
     cpu::SimResult result; ///< valid when ok
 };
 
@@ -72,6 +86,29 @@ class JobRunner
     void setSinkPath(std::string path);
 
     /**
+     * Per-job wall-clock timeout in seconds; overrides the
+     * ZBP_JOB_TIMEOUT default.  <= 0 disables.  A job over its limit is
+     * cancelled cooperatively (the model's run loop polls a flag) and
+     * fails with a "timed out" error; timeouts are not retried.
+     */
+    void setJobTimeout(double seconds);
+
+    /** Retries for transient failures (RetryableError /
+     * trace::TraceOpenError), with deterministic exponential backoff;
+     * overrides the ZBP_JOB_RETRIES default.  0 = single attempt. */
+    void setRetries(unsigned n);
+
+    /**
+     * Checkpoint/resume: a JSONL results file from a previous (partial
+     * or failed) sweep; overrides the ZBP_RESUME_JSONL default.  Jobs
+     * whose (config, trace, seed) identity matches an ok=true record
+     * are satisfied from the record — not re-executed and not
+     * re-written to the sink — so a crashed sweep re-runs only what is
+     * missing or failed.  Empty string disables.
+     */
+    void setResumePath(std::string path);
+
+    /**
      * Run every job; result i corresponds to jobs[i] regardless of
      * the execution interleaving.  A job that throws yields a
      * SimJobResult with ok=false and the exception message; the other
@@ -88,7 +125,17 @@ class JobRunner
     ProgressMeter::Callback progress;
     std::string sinkPath;
     bool sinkPathSet = false;
+    double jobTimeout = 0.0;
+    bool jobTimeoutSet = false;
+    unsigned retries = 0;
+    bool retriesSet = false;
+    std::string resumePath;
+    bool resumePathSet = false;
 };
+
+/** Stable identity of the job's trace for seeds, records and resume
+ * matching: the trace's name, else the trace path, else "<null>". */
+std::string jobTraceId(const SimJob &job);
 
 /** The JSONL record for one finished job (exposed for tests). */
 std::string jobRecord(const SimJob &job, const SimJobResult &r);

@@ -1,9 +1,11 @@
 #include "zbp/trace/trace_io.hh"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 namespace zbp::trace
 {
@@ -33,9 +35,31 @@ struct PackedInst
 
 static_assert(sizeof(PackedInst) == 32, "packed record must stay 32B");
 
+/** Pre-reserve at most this many records; a corrupted count field may
+ * claim 2^60 records and must not drive the reservation.  Reading
+ * still honours the full count — the vector just grows normally past
+ * the clamp. */
+constexpr std::uint64_t kMaxReserve = std::uint64_t{1} << 20;
+
+[[noreturn]] void
+fail(const std::string &what)
+{
+    throw TraceIoError("trace stream: " + what);
+}
+
+[[noreturn]] void
+failAt(std::uint64_t record, const std::string &what)
+{
+    std::ostringstream msg;
+    msg << "trace stream: record " << record << " (offset "
+        << (sizeof(FileHeader) + record * sizeof(PackedInst))
+        << "+name): " << what;
+    throw TraceIoError(msg.str());
+}
+
 } // namespace
 
-bool
+void
 writeTrace(const Trace &t, std::ostream &os)
 {
     FileHeader h{};
@@ -44,6 +68,9 @@ writeTrace(const Trace &t, std::ostream &os)
     h.count = t.size();
     h.nameLen = static_cast<std::uint32_t>(t.name().size());
     h.pad = 0;
+    if (t.name().size() > kMaxTraceNameLen)
+        fail("trace name longer than " +
+             std::to_string(kMaxTraceNameLen) + " bytes");
     os.write(reinterpret_cast<const char *>(&h), sizeof(h));
     os.write(t.name().data(), static_cast<std::streamsize>(h.nameLen));
     for (const auto &inst : t) {
@@ -56,34 +83,54 @@ writeTrace(const Trace &t, std::ostream &os)
         p.taken = inst.taken ? 1 : 0;
         os.write(reinterpret_cast<const char *>(&p), sizeof(p));
     }
-    return static_cast<bool>(os);
+    if (!os)
+        fail("write failed");
 }
 
-bool
-readTrace(std::istream &is, Trace &out)
+Trace
+readTrace(std::istream &is)
 {
     FileHeader h{};
     is.read(reinterpret_cast<char *>(&h), sizeof(h));
-    if (!is || std::memcmp(h.magic, kTraceMagic, 4) != 0 ||
-        h.version != kTraceVersion) {
-        return false;
-    }
+    if (is.gcount() != static_cast<std::streamsize>(sizeof(h)))
+        fail("truncated header (" + std::to_string(is.gcount()) +
+             " of " + std::to_string(sizeof(h)) + " bytes)");
+    if (std::memcmp(h.magic, kTraceMagic, 4) != 0)
+        fail("bad magic (not a ZBPT trace file)");
+    if (h.version != kTraceVersion)
+        fail("unsupported version " + std::to_string(h.version) +
+             " (expected " + std::to_string(kTraceVersion) + ")");
+    if (h.pad != 0)
+        fail("nonzero header padding (corrupted header)");
+    if (h.nameLen > kMaxTraceNameLen)
+        fail("trace name length " + std::to_string(h.nameLen) +
+             " exceeds the " + std::to_string(kMaxTraceNameLen) +
+             "-byte limit (corrupted header)");
+
     std::string name(h.nameLen, '\0');
     is.read(name.data(), static_cast<std::streamsize>(h.nameLen));
-    if (!is)
-        return false;
+    if (static_cast<std::uint32_t>(is.gcount()) != h.nameLen)
+        fail("truncated trace name");
 
     Trace t(name);
-    t.reserve(h.count);
+    t.reserve(std::min(h.count, kMaxReserve));
     for (std::uint64_t i = 0; i < h.count; ++i) {
         PackedInst p{};
         is.read(reinterpret_cast<char *>(&p), sizeof(p));
-        if (!is)
-            return false;
+        if (is.gcount() != static_cast<std::streamsize>(sizeof(p)))
+            failAt(i, "truncated record (file claims " +
+                      std::to_string(h.count) + " records)");
         if (p.kind > static_cast<std::uint8_t>(InstKind::kIndirect))
-            return false;
+            failAt(i, "invalid instruction kind " +
+                      std::to_string(p.kind));
         if (p.length != 2 && p.length != 4 && p.length != 6)
-            return false;
+            failAt(i, "invalid instruction length " +
+                      std::to_string(p.length));
+        if (p.taken > 1)
+            failAt(i, "invalid taken flag " + std::to_string(p.taken));
+        for (unsigned b = 0; b < sizeof(p.pad); ++b)
+            if (p.pad[b] != 0)
+                failAt(i, "nonzero record padding (corrupted record)");
         Instruction inst;
         inst.ia = p.ia;
         inst.target = p.target;
@@ -93,22 +140,36 @@ readTrace(std::istream &is, Trace &out)
         inst.taken = p.taken != 0;
         t.push(inst);
     }
-    out = std::move(t);
-    return true;
+    if (is.peek() != std::istream::traits_type::eof())
+        fail("trailing bytes after the last record (truncated count "
+             "field or appended garbage)");
+    return t;
 }
 
-bool
+void
 saveTraceFile(const Trace &t, const std::string &path)
 {
     std::ofstream os(path, std::ios::binary);
-    return os && writeTrace(t, os);
+    if (!os)
+        throw TraceOpenError("cannot open trace file for writing: " +
+                             path);
+    writeTrace(t, os);
+    os.flush();
+    if (!os)
+        throw TraceIoError("write to trace file failed: " + path);
 }
 
-bool
-loadTraceFile(const std::string &path, Trace &out)
+Trace
+loadTraceFile(const std::string &path)
 {
     std::ifstream is(path, std::ios::binary);
-    return is && readTrace(is, out);
+    if (!is)
+        throw TraceOpenError("cannot open trace file: " + path);
+    try {
+        return readTrace(is);
+    } catch (const TraceIoError &e) {
+        throw TraceIoError(path + ": " + e.what());
+    }
 }
 
 } // namespace zbp::trace

@@ -2,16 +2,24 @@
  * @file
  * Binary trace serialization.
  *
- * Format "ZBPT" v1: a fixed little-endian header followed by packed
+ * Format "ZBPT" v2: a fixed little-endian header followed by packed
  * per-instruction records.  Deliberately simple — the point is to let
  * users capture a generated workload once and replay it across
  * configuration sweeps without regenerating.
+ *
+ * Robustness contract: trace files are external input.  The reader
+ * validates the header (magic, version, zeroed padding), bounds every
+ * read (a truncated or bit-flipped file can never make it allocate
+ * unbounded memory or return a silently partial trace), and rejects
+ * trailing garbage.  All failures surface as TraceIoError with a
+ * positional message; nothing here aborts or invokes UB.
  */
 
 #ifndef ZBP_TRACE_TRACE_IO_HH
 #define ZBP_TRACE_TRACE_IO_HH
 
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 
 #include "zbp/trace/trace.hh"
@@ -23,18 +31,44 @@ namespace zbp::trace
 inline constexpr char kTraceMagic[4] = {'Z', 'B', 'P', 'T'};
 inline constexpr std::uint32_t kTraceVersion = 2; // v2: adds dataAddr
 
-/** Serialize @p t to @p os. Throws nothing; returns false on I/O error. */
-bool writeTrace(const Trace &t, std::ostream &os);
+/** Longest trace name the reader accepts (the header's nameLen field
+ * is attacker-controlled; a corrupted length must not drive a huge
+ * allocation). */
+inline constexpr std::uint32_t kMaxTraceNameLen = 4096;
+
+/** Any trace (de)serialization failure: bad magic, wrong version,
+ * truncation, corrupted fields, write errors. */
+class TraceIoError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** The file could not be opened at all (missing path, permissions) —
+ * distinct from corruption because callers may reasonably retry or
+ * skip, whereas corrupt bytes stay corrupt. */
+class TraceOpenError : public TraceIoError
+{
+  public:
+    using TraceIoError::TraceIoError;
+};
+
+/** Serialize @p t to @p os.  Throws TraceIoError on a write failure. */
+void writeTrace(const Trace &t, std::ostream &os);
 
 /**
- * Deserialize a trace from @p is into @p out.
- * @return true on success; false on bad magic/version/truncation.
+ * Deserialize one trace from @p is and return it.  Throws TraceIoError
+ * (with the offending offset/field in the message) on bad magic or
+ * version, nonzero padding, truncation, out-of-range record fields, or
+ * trailing bytes after the last record.
  */
-bool readTrace(std::istream &is, Trace &out);
+Trace readTrace(std::istream &is);
 
-/** File-path convenience wrappers. */
-bool saveTraceFile(const Trace &t, const std::string &path);
-bool loadTraceFile(const std::string &path, Trace &out);
+/** File-path convenience wrappers.  Throw TraceOpenError if the file
+ * cannot be opened, TraceIoError for everything readTrace/writeTrace
+ * reject. */
+void saveTraceFile(const Trace &t, const std::string &path);
+Trace loadTraceFile(const std::string &path);
 
 } // namespace zbp::trace
 

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for MachineParams::validate(): every shipped configuration is
+ * clean, broken geometry is rejected with a descriptive catchable
+ * error, and CoreModel refuses to build on an invalid configuration
+ * instead of asserting deep inside a table constructor.
+ */
+
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "zbp/core/params.hh"
+#include "zbp/cpu/core_model.hh"
+#include "zbp/sim/configs.hh"
+
+namespace zbp::core
+{
+namespace
+{
+
+/** validate() must throw std::invalid_argument mentioning @p needle. */
+void
+expectRejected(const MachineParams &prm, const std::string &needle)
+{
+    try {
+        prm.validate();
+        FAIL() << "expected rejection mentioning '" << needle << "'";
+    } catch (const std::invalid_argument &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("bad machine configuration"),
+                  std::string::npos) << msg;
+        EXPECT_NE(msg.find(needle), std::string::npos) << msg;
+    }
+}
+
+TEST(ParamsValidate, ShippedConfigsAreValid)
+{
+    EXPECT_NO_THROW(sim::configNoBtb2().validate());
+    EXPECT_NO_THROW(sim::configBtb2().validate());
+    EXPECT_NO_THROW(sim::configLargeBtb1().validate());
+    EXPECT_NO_THROW(MachineParams{}.validate());
+}
+
+TEST(ParamsValidate, RejectsZeroBtbRows)
+{
+    MachineParams p;
+    p.btb1.rows = 0;
+    expectRejected(p, "btb1.rows");
+}
+
+TEST(ParamsValidate, RejectsNonPowerOfTwoRows)
+{
+    MachineParams p;
+    p.btbp.rows = 3;
+    expectRejected(p, "btbp.rows");
+}
+
+TEST(ParamsValidate, RejectsTooManyWays)
+{
+    MachineParams p;
+    p.btb2.ways = btb::kMaxBtbWays + 1;
+    expectRejected(p, "btb2.ways");
+}
+
+TEST(ParamsValidate, RejectsBadBtb2RowBytes)
+{
+    MachineParams p;
+    p.btb2Enabled = true;
+    p.btb2.rowBytes = 16;
+    expectRejected(p, "btb2.rowBytes");
+}
+
+TEST(ParamsValidate, RejectsNonPowerOfTwoPht)
+{
+    MachineParams p;
+    p.phtEntries = 1000;
+    expectRejected(p, "phtEntries");
+}
+
+TEST(ParamsValidate, RejectsZeroTrackers)
+{
+    MachineParams p;
+    p.engine.numTrackers = 0;
+    expectRejected(p, "engine.numTrackers");
+}
+
+TEST(ParamsValidate, RejectsSotEntriesNotMultipleOfWays)
+{
+    MachineParams p;
+    p.sot.entries = 2049;
+    expectRejected(p, "sot.entries");
+}
+
+TEST(ParamsValidate, RejectsBadCacheSize)
+{
+    MachineParams p;
+    p.icache.sizeBytes = p.icache.lineBytes * p.icache.ways + 1;
+    expectRejected(p, "icache.sizeBytes");
+}
+
+TEST(ParamsValidate, RejectsOutOfRangeStallProbability)
+{
+    MachineParams p;
+    p.cpu.dataStallProb = 1.5;
+    expectRejected(p, "cpu.dataStallProb");
+}
+
+TEST(ParamsValidate, RejectsBadFaultRate)
+{
+    MachineParams p;
+    p.faults.rate = -0.25;
+    expectRejected(p, "faults.rate");
+
+    MachineParams q;
+    q.faults.siteRate[0] = 2.0;
+    expectRejected(q, "faults.siteRate");
+}
+
+TEST(ParamsValidate, NegativeSiteRateIsInheritSentinel)
+{
+    MachineParams p;
+    p.faults.siteRate[2] = -1.0; // the default: inherit faults.rate
+    EXPECT_NO_THROW(p.validate());
+}
+
+TEST(ParamsValidate, CoreModelRefusesInvalidConfig)
+{
+    MachineParams p = sim::configBtb2();
+    p.phtEntries = 7;
+    EXPECT_THROW(cpu::CoreModel m(p), std::invalid_argument);
+}
+
+} // namespace
+} // namespace zbp::core

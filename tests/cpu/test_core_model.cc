@@ -72,10 +72,10 @@ TEST(CoreModel, SequentialCodeDecodesAtFullWidth)
     EXPECT_EQ(r.mispredictDir + r.mispredictTarget, 0u);
 }
 
-TEST(CoreModel, EmptyTraceDies)
+TEST(CoreModel, EmptyTraceThrows)
 {
     CoreModel m(noStallParams());
-    EXPECT_DEATH((void)m.run(Trace{}), "empty trace");
+    EXPECT_THROW((void)m.run(Trace{}), std::invalid_argument);
 }
 
 TEST(CoreModel, FirstSurpriseIsCompulsoryAndInstalls)

@@ -50,9 +50,8 @@ TEST(Regression, TraceRoundTripPreservesSimulation)
     const auto t = fixedTrace();
     const std::string path =
             ::testing::TempDir() + "/zbp_regression.zbpt";
-    ASSERT_TRUE(trace::saveTraceFile(t, path));
-    trace::Trace back;
-    ASSERT_TRUE(trace::loadTraceFile(path, back));
+    trace::saveTraceFile(t, path);
+    const trace::Trace back = trace::loadTraceFile(path);
     std::remove(path.c_str());
 
     const auto a = sim::runOne(sim::configBtb2(), t);

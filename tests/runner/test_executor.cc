@@ -109,7 +109,7 @@ TEST(ParallelExecutor, CapturesNonStdExceptions)
     });
     ASSERT_EQ(failures.size(), 1u);
     EXPECT_EQ(failures[0].index, 1u);
-    EXPECT_EQ(failures[0].message, "unknown exception");
+    EXPECT_EQ(failures[0].message, "unknown error");
 }
 
 TEST(ParallelExecutor, ZeroJobsIsANoOp)

@@ -5,10 +5,14 @@
  * derivation, and progress accounting.
  */
 
+#include <cstdio>
+#include <fstream>
+
 #include <gtest/gtest.h>
 
 #include "zbp/runner/job_runner.hh"
 #include "zbp/sim/configs.hh"
+#include "zbp/trace/trace_io.hh"
 #include "zbp/workload/suites.hh"
 
 namespace zbp::runner
@@ -32,9 +36,9 @@ crossJobs(const std::vector<trace::Trace> &traces)
 {
     std::vector<SimJob> jobs;
     for (const auto &t : traces) {
-        jobs.push_back({"no-btb2", sim::configNoBtb2(), &t});
-        jobs.push_back({"btb2", sim::configBtb2(), &t});
-        jobs.push_back({"large-btb1", sim::configLargeBtb1(), &t});
+        jobs.push_back(SimJob("no-btb2", sim::configNoBtb2(), &t));
+        jobs.push_back(SimJob("btb2", sim::configBtb2(), &t));
+        jobs.push_back(SimJob("large-btb1", sim::configLargeBtb1(), &t));
     }
     return jobs;
 }
@@ -65,6 +69,8 @@ expectIdentical(const cpu::SimResult &a, const cpu::SimResult &b)
     EXPECT_EQ(a.btb2FullSearches, b.btb2FullSearches);
     EXPECT_EQ(a.btb2PartialSearches, b.btb2PartialSearches);
     EXPECT_EQ(a.predictionsMade, b.predictionsMade);
+    EXPECT_EQ(a.resolves, b.resolves);
+    EXPECT_EQ(a.faultsInjected, b.faultsInjected);
     EXPECT_EQ(a.statsText, b.statsText);
 }
 
@@ -95,9 +101,9 @@ TEST(JobRunner, OneFailingJobDoesNotPoisonTheSweep)
 {
     const auto traces = smallTraces();
     std::vector<SimJob> jobs;
-    jobs.push_back({"ok-1", sim::configNoBtb2(), &traces[0]});
-    jobs.push_back({"broken", sim::configNoBtb2(), nullptr});
-    jobs.push_back({"ok-2", sim::configBtb2(), &traces[1]});
+    jobs.push_back(SimJob("ok-1", sim::configNoBtb2(), &traces[0]));
+    jobs.push_back(SimJob("broken", sim::configNoBtb2(), nullptr));
+    jobs.push_back(SimJob("ok-2", sim::configBtb2(), &traces[1]));
 
     JobRunner jr(4);
     jr.setSinkPath("");
@@ -135,6 +141,166 @@ TEST(JobRunner, ProgressReportsEveryJobWithTiming)
     }
     EXPECT_EQ(events.back().done, jobs.size());
     EXPECT_EQ(events.back().etaSeconds, 0.0);
+}
+
+TEST(JobRunner, NullTraceFailureNamesTheCause)
+{
+    // Regression: a job with neither a trace pointer nor a trace path
+    // must come back as a captured failure with a message naming the
+    // null trace — never a crash.
+    std::vector<SimJob> jobs;
+    jobs.push_back(SimJob("broken", sim::configNoBtb2(), nullptr));
+    JobRunner jr(1);
+    jr.setSinkPath("");
+    const auto res = jr.run(jobs);
+    ASSERT_EQ(res.size(), 1u);
+    EXPECT_FALSE(res[0].ok);
+    EXPECT_NE(res[0].error.find("no trace"), std::string::npos)
+            << res[0].error;
+    EXPECT_NE(res[0].error.find("null trace pointer"), std::string::npos)
+            << res[0].error;
+    EXPECT_EQ(res[0].attempts, 1u);
+}
+
+TEST(JobRunner, TracePathJobMatchesInMemoryRun)
+{
+    const auto traces = smallTraces();
+    const std::string path =
+            ::testing::TempDir() + "/zbp_jr_path.zbpt";
+    trace::saveTraceFile(traces[0], path);
+
+    std::vector<SimJob> jobs;
+    jobs.push_back(SimJob("mem", sim::configBtb2(), &traces[0]));
+    SimJob byPath;
+    byPath.configName = "mem"; // same config name => same derived seed
+    byPath.cfg = sim::configBtb2();
+    byPath.tracePath = path;
+    byPath.seed = JobRunner::deriveSeed("mem", traces[0].name());
+    jobs.push_back(byPath);
+
+    JobRunner jr(1);
+    jr.setSinkPath("");
+    const auto res = jr.run(jobs);
+    std::remove(path.c_str());
+    ASSERT_EQ(res.size(), 2u);
+    ASSERT_TRUE(res[0].ok) << res[0].error;
+    ASSERT_TRUE(res[1].ok) << res[1].error;
+    expectIdentical(res[0].result, res[1].result);
+}
+
+TEST(JobRunner, MissingTracePathRetriesThenFails)
+{
+    SimJob job;
+    job.configName = "gone";
+    job.cfg = sim::configNoBtb2();
+    job.tracePath = "/nonexistent/dir/x.zbpt";
+    JobRunner jr(1);
+    jr.setSinkPath("");
+    jr.setRetries(2);
+    const auto res = jr.run({job});
+    ASSERT_EQ(res.size(), 1u);
+    EXPECT_FALSE(res[0].ok);
+    EXPECT_EQ(res[0].attempts, 3u); // open errors are retryable
+    EXPECT_NE(res[0].error.find("cannot open"), std::string::npos)
+            << res[0].error;
+}
+
+TEST(JobRunner, CorruptTraceFailsOnceWithDescriptiveError)
+{
+    const std::string path =
+            ::testing::TempDir() + "/zbp_jr_corrupt.zbpt";
+    {
+        std::ofstream os(path, std::ios::binary);
+        os << "this is not a trace file";
+    }
+    SimJob job;
+    job.configName = "corrupt";
+    job.cfg = sim::configNoBtb2();
+    job.tracePath = path;
+    JobRunner jr(1);
+    jr.setSinkPath("");
+    jr.setRetries(3);
+    const auto res = jr.run({job});
+    std::remove(path.c_str());
+    ASSERT_EQ(res.size(), 1u);
+    EXPECT_FALSE(res[0].ok);
+    EXPECT_EQ(res[0].attempts, 1u); // corrupt bytes stay corrupt
+    EXPECT_NE(res[0].error.find("magic"), std::string::npos)
+            << res[0].error;
+}
+
+TEST(JobRunner, ResumeSkipsCompletedJobsAndWritesNoNewRecords)
+{
+    const auto traces = smallTraces();
+    const auto jobs = crossJobs(traces); // 6 jobs
+    const std::string first =
+            ::testing::TempDir() + "/zbp_jr_resume_first.jsonl";
+    const std::string second =
+            ::testing::TempDir() + "/zbp_jr_resume_second.jsonl";
+    std::remove(first.c_str());
+    std::remove(second.c_str());
+
+    JobRunner a(2);
+    a.setSinkPath(first);
+    const auto r1 = a.run(jobs);
+    for (const auto &r : r1)
+        ASSERT_TRUE(r.ok) << r.error;
+
+    JobRunner b(2);
+    b.setSinkPath(second);
+    b.setResumePath(first);
+    const auto r2 = b.run(jobs);
+    ASSERT_EQ(r2.size(), r1.size());
+    for (std::size_t i = 0; i < r2.size(); ++i) {
+        EXPECT_TRUE(r2[i].resumed) << i;
+        ASSERT_TRUE(r2[i].ok) << i;
+        EXPECT_EQ(r2[i].result.cycles, r1[i].result.cycles) << i;
+        EXPECT_EQ(r2[i].result.cpi, r1[i].result.cpi) << i;
+        EXPECT_EQ(r2[i].result.branches, r1[i].result.branches) << i;
+    }
+
+    // Everything was satisfied from the checkpoint: the second sink
+    // must contain zero records.
+    std::ifstream is(second);
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(is, line))
+        if (!line.empty())
+            ++lines;
+    EXPECT_EQ(lines, 0u);
+    std::remove(first.c_str());
+    std::remove(second.c_str());
+}
+
+TEST(JobRunner, ResumeReRunsFailedJobs)
+{
+    const auto traces = smallTraces();
+    const std::string first =
+            ::testing::TempDir() + "/zbp_jr_resume_fail.jsonl";
+    std::remove(first.c_str());
+
+    std::vector<SimJob> jobs;
+    jobs.push_back(SimJob("good", sim::configNoBtb2(), &traces[0]));
+    jobs.push_back(SimJob("bad", sim::configNoBtb2(), nullptr));
+
+    JobRunner a(1);
+    a.setSinkPath(first);
+    const auto r1 = a.run(jobs);
+    ASSERT_TRUE(r1[0].ok);
+    ASSERT_FALSE(r1[1].ok);
+
+    // Fix the broken job, resume: the good job is skipped, the fixed
+    // one actually executes.
+    jobs[1].trace = &traces[1];
+    JobRunner b(1);
+    b.setSinkPath("");
+    b.setResumePath(first);
+    const auto r2 = b.run(jobs);
+    std::remove(first.c_str());
+    EXPECT_TRUE(r2[0].resumed);
+    EXPECT_FALSE(r2[1].resumed);
+    ASSERT_TRUE(r2[1].ok) << r2[1].error;
+    EXPECT_GT(r2[1].result.cycles, 0u);
 }
 
 TEST(JobRunner, SeedDerivationIsStableAndIdentityBased)
