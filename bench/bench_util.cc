@@ -1,5 +1,8 @@
 #include "bench_util.hh"
 
+#include <cstdlib>
+
+#include "zbp/common/log.hh"
 #include "zbp/runner/executor.hh"
 #include "zbp/runner/jsonl_sink.hh"
 
@@ -25,6 +28,40 @@ scaleFromEnv()
 {
     banner();
     return workload::envLengthScale();
+}
+
+std::vector<trace::TraceHandle>
+suiteTraces(double scale, const std::vector<std::string> &names)
+{
+    std::vector<const workload::SuiteSpec *> specs;
+    if (names.empty()) {
+        for (const auto &s : workload::paperSuites())
+            specs.push_back(&s);
+    } else {
+        for (const auto &n : names)
+            specs.push_back(&workload::findSuite(n));
+    }
+    const auto before = workload::traceCacheStats();
+    std::vector<trace::TraceHandle> out(specs.size());
+    runner::ParallelExecutor exec;
+    const auto failures = exec.run(specs.size(), [&](std::size_t i) {
+        out[i] = workload::suiteTraceHandle(*specs[i], scale);
+    });
+    for (const auto &f : failures)
+        fatal("suite '", specs[f.index]->name, "' failed to load: ",
+              f.message);
+    if (const char *dir = std::getenv("ZBP_TRACE_CACHE");
+        dir != nullptr && *dir != '\0') {
+        const auto after = workload::traceCacheStats();
+        std::printf("[zbp] suite traces: %llu cache hits, %llu generated "
+                    "(ZBP_TRACE_CACHE=%s)\n",
+                    static_cast<unsigned long long>(
+                            after.hits - before.hits),
+                    static_cast<unsigned long long>(
+                            after.generated() - before.generated()),
+                    dir);
+    }
+    return out;
 }
 
 } // namespace zbp::bench

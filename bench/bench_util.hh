@@ -38,6 +38,17 @@ double scaleFromEnv();
  * not use suite traces). */
 void banner();
 
+/**
+ * Load paper suite traces at @p scale, sharded across workers, through
+ * the workload trace cache (ZBP_TRACE_CACHE) and the in-process handle
+ * registry.  @p names selects a subset (empty = all 13 suites, in
+ * paperSuites() order).  Prints a one-line cache summary ("N cache
+ * hits, M generated") when caching is active.  fatal() if any suite
+ * fails to load.
+ */
+std::vector<trace::TraceHandle>
+suiteTraces(double scale, const std::vector<std::string> &names = {});
+
 inline void
 progressLine(const std::string &what)
 {

@@ -16,6 +16,7 @@
 #include "bench_util.hh"
 
 #include "zbp/runner/progress.hh"
+#include "zbp/sim/gang_runner.hh"
 
 int
 main()
@@ -24,36 +25,38 @@ main()
     const double scale = bench::scaleFromEnv();
 
     const auto &spec = workload::findSuite("tpf");
-    const auto trace = workload::makeSuiteTrace(spec, scale);
+    const auto trace = workload::suiteTraceHandle(spec, scale);
 
     const double rates[] = {0.0, 1e-5, 1e-4, 1e-3, 1e-2, 5e-2};
 
-    std::vector<runner::SimJob> jobs;
+    // All 6 fault rates as one gang over the single trace (fused path
+    // shares the trace bytes and one TraceIndex across the rates).
+    std::vector<sim::GangConfig> gang;
     for (const double rate : rates) {
         core::MachineParams prm = sim::configBtb2();
         prm.faults.enabled = rate > 0.0;
         prm.faults.rate = rate;
         char label[32];
         std::snprintf(label, sizeof(label), "faults-%g", rate);
-        jobs.push_back(runner::SimJob(label, prm, &trace));
+        gang.push_back({label, prm});
     }
 
-    runner::JobRunner jr;
-    jr.setProgress(runner::consoleProgress());
-    const auto res = jr.run(jobs);
-    for (const auto &r : res)
-        if (!r.ok)
-            fatal("fault sweep job failed: ", r.error);
+    sim::GangRunner gr(gang);
+    gr.setProgress(runner::consoleProgress());
+    const auto res = gr.run({trace});
+    for (const auto &row : res)
+        if (!row[0].ok)
+            fatal("fault sweep job failed: ", row[0].error);
     bench::progressDone();
 
-    const auto &clean = res[0].result;
+    const auto &clean = res[0][0].result;
     stats::TextTable t("Fault-injection degradation sweep, TPF (" +
-                       std::to_string(trace.size()) +
+                       std::to_string(trace->size()) +
                        " insts, btb2 config, per-access corruption "
                        "rate across all predictor arrays)");
     t.setHeader({"fault rate", "faults", "CPI", "dCPI %", "bad outc %"});
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
-        const auto &r = res[i].result;
+    for (std::size_t i = 0; i < gang.size(); ++i) {
+        const auto &r = res[i][0].result;
         char rateCol[32];
         std::snprintf(rateCol, sizeof(rateCol), "%g", rates[i]);
         t.addRow({rateCol, std::to_string(r.faultsInjected),

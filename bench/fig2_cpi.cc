@@ -11,9 +11,6 @@
 
 #include "bench_util.hh"
 
-#include "zbp/runner/executor.hh"
-#include "zbp/runner/progress.hh"
-
 int
 main()
 {
@@ -36,14 +33,11 @@ main()
     t.setHeader({"trace", "base CPI", "BTB2 imp%", "largeBTB1 imp%",
                  "effectiveness%"});
 
-    // Generate the 13 traces sharded, then run all 39 simulations
-    // (13 traces x 3 configurations) through the job runner.
+    // Load the 13 traces sharded (cached when ZBP_TRACE_CACHE is set),
+    // then run all 39 simulations (13 traces x 3 configurations) —
+    // gang-fused per trace unless ZBP_FUSE=0.
     const auto &specs = workload::paperSuites();
-    std::vector<trace::Trace> traces(specs.size());
-    runner::ParallelExecutor exec;
-    exec.run(specs.size(), [&](std::size_t i) {
-        traces[i] = workload::makeSuiteTrace(specs[i], scale);
-    });
+    const auto traces = bench::suiteTraces(scale);
     const auto rows = sim::runFig2Rows(traces);
 
     double sum_eff = 0.0, max_btb2 = 0.0;

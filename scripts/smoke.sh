@@ -107,4 +107,26 @@ if ! grep -q "error:" <<<"$reject_msg"; then
     exit 1
 fi
 echo "smoke: corrupted-trace OK (rejected with a descriptive error)"
+
+# Trace-cache leg: two consecutive fig2 runs against the same cache
+# directory — the first primes it, the second must satisfy every suite
+# from the cache and generate nothing.
+echo "== trace-cache smoke: fig2_cpi twice with ZBP_TRACE_CACHE =="
+fig2="$build_dir/bench/fig2_cpi"
+if [[ ! -x "$fig2" ]]; then
+    echo "smoke: missing $fig2 (build the repo first)" >&2
+    exit 1
+fi
+cache_dir="$(mktemp -d /tmp/zbp_smoke_cache_XXXXXX)"
+trap 'rm -f "$results" "$resumed" "$tracefile"; rm -rf "$cache_dir"' EXIT
+ZBP_LEN_SCALE="$scale" ZBP_JOBS="$jobs" ZBP_TRACE_CACHE="$cache_dir" \
+    "$fig2" >/dev/null
+warm_out="$(ZBP_LEN_SCALE="$scale" ZBP_JOBS="$jobs" \
+    ZBP_TRACE_CACHE="$cache_dir" "$fig2")"
+if ! grep -q "13 cache hits, 0 generated" <<<"$warm_out"; then
+    echo "smoke: warm-cache run regenerated traces:" >&2
+    grep "suite traces:" <<<"$warm_out" >&2 || true
+    exit 1
+fi
+echo "smoke: trace cache OK (second run: 13 hits, 0 generated)"
 echo "smoke: total wall-clock $((SECONDS - smoke_start))s"

@@ -35,6 +35,7 @@ SetAssocBtb::SetAssocBtb(std::string name, const BtbConfig &cfg_)
     ZBP_ASSERT(cfg.tagBits >= 1 && cfg.tagBits <= 58, "bad tagBits");
     cfg.precompute();
     slots.resize(cfg.entries());
+    rowSig.assign(cfg.rows, 0);
     lru.reserve(cfg.rows);
     for (std::uint32_t r = 0; r < cfg.rows; ++r)
         lru.emplace_back(cfg.ways);
@@ -59,6 +60,7 @@ SetAssocBtb::install(const BtbEntry &e, bool make_mru)
 {
     ZBP_ASSERT(e.valid, "installing an invalid entry");
     const std::uint32_t row = rowOf(e.ia);
+    rowSig[row] |= tagSig(e.ia);
     BtbEntry *r = rowPtr(row);
 
     // Same-branch update in place.
@@ -128,6 +130,7 @@ SetAssocBtb::reset()
 {
     for (auto &s : slots)
         s.clear();
+    rowSig.assign(cfg.rows, 0);
     // Recency must go with the contents: a reset table should fill way
     // 0 first again, not in whatever order history left behind.
     for (auto &l : lru)
@@ -168,6 +171,10 @@ SetAssocBtb::corruptEntry(Rng &rng, Addr where)
         // Stored tag bit flip: the entry stops matching its branch
         // (and may alias another), staying within the same row.
         e.ia ^= Addr{1} << (cfg.tagShift + rng.below(8));
+        // The flipped tag bypassed install(); keep the row filter a
+        // superset of the stored tags so the aliased match stays
+        // findable.
+        rowSig[rowOf(where)] |= tagSig(e.ia);
         break;
     }
 }

@@ -152,6 +152,22 @@ class SetAssocBtb
     }
 
     /**
+     * One-bit-in-64 signature of the tag of @p ia, for the per-row
+     * tag-presence filter.  rowSig[row] is the OR of the signatures of
+     * every tag ever written to the row since the last reset(), so a
+     * clear signature bit proves no current entry can tag-match (the
+     * superset invariant: stale bits from evicted/invalidated entries
+     * only cause a harmless full row walk, never a skipped hit).
+     */
+    std::uint64_t
+    tagSig(Addr ia) const
+    {
+        const std::uint64_t tag = (ia >> cfg.tagShift) & cfg.tagMask;
+        return std::uint64_t{1}
+               << ((tag * 0x9E3779B97F4A7C15ull) >> 58);
+    }
+
+    /**
      * Search the row of @p search_addr for valid, tag-matching branches
      * located at or after @p search_addr, in ascending address order.
      * This is the first-level search primitive: one call models one
@@ -164,9 +180,13 @@ class SetAssocBtb
         if (faults != nullptr)
             faults->onAccess(faultSite, search_addr);
         const std::uint32_t row = rowOf(search_addr);
+        BtbHitList hits;
+        // Filter check after the fault hook: a corruption on this very
+        // access updates rowSig before we read it.
+        if ((rowSig[row] & tagSig(search_addr)) == 0)
+            return hits;
         const BtbEntry *r = rowPtr(row);
         const std::uint64_t from = search_addr & cfg.offsetMask;
-        BtbHitList hits;
         // Walking ways in ascending order and inserting by row offset
         // keeps the list sorted by (offset, way) without a sort pass.
         for (std::uint32_t w = 0; w < cfg.ways; ++w) {
@@ -195,8 +215,10 @@ class SetAssocBtb
         if (faults != nullptr)
             faults->onAccess(faultSite, row_addr);
         const std::uint32_t row = rowOf(row_addr);
-        const BtbEntry *r = rowPtr(row);
         BtbHitList hits;
+        if ((rowSig[row] & tagSig(row_addr)) == 0)
+            return hits;
+        const BtbEntry *r = rowPtr(row);
         for (std::uint32_t w = 0; w < cfg.ways; ++w) {
             const BtbEntry &e = r[w];
             if (e.valid && tagMatch(e.ia, row_addr))
@@ -212,6 +234,8 @@ class SetAssocBtb
         if (faults != nullptr)
             faults->onAccess(faultSite, ia);
         const std::uint32_t row = rowOf(ia);
+        if ((rowSig[row] & tagSig(ia)) == 0)
+            return std::nullopt;
         const BtbEntry *r = rowPtr(row);
         for (std::uint32_t w = 0; w < cfg.ways; ++w) {
             const BtbEntry &e = r[w];
@@ -295,6 +319,7 @@ class SetAssocBtb
     std::string btbName;
     BtbConfig cfg;
     std::vector<BtbEntry> slots; ///< rows x ways
+    std::vector<std::uint64_t> rowSig; ///< per-row tag-presence filter
     std::vector<LruState> lru;
     fault::FaultInjector *faults = nullptr; ///< null = injection off
     fault::Site faultSite = fault::Site::kBtb1;

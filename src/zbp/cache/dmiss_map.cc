@@ -1,0 +1,19 @@
+#include "zbp/cache/dmiss_map.hh"
+
+namespace zbp::cache
+{
+
+std::vector<std::uint8_t>
+computeDataMissMap(const trace::Trace &t, const ICacheParams &p)
+{
+    ICache c(p);
+    std::vector<std::uint8_t> map(t.size(), 0);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        const Addr a = t[i].dataAddr;
+        if (a != kNoAddr)
+            map[i] = c.access(a, 0) ? 0 : 1;
+    }
+    return map;
+}
+
+} // namespace zbp::cache

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Precomputed L1 D-cache outcome map for the fused sweep path.
+ *
+ * The core model issues exactly one D-cache access per trace
+ * instruction carrying an operand address, in trace order, and the
+ * cache's hit/miss outcome is a pure function of that address sequence
+ * and the cache geometry (ICache::access consults `now` only for the
+ * per-block miss records, which nothing ever reads on the D-side).  A
+ * gang of configurations sharing one trace therefore replays byte-for-
+ * byte identical D-cache simulations; computing the outcome stream once
+ * per (trace, geometry) and handing every gang member the read-only map
+ * deletes that redundant work without changing a single counter.
+ */
+
+#ifndef ZBP_CACHE_DMISS_MAP_HH
+#define ZBP_CACHE_DMISS_MAP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "zbp/cache/icache.hh"
+#include "zbp/trace/trace.hh"
+
+namespace zbp::cache
+{
+
+/**
+ * Simulate an L1 D-cache of geometry @p p over the operand-address
+ * stream of @p t.  Returns one byte per instruction: 1 where the access
+ * would miss, 0 on a hit or when the instruction has no operand
+ * address.  Bit-identical to feeding the same trace through
+ * ICache::access instruction by instruction.
+ */
+std::vector<std::uint8_t> computeDataMissMap(const trace::Trace &t,
+                                             const ICacheParams &p);
+
+/** Do two geometries produce identical outcome maps for every trace?
+ * (Latency knobs do not affect hit/miss, only how a miss is charged.) */
+inline bool
+sameDataMissGeometry(const ICacheParams &a, const ICacheParams &b)
+{
+    return a.sizeBytes == b.sizeBytes && a.ways == b.ways &&
+           a.lineBytes == b.lineBytes;
+}
+
+} // namespace zbp::cache
+
+#endif // ZBP_CACHE_DMISS_MAP_HH

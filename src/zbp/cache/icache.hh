@@ -73,6 +73,22 @@ class ICache
     bool probe(Addr addr) const;
 
     /**
+     * Account one access whose outcome was precomputed (dmiss_map.hh)
+     * without replaying the array lookup: bumps the same hit/miss
+     * counters access() would.  Line and replacement state are left
+     * untouched — valid only when nothing reads them back, as on the
+     * D-cache, whose per-block miss records have no consumer.
+     */
+    void
+    recordPrecomputed(bool hit)
+    {
+        if (hit)
+            ++nHits;
+        else
+            ++nMisses;
+    }
+
+    /**
      * BTB2 filter query: did any I-cache miss occur in the 4 KB block of
      * @p addr within the record TTL ending at @p now?
      */

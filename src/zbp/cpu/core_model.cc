@@ -342,15 +342,24 @@ CoreModel::decodeTick(Cycle now)
             return;
         fetchBuf.pop_front();
         const auto &inst = t[decodeIdx];
+        curNextIa = tidx ? tidx->nextIa(decodeIdx) : inst.nextIa();
         ++decodeIdx;
         decodeOne(inst, now);
         if (inst.dataAddr != kNoAddr && l1d) {
             // Finite L1 D-cache (Table 5: 96 KB, 6-way): an operand
             // miss stalls the in-order consume for the L2 latency.
             // Identical across configurations, so CPI differences stay
-            // branch-driven.
+            // branch-driven — which is what lets the fused path charge
+            // the stall from a per-trace precomputed outcome map.
             ++nDataAccesses;
-            if (!l1d->access(inst.dataAddr, now)) {
+            bool hit;
+            if (dmiss != nullptr) {
+                hit = (*dmiss)[decodeIdx - 1] == 0;
+                l1d->recordPrecomputed(hit);
+            } else {
+                hit = l1d->access(inst.dataAddr, now);
+            }
+            if (!hit) {
                 const Cycle until = now + prm.dcache.missLatency +
                                     prm.cpu.dcacheMissExtra;
                 if (until > decodeBlockedUntil)
@@ -378,8 +387,12 @@ void
 CoreModel::decodeOne(const trace::Instruction &inst, Cycle now)
 {
     // Completion-time pattern tracking for the Sector Order Table
-    // (approximated at decode; the model retires in order).
-    sotTable->instructionCompleted(inst.ia);
+    // (approximated at decode; the model retires in order).  The packed
+    // overload is bit-identical; the sidecar only skips the id math.
+    if (tidx != nullptr)
+        sotTable->instructionCompletedPacked(tidx->blockSector(decodeIdx - 1));
+    else
+        sotTable->instructionCompleted(inst.ia);
 
     // Pop predictions that land inside this instruction.
     auto &q = pipe->queue();
@@ -408,7 +421,7 @@ CoreModel::decodeOne(const trace::Instruction &inst, Cycle now)
             // Fetch and the search both went to a bogus target; restart
             // them on the fallthrough path right away (decode-time
             // detection of the bogus branch).
-            pipe->restart(inst.nextIa(), now);
+            pipe->restart(curNextIa, now);
             bp->restartSpeculation();
             lastRestartCycle = now;
             redirectFetchAfter(now + 1);
@@ -460,7 +473,7 @@ CoreModel::handlePredictedBranch(const trace::Instruction &inst,
         // path; if that disagrees with reality it needs a restart even
         // when the surprise handling itself didn't schedule one.
         if (!inst.taken && p.taken)
-            scheduleRestart(inst.nextIa(), resolve_at);
+            scheduleRestart(curNextIa, resolve_at);
         return;
     }
 
@@ -478,7 +491,7 @@ CoreModel::handlePredictedBranch(const trace::Instruction &inst,
     // Resolve-time restart: decode drains, fetch and search resume on
     // the corrected path after the restart penalty.
     decodeBlockedUntil = resolve_at + prm.cpu.restartPenalty;
-    scheduleRestart(inst.nextIa(), resolve_at);
+    scheduleRestart(curNextIa, resolve_at);
     redirectFetchAfter(resolve_at + 1);
 }
 
@@ -555,7 +568,7 @@ CoreModel::applySurpriseTiming(const trace::Instruction &inst, bool guess,
         // Guessed taken but falls through: the decode-time redirect
         // went down the (wrong) taken path; resolve brings it back.
         decodeBlockedUntil = resolve_at + prm.cpu.restartPenalty;
-        scheduleRestart(inst.nextIa(), resolve_at);
+        scheduleRestart(curNextIa, resolve_at);
         redirectFetchAfter(resolve_at + 1);
         return;
     }
@@ -567,7 +580,7 @@ CoreModel::applySurpriseTiming(const trace::Instruction &inst, bool guess,
             scheduleRestart(inst.target, resolve_at);
         } else {
             decodeBlockedUntil = resolve_at + prm.cpu.restartPenalty;
-            scheduleRestart(inst.nextIa(), resolve_at);
+            scheduleRestart(curNextIa, resolve_at);
         }
         redirectFetchAfter(resolve_at + 1);
         return;
@@ -665,20 +678,53 @@ CoreModel::nextWakeAt(Cycle now, Cycle last_progress_at) const
 SimResult
 CoreModel::run(const trace::Trace &t)
 {
+    beginRun(t);
+    advance(t.size());
+    return finishRun();
+}
+
+void
+CoreModel::beginRun(const trace::Trace &t)
+{
     if (t.empty())
         throw std::invalid_argument("cannot simulate an empty trace");
+    if (tidx != nullptr && tidx->size() != t.size())
+        throw std::invalid_argument(
+                "attached TraceIndex does not match the trace (" +
+                std::to_string(tidx->size()) + " vs " +
+                std::to_string(t.size()) + " instructions)");
+    if (dmiss != nullptr && dmiss->size() != t.size())
+        throw std::invalid_argument(
+                "attached data-miss map does not match the trace (" +
+                std::to_string(dmiss->size()) + " vs " +
+                std::to_string(t.size()) + " instructions)");
+    ZBP_ASSERT(!runActive, "beginRun() while a run is active");
     startRun(t);
 
     pipe->restart(t[0].ia, 0);
     bp->restartSpeculation();
 
-    Cycle cycle = 0;
-    const Cycle max_cycles = 1000 + t.size() * 300;
-    Cycle last_progress_at = 0;
-    std::size_t last_decode_idx = 0;
-    std::uint64_t poll = 0;
-    while (decodeIdx < t.size()) {
-        if (cancel != nullptr && ((++poll & 0xFFF) == 0) &&
+    cycle = 0;
+    maxCycles = 1000 + t.size() * 300;
+    lastProgressAt = 0;
+    lastDecodeIdx = 0;
+    cancelPoll = 0;
+    runActive = true;
+}
+
+bool
+CoreModel::advance(std::size_t decode_target)
+{
+    ZBP_ASSERT(runActive, "advance() without beginRun()");
+    const trace::Trace &t = *tr;
+    const Cycle max_cycles = maxCycles;
+    const std::size_t target = std::min(decode_target, t.size());
+    // This is the run loop of run(), cut at decode boundaries: all loop
+    // state is member state, and the exit condition is the only thing a
+    // smaller target changes, so any monotone sequence of targets
+    // replays the exact cycle-by-cycle history of a single full run.
+    while (decodeIdx < target) {
+        if (cancel != nullptr && ((++cancelPoll & 0xFFF) == 0) &&
             cancel->load(std::memory_order_relaxed)) {
             throw SimCancelled("simulation cancelled at cycle " +
                                std::to_string(cycle) + " (" +
@@ -699,10 +745,10 @@ CoreModel::run(const trace::Trace &t)
             eng->tick(cycle);
         fetchTick(cycle);
         decodeTick(cycle);
-        if (decodeIdx != last_decode_idx) {
-            last_decode_idx = decodeIdx;
-            last_progress_at = cycle;
-        } else if (cycle - last_progress_at > kWatchdogCycles) {
+        if (decodeIdx != lastDecodeIdx) {
+            lastDecodeIdx = decodeIdx;
+            lastProgressAt = cycle;
+        } else if (cycle - lastProgressAt > kWatchdogCycles) {
             // Pathological livelock (possible under heavy tag aliasing:
             // phantom-prediction storms whose queue entries never align
             // with decoded instructions).  Real machines recover from
@@ -717,7 +763,7 @@ CoreModel::run(const trace::Trace &t)
             lastFetchLine = kNoAddr;
             decodeBlockedUntil = cycle + prm.cpu.restartPenalty;
             ++nWatchdogResets;
-            last_progress_at = cycle;
+            lastProgressAt = cycle;
         }
         ++cycle;
         // Idle-skip: jump over cycles in which no component can act.
@@ -732,7 +778,7 @@ CoreModel::run(const trace::Trace &t)
               fetchBlockedUntil <= cycle &&
               fetchBuf.size() < prm.cpu.fetchBufferInsts))
             cycle = std::max(cycle,
-                             nextWakeAt(cycle - 1, last_progress_at));
+                             nextWakeAt(cycle - 1, lastProgressAt));
         if (cycle > max_cycles) {
             std::fprintf(stderr, "cursor=%llu buf=%zu events=%zu "
                          "dBlocked=%llu fBlocked=%llu\n",
@@ -759,6 +805,17 @@ CoreModel::run(const trace::Trace &t)
             throw std::runtime_error(msg.str());
         }
     }
+    return decodeIdx >= t.size();
+}
+
+SimResult
+CoreModel::finishRun()
+{
+    ZBP_ASSERT(runActive, "finishRun() without beginRun()");
+    ZBP_ASSERT(decodeIdx >= tr->size(),
+               "finishRun() before the trace was fully decoded");
+    runActive = false;
+    const trace::Trace &t = *tr;
     pipe->halt();
 
     // Branches decoded near the end of the trace have resolve events

@@ -35,6 +35,7 @@
 #include "zbp/preload/btb2_engine.hh"
 #include "zbp/preload/sector_order_table.hh"
 #include "zbp/trace/trace.hh"
+#include "zbp/trace/trace_index.hh"
 #include "zbp/util/ring_buffer.hh"
 
 namespace zbp::cpu
@@ -138,8 +139,53 @@ class CoreModel
     /** Simulate @p t to completion and return the results.
      * Throws std::invalid_argument on an empty trace, SimCancelled if
      * the cancel flag fires, std::runtime_error if the model wedges,
-     * and std::logic_error if the result violates its invariants. */
+     * and std::logic_error if the result violates its invariants.
+     * Equivalent to beginRun(t); advance(t.size()); finishRun(). */
     SimResult run(const trace::Trace &t);
+
+    // ---- chunked execution (gang-interleaved sweeps) ----------------
+    //
+    // beginRun + any partition of [0, t.size()) into monotone
+    // advance() targets + finishRun composes to exactly run(): the
+    // loop-state lives in members, so splitting the run loop at decode
+    // boundaries changes nothing observable (golden counters pin it).
+    // The GangRunner interleaves advance() chunks of several models
+    // over one trace so each chunk of instructions is consumed
+    // LLC-hot by all of them.
+
+    /** Arm a run over @p t (which must outlive it).  Throws
+     * std::invalid_argument on an empty trace or a mismatched index. */
+    void beginRun(const trace::Trace &t);
+
+    /** Simulate until at least @p decode_target instructions have been
+     * decoded (clamped to the trace length).  Returns true when the
+     * whole trace has been decoded.  Throws as run() does. */
+    bool advance(std::size_t decode_target);
+
+    /** Finish an armed run whose trace is fully decoded and return the
+     * results (post-run accounting, invariant check, optional stats). */
+    SimResult finishRun();
+
+    /**
+     * Attach a precomputed read-only sidecar for subsequent runs
+     * (nullptr to detach).  The index must describe exactly the trace
+     * passed to run()/beginRun(); it is a pure accelerator — results
+     * are bit-identical with and without it.
+     */
+    void setTraceIndex(const trace::TraceIndex *idx) { tidx = idx; }
+
+    /**
+     * Attach a precomputed L1 D-cache outcome map (cache::
+     * computeDataMissMap over the same trace and this machine's dcache
+     * geometry; nullptr to detach).  Subsequent runs charge operand
+     * stalls from the map instead of replaying the D-cache arrays —
+     * counters stay bit-identical.  beginRun() rejects a size mismatch.
+     */
+    void
+    setDataMissMap(const std::vector<std::uint8_t> *map)
+    {
+        dmiss = map;
+    }
 
     /**
      * Cooperative cancellation: the run loop polls @p flag (every few
@@ -253,6 +299,19 @@ class CoreModel
     std::uint64_t nWatchdogResets = 0;
     std::uint64_t nResolves = 0;
 
+    // Chunked-run loop state (the former run() locals; valid between
+    // beginRun and finishRun so advance() can resume mid-trace).
+    const trace::TraceIndex *tidx = nullptr;
+    const std::vector<std::uint8_t> *dmiss = nullptr;
+    Cycle cycle = 0;
+    Cycle maxCycles = 0;
+    Cycle lastProgressAt = 0;
+    std::size_t lastDecodeIdx = 0;
+    std::uint64_t cancelPoll = 0;
+    bool runActive = false;
+    /** Control-flow successor of the instruction being decoded (from
+     * the sidecar when attached, else computed). */
+    Addr curNextIa = 0;
 };
 
 } // namespace zbp::cpu

@@ -59,17 +59,26 @@ SectorOrderTable::writeBack()
 void
 SectorOrderTable::instructionCompleted(Addr ia)
 {
+    instructionCompletedPacked(blockSectorOf(ia));
+}
+
+void
+SectorOrderTable::instructionCompletedPacked(std::uint64_t block_sector)
+{
     if (!prm.enabled)
         return;
 
-    const Addr block = blockOf(ia);
+    const Addr block = block_sector >> 5;
+    const unsigned sector =
+            static_cast<unsigned>(block_sector & (kSectorsPerBlock - 1));
+    const unsigned q = sector / kSectorsPerQuartile;
     if (!tracking || block != curBlock) {
         // Entering a different 4 KB block: store the pattern gathered
         // for the previous block, then retrieve any stored pattern for
         // the new block so new paths extend what is already known.
         writeBack();
         curBlock = block;
-        demandQuartile = quartileOf(ia);
+        demandQuartile = q;
         tracking = true;
         if (const Entry *e = find(block))
             working = e->pattern;
@@ -77,9 +86,7 @@ SectorOrderTable::instructionCompleted(Addr ia)
             working = BlockPattern{};
     }
 
-    const unsigned sector = sectorOf(ia);
     working.sectorBits |= (1u << sector);
-    const unsigned q = quartileOf(ia);
     if (q != demandQuartile)
         working.quartileRefs[demandQuartile] |=
                 static_cast<std::uint8_t>(1u << q);

@@ -97,13 +97,6 @@ retriesFromEnv()
     return static_cast<unsigned>(v);
 }
 
-std::string
-resumePathFromEnv()
-{
-    const char *s = std::getenv("ZBP_RESUME_JSONL");
-    return s != nullptr ? std::string(s) : std::string();
-}
-
 /**
  * One shared deadline watcher for all workers: each attempt arms an
  * entry (deadline + cancellation flag), the watcher thread scans every
@@ -312,6 +305,15 @@ extractBool(const std::string &line, const std::string &key, bool &out)
     return false;
 }
 
+} // namespace
+
+std::string
+resumePathFromEnv()
+{
+    const char *s = std::getenv("ZBP_RESUME_JSONL");
+    return s != nullptr ? std::string(s) : std::string();
+}
+
 std::string
 resumeKey(const std::string &config, const std::string &trace,
           std::uint64_t seed)
@@ -319,11 +321,8 @@ resumeKey(const std::string &config, const std::string &trace,
     return config + '\x1f' + trace + '\x1f' + std::to_string(seed);
 }
 
-/** Parse a prior results file into identity -> reconstructed result.
- * Only ok=true records are kept (failed jobs must re-run).  Malformed
- * lines are skipped. */
 std::unordered_map<std::string, SimJobResult>
-loadResumeFile(const std::string &path)
+loadResumeResults(const std::string &path)
 {
     std::unordered_map<std::string, SimJobResult> prior;
     std::ifstream is(path);
@@ -377,8 +376,6 @@ loadResumeFile(const std::string &path)
              " malformed record(s)");
     return prior;
 }
-
-} // namespace
 
 std::string
 jobTraceId(const SimJob &job)
@@ -472,7 +469,7 @@ JobRunner::run(const std::vector<SimJob> &jobs)
             resumePathSet ? resumePath : resumePathFromEnv();
     std::unordered_map<std::string, SimJobResult> prior;
     if (!rpath.empty())
-        prior = loadResumeFile(rpath);
+        prior = loadResumeResults(rpath);
 
     const double timeout = jobTimeoutSet ? jobTimeout : timeoutFromEnv();
     const unsigned max_attempts =

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "zbp/core/params.hh"
@@ -139,6 +140,24 @@ std::string jobTraceId(const SimJob &job);
 
 /** The JSONL record for one finished job (exposed for tests). */
 std::string jobRecord(const SimJob &job, const SimJobResult &r);
+
+// ---- checkpoint/resume plumbing -------------------------------------
+//
+// Shared between JobRunner and the gang-chunked sweep executor
+// (sim::GangRunner) so both honour the same ZBP_RESUME_JSONL contract.
+
+/** Stable resume identity of a (config, trace, seed) job. */
+std::string resumeKey(const std::string &config, const std::string &trace,
+                      std::uint64_t seed);
+
+/** Parse a prior results file into identity -> reconstructed result.
+ * Only ok=true records are kept (failed jobs must re-run).  Malformed
+ * lines are skipped with a warning. */
+std::unordered_map<std::string, SimJobResult>
+loadResumeResults(const std::string &path);
+
+/** The ZBP_RESUME_JSONL path, or empty when unset. */
+std::string resumePathFromEnv();
 
 } // namespace zbp::runner
 

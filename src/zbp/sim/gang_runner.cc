@@ -1,0 +1,228 @@
+#include "zbp/sim/gang_runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <unordered_map>
+
+#include "zbp/cache/dmiss_map.hh"
+#include "zbp/common/log.hh"
+#include "zbp/cpu/core_model.hh"
+#include "zbp/runner/executor.hh"
+#include "zbp/runner/jsonl_sink.hh"
+#include "zbp/trace/trace_index.hh"
+
+namespace zbp::sim
+{
+
+namespace
+{
+
+constexpr std::size_t kDefaultChunk = 262144;
+
+/** One config's in-flight state while its gang walks a trace. */
+struct GangMember
+{
+    cpu::CoreModel *model = nullptr; ///< null = resumed or failed
+    bool done = false;
+    double seconds = 0.0; ///< wall-clock accumulated in this member
+};
+
+} // namespace
+
+std::size_t
+gangChunkFromEnv()
+{
+    const char *s = std::getenv("ZBP_GANG_CHUNK");
+    if (s == nullptr || *s == '\0')
+        return kDefaultChunk;
+    char *end = nullptr;
+    const long long v = std::strtoll(s, &end, 10);
+    if (end == s || *end != '\0' || v < 1) {
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true))
+            warn("ignoring bad ZBP_GANG_CHUNK '", s, "'");
+        return kDefaultChunk;
+    }
+    return static_cast<std::size_t>(v);
+}
+
+GangRunner::GangRunner(std::vector<GangConfig> configs_, unsigned jobs)
+    : configs(std::move(configs_)), nJobs(runner::resolveJobs(jobs)),
+      chunk(gangChunkFromEnv())
+{
+    ZBP_ASSERT(!configs.empty(), "a gang needs at least one config");
+}
+
+void
+GangRunner::setChunk(std::size_t c)
+{
+    ZBP_ASSERT(c >= 1, "gang chunk must be >= 1");
+    chunk = c;
+}
+
+void
+GangRunner::setProgress(runner::ProgressMeter::Callback cb)
+{
+    progress = std::move(cb);
+}
+
+void
+GangRunner::setSinkPath(std::string path)
+{
+    sinkPath = std::move(path);
+    sinkPathSet = true;
+}
+
+void
+GangRunner::setResumePath(std::string path)
+{
+    resumePath = std::move(path);
+    resumePathSet = true;
+}
+
+std::vector<std::vector<runner::SimJobResult>>
+GangRunner::run(const std::vector<trace::TraceHandle> &traces)
+{
+    using SteadyClock = std::chrono::steady_clock;
+    const std::size_t nc = configs.size();
+    const std::size_t nt = traces.size();
+
+    const std::string rpath =
+            resumePathSet ? resumePath : runner::resumePathFromEnv();
+    std::unordered_map<std::string, runner::SimJobResult> prior;
+    if (!rpath.empty())
+        prior = runner::loadResumeResults(rpath);
+
+    runner::JsonlSink sink(sinkPathSet ? sinkPath
+                                       : runner::JsonlSink::envPath());
+    runner::ProgressMeter meter(nc * nt, progress);
+
+    std::vector<std::vector<runner::SimJobResult>> results(nc);
+    for (auto &row : results)
+        row.resize(nt);
+
+    // Per-config seeds depend only on (config, trace) identity —
+    // identical to what JobRunner derives, so records and resume keys
+    // are interchangeable between the two paths.
+    const runner::ParallelExecutor exec(nJobs);
+    exec.run(nt, [&](std::size_t ti) {
+        const trace::TraceHandle &th = traces[ti];
+        const trace::Trace &t = *th;
+        const std::size_t n = t.size();
+
+        // The shared read-only sidecars: computed once, consumed by
+        // every model of the gang.  D-cache outcome maps are keyed by
+        // geometry — one per distinct (size, ways, line) in the gang.
+        const trace::TraceIndex index(t);
+        std::vector<std::pair<cache::ICacheParams,
+                              std::vector<std::uint8_t>>> dmaps;
+        const auto dmissFor =
+                [&](const core::MachineParams &cfg)
+                -> const std::vector<std::uint8_t> * {
+            if (!cfg.dcacheEnabled)
+                return nullptr;
+            for (const auto &[geom, map] : dmaps)
+                if (cache::sameDataMissGeometry(geom, cfg.dcache))
+                    return &map;
+            dmaps.reserve(nc); // keep earlier maps' addresses stable
+            dmaps.emplace_back(cfg.dcache,
+                               cache::computeDataMissMap(t, cfg.dcache));
+            return &dmaps.back().second;
+        };
+
+        std::vector<std::unique_ptr<cpu::CoreModel>> models(nc);
+        std::vector<GangMember> members(nc);
+        std::vector<std::uint64_t> seeds(nc);
+
+        const auto fail = [&](std::size_t ci, const std::string &what) {
+            runner::SimJobResult &out = results[ci][ti];
+            out.ok = false;
+            out.error = what;
+            members[ci].model = nullptr;
+            models[ci].reset();
+        };
+
+        for (std::size_t ci = 0; ci < nc; ++ci) {
+            seeds[ci] = runner::JobRunner::deriveSeed(configs[ci].name,
+                                                      t.name());
+            results[ci][ti].attempts = 1;
+            if (!prior.empty()) {
+                const auto it = prior.find(runner::resumeKey(
+                        configs[ci].name, t.name(), seeds[ci]));
+                if (it != prior.end()) {
+                    // Satisfied by the checkpoint: not re-run, not
+                    // re-written to the sink.
+                    results[ci][ti] = it->second;
+                    meter.jobDone(configs[ci].name + "/" + t.name() +
+                                          " (resumed)", 0.0);
+                    continue;
+                }
+            }
+            const auto t0 = SteadyClock::now();
+            try {
+                models[ci] = std::make_unique<cpu::CoreModel>(
+                        configs[ci].cfg);
+                models[ci]->setTraceIndex(&index);
+                models[ci]->setDataMissMap(dmissFor(configs[ci].cfg));
+                models[ci]->beginRun(t);
+                members[ci].model = models[ci].get();
+            } catch (const std::exception &e) {
+                fail(ci, e.what());
+            }
+            members[ci].seconds += std::chrono::duration<double>(
+                    SteadyClock::now() - t0).count();
+        }
+
+        // Chunk-interleaved walk: every live member decodes the same
+        // [prev, target) instruction window before the window moves.
+        for (std::size_t target = std::min(chunk, n);; target += chunk) {
+            bool any_live = false;
+            for (std::size_t ci = 0; ci < nc; ++ci) {
+                GangMember &m = members[ci];
+                if (m.model == nullptr || m.done)
+                    continue;
+                const auto t0 = SteadyClock::now();
+                try {
+                    m.done = m.model->advance(std::min(target, n));
+                } catch (const std::exception &e) {
+                    fail(ci, e.what());
+                }
+                m.seconds += std::chrono::duration<double>(
+                        SteadyClock::now() - t0).count();
+                if (m.model != nullptr && !m.done)
+                    any_live = true;
+            }
+            if (!any_live)
+                break;
+        }
+
+        for (std::size_t ci = 0; ci < nc; ++ci) {
+            GangMember &m = members[ci];
+            runner::SimJobResult &out = results[ci][ti];
+            if (m.model != nullptr) {
+                const auto t0 = SteadyClock::now();
+                try {
+                    out.result = m.model->finishRun();
+                    out.ok = true;
+                } catch (const std::exception &e) {
+                    fail(ci, e.what());
+                }
+                m.seconds += std::chrono::duration<double>(
+                        SteadyClock::now() - t0).count();
+            }
+            if (out.resumed)
+                continue; // already reported by the resume branch
+            out.seconds = m.seconds;
+            runner::SimJob job(configs[ci].name, configs[ci].cfg, &t,
+                               seeds[ci]);
+            sink.write(runner::jobRecord(job, out));
+            meter.jobDone(configs[ci].name + "/" + t.name(),
+                          out.seconds);
+        }
+    });
+    return results;
+}
+
+} // namespace zbp::sim

@@ -1,8 +1,12 @@
 #include "zbp/sim/simulator.hh"
 
+#include <cstdlib>
+#include <cstring>
+
 #include "zbp/common/log.hh"
 #include "zbp/runner/executor.hh"
 #include "zbp/runner/job_runner.hh"
+#include "zbp/sim/gang_runner.hh"
 
 namespace zbp::sim
 {
@@ -40,7 +44,37 @@ unpack(const std::vector<runner::SimJob> &jobs,
     return out;
 }
 
+/** Unpack one gang config's per-trace results, warning about (and
+ * zero-filling) failed cells. */
+std::vector<cpu::SimResult>
+unpackGang(const std::string &cfg_name,
+           const std::vector<trace::TraceHandle> &traces,
+           std::vector<runner::SimJobResult> &&raw)
+{
+    std::vector<cpu::SimResult> out;
+    out.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        if (!raw[i].ok) {
+            warn("simulation '", cfg_name, "' on '", traces[i]->name(),
+                 "' failed: ", raw[i].error);
+            cpu::SimResult empty;
+            empty.traceName = traces[i]->name();
+            out.push_back(std::move(empty));
+        } else {
+            out.push_back(std::move(raw[i].result));
+        }
+    }
+    return out;
+}
+
 } // namespace
+
+bool
+fuseFromEnv()
+{
+    const char *s = std::getenv("ZBP_FUSE");
+    return s == nullptr || std::strcmp(s, "0") != 0;
+}
 
 double
 Fig2Row::btb2Improvement() const
@@ -73,16 +107,14 @@ runOne(const core::MachineParams &cfg, const trace::Trace &t)
 Fig2Row
 runFig2Row(const trace::Trace &t)
 {
-    std::vector<trace::Trace> one;
-    one.push_back(t);
+    std::vector<trace::TraceHandle> one;
+    one.push_back(trace::borrowTrace(t));
     return runFig2Rows(one).front();
 }
 
 std::vector<Fig2Row>
-runFig2Rows(const std::vector<trace::Trace> &traces, unsigned jobs)
+runFig2Rows(const std::vector<trace::TraceHandle> &traces, unsigned jobs)
 {
-    // 3 N independent jobs, grouped [config1 x N][config2 x N][...] so
-    // result i maps back to (i / N, i % N).
     struct Cfg
     {
         const char *name;
@@ -97,21 +129,48 @@ runFig2Rows(const std::vector<trace::Trace> &traces, unsigned jobs)
     for (auto &c : cfgs)
         c.params.collectStatsText = false;
 
+    const std::size_t n = traces.size();
+    std::vector<Fig2Row> rows(n);
+
+    if (fuseFromEnv()) {
+        // Fused path: the 3 configs run as one gang per trace, chunk-
+        // interleaved over shared trace bytes (bit-identical to the
+        // legacy path below — the golden-counter tests pin it).
+        std::vector<GangConfig> gang;
+        for (const auto &c : cfgs)
+            gang.push_back({c.name, c.params});
+        GangRunner gr(std::move(gang), jobs);
+        gr.setProgress(runner::consoleProgress());
+        auto res = gr.run(traces);
+        std::vector<std::vector<cpu::SimResult>> per_cfg;
+        for (std::size_t ci = 0; ci < 3; ++ci)
+            per_cfg.push_back(unpackGang(cfgs[ci].name, traces,
+                                         std::move(res[ci])));
+        for (std::size_t i = 0; i < n; ++i) {
+            rows[i].trace = traces[i]->name();
+            rows[i].base = std::move(per_cfg[0][i]);
+            rows[i].withBtb2 = std::move(per_cfg[1][i]);
+            rows[i].largeBtb1 = std::move(per_cfg[2][i]);
+        }
+        return rows;
+    }
+
+    // Legacy path (ZBP_FUSE=0): 3 N independent jobs, grouped
+    // [config1 x N][config2 x N][...] so result i maps back to
+    // (i / N, i % N).
     std::vector<runner::SimJob> batch;
-    batch.reserve(3 * traces.size());
+    batch.reserve(3 * n);
     for (const auto &c : cfgs)
         for (const auto &t : traces)
-            batch.push_back({c.name, c.params, &t});
+            batch.push_back({c.name, c.params, t.get()});
 
     runner::JobRunner jr(jobs);
     jr.setProgress(runner::consoleProgress()); // tty-only status line
     auto raw = jr.run(batch);
     auto results = unpack(batch, std::move(raw));
 
-    const std::size_t n = traces.size();
-    std::vector<Fig2Row> rows(n);
     for (std::size_t i = 0; i < n; ++i) {
-        rows[i].trace = traces[i].name();
+        rows[i].trace = traces[i]->name();
         rows[i].base = std::move(results[i]);
         rows[i].withBtb2 = std::move(results[n + i]);
         rows[i].largeBtb1 = std::move(results[2 * n + i]);
@@ -119,18 +178,28 @@ runFig2Rows(const std::vector<trace::Trace> &traces, unsigned jobs)
     return rows;
 }
 
+std::vector<Fig2Row>
+runFig2Rows(const std::vector<trace::Trace> &traces, unsigned jobs)
+{
+    std::vector<trace::TraceHandle> handles;
+    handles.reserve(traces.size());
+    for (const auto &t : traces)
+        handles.push_back(trace::borrowTrace(t));
+    return runFig2Rows(handles, jobs);
+}
+
 SuiteRunner::SuiteRunner(double scale)
 {
     const auto &specs = workload::paperSuites();
     tr.resize(specs.size());
-    // Suite generation is seeded per spec, so sharding it is as
-    // deterministic as the simulations themselves.
+    // Suite loading is seeded per spec (and cache-keyed on the recipe),
+    // so sharding it is as deterministic as the simulations themselves.
     runner::ParallelExecutor exec;
     const auto failures = exec.run(specs.size(), [&](std::size_t i) {
-        tr[i] = workload::makeSuiteTrace(specs[i], scale);
+        tr[i] = workload::suiteTraceHandle(specs[i], scale);
     });
     for (const auto &f : failures)
-        panic("suite '", specs[f.index].name, "' failed to generate: ",
+        panic("suite '", specs[f.index].name, "' failed to load: ",
               f.message);
 }
 
@@ -143,10 +212,74 @@ SuiteRunner::runBatch(const core::MachineParams &cfg,
     std::vector<runner::SimJob> batch;
     batch.reserve(tr.size());
     for (const auto &t : tr)
-        batch.push_back({cfg_name, sweep_cfg, &t});
+        batch.push_back({cfg_name, sweep_cfg, t.get()});
     runner::JobRunner jr(jobs);
     jr.setProgress(adaptProgress(progress));
     return unpack(batch, jr.run(batch));
+}
+
+std::vector<std::vector<double>>
+SuiteRunner::sweepImprovements(const std::vector<core::MachineParams> &cfgs)
+{
+    std::vector<std::vector<double>> out;
+    out.reserve(cfgs.size());
+
+    if (!fuseFromEnv()) {
+        for (const auto &c : cfgs)
+            out.push_back(improvements(c));
+        return out;
+    }
+
+    // One gang: [baseline if missing] + every sweep point.  Config
+    // names match the incremental path so JSONL records and resume keys
+    // are interchangeable between the two.
+    std::vector<GangConfig> gang;
+    const bool need_base = base.empty();
+    if (need_base) {
+        core::MachineParams b = configNoBtb2();
+        b.collectStatsText = false;
+        gang.push_back({"baseline", std::move(b)});
+    }
+    for (const auto &c : cfgs) {
+        core::MachineParams s = c;
+        s.collectStatsText = false;
+        gang.push_back({describe(c), std::move(s)});
+    }
+
+    GangRunner gr(std::move(gang), jobs);
+    gr.setProgress(adaptProgress(progress));
+    auto res = gr.run(tr);
+
+    std::size_t at = 0;
+    if (need_base)
+        base = unpackGang("baseline", tr, std::move(res[at++]));
+    for (const auto &c : cfgs) {
+        const auto results =
+                unpackGang(describe(c), tr, std::move(res[at++]));
+        std::vector<double> imp;
+        imp.reserve(tr.size());
+        for (std::size_t i = 0; i < tr.size(); ++i)
+            imp.push_back(cpu::cpiImprovement(base[i], results[i]));
+        out.push_back(std::move(imp));
+    }
+    return out;
+}
+
+std::vector<double>
+SuiteRunner::averageImprovements(const std::vector<core::MachineParams> &cfgs)
+{
+    const auto rows = sweepImprovements(cfgs);
+    std::vector<double> means;
+    means.reserve(rows.size());
+    for (const auto &imps : rows) {
+        double sum = 0.0;
+        for (double v : imps)
+            sum += v;
+        means.push_back(imps.empty()
+                                ? 0.0
+                                : sum / static_cast<double>(imps.size()));
+    }
+    return means;
 }
 
 const std::vector<cpu::SimResult> &

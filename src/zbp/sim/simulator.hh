@@ -44,21 +44,37 @@ struct Fig2Row
 cpu::SimResult runOne(const core::MachineParams &cfg,
                       const trace::Trace &t);
 
-/** Run the full Figure 2 comparison for one trace. */
+/** Run the full Figure 2 comparison for one trace (no trace copy). */
 Fig2Row runFig2Row(const trace::Trace &t);
 
 /**
- * Run the Figure 2 comparison for every trace, sharding the 3 x N
- * simulations across worker threads (@p jobs 0 = ZBP_JOBS / auto).
- * Row order matches @p traces.
+ * Run the Figure 2 comparison for every trace, sharding across worker
+ * threads (@p jobs 0 = ZBP_JOBS / auto).  Row order matches @p traces.
+ *
+ * Default execution is the fused path: the 3 configurations run as one
+ * gang per trace in chunk-interleaved order (see GangRunner), sharing
+ * the trace bytes and one TraceIndex per trace.  ZBP_FUSE=0 falls back
+ * to independent job-per-(config, trace) execution; both paths produce
+ * bit-identical results and JSONL records.
  */
+std::vector<Fig2Row>
+runFig2Rows(const std::vector<trace::TraceHandle> &traces,
+            unsigned jobs = 0);
+
+/** By-reference convenience overload (traces are borrowed, not
+ * copied; they must outlive the call). */
 std::vector<Fig2Row> runFig2Rows(const std::vector<trace::Trace> &traces,
                                  unsigned jobs = 0);
 
+/** False when ZBP_FUSE=0 disables gang-chunked sweep fusion. */
+bool fuseFromEnv();
+
 /**
- * Generates the 13 paper suites once and amortizes the config-1
- * baseline runs across parameter sweeps (Figures 5-7).  Generation
- * and every batch of simulations run sharded across worker threads.
+ * Loads the 13 paper suites once (through the workload trace cache,
+ * shared in-process via TraceHandles — never deep-copied) and amortizes
+ * the config-1 baseline runs across parameter sweeps (Figures 5-7).
+ * Loading and every batch of simulations run sharded across worker
+ * threads.
  */
 class SuiteRunner
 {
@@ -66,7 +82,7 @@ class SuiteRunner
     /** @p scale multiplies each suite's nominal instruction count. */
     explicit SuiteRunner(double scale);
 
-    const std::vector<trace::Trace> &traces() const { return tr; }
+    const std::vector<trace::TraceHandle> &traces() const { return tr; }
 
     /** Worker threads for subsequent batches (0 = ZBP_JOBS / auto). */
     void setJobs(unsigned n) { jobs = n; }
@@ -81,6 +97,21 @@ class SuiteRunner
     /** Mean of improvements() — the y-axis of Figures 5/6/7. */
     double averageImprovement(const core::MachineParams &cfg);
 
+    /**
+     * Fused sweep: run every config of @p cfgs — plus the baseline if
+     * it is not yet computed — as ONE gang over the suite traces;
+     * result [k] is improvements(cfgs[k]).  Emits the same per-
+     * (config, trace) JSONL records as the incremental path (config
+     * names "baseline" / describe(cfg)).  ZBP_FUSE=0 falls back to
+     * calling improvements() per config; results are bit-identical.
+     */
+    std::vector<std::vector<double>>
+    sweepImprovements(const std::vector<core::MachineParams> &cfgs);
+
+    /** Mean of each sweepImprovements() row. */
+    std::vector<double>
+    averageImprovements(const std::vector<core::MachineParams> &cfgs);
+
     /** Optional progress callback (called once per completed
      * simulation, from the completing worker, serialised). */
     void setProgress(std::function<void(const std::string &)> cb);
@@ -89,7 +120,7 @@ class SuiteRunner
     std::vector<cpu::SimResult> runBatch(const core::MachineParams &cfg,
                                          const std::string &cfg_name);
 
-    std::vector<trace::Trace> tr;
+    std::vector<trace::TraceHandle> tr;
     std::vector<cpu::SimResult> base;
     std::function<void(const std::string &)> progress;
     unsigned jobs = 0;

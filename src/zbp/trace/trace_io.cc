@@ -6,6 +6,15 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <type_traits>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define ZBP_TRACE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
 
 namespace zbp::trace
 {
@@ -35,6 +44,32 @@ struct PackedInst
 
 static_assert(sizeof(PackedInst) == 32, "packed record must stay 32B");
 
+// The zero-copy loader reinterprets the mapped record array as the
+// in-memory Instruction type, so the two layouts must agree field by
+// field (the validated taken byte is 0/1, a valid bool representation).
+static_assert(sizeof(Instruction) == 32 &&
+              std::is_trivially_copyable_v<Instruction>,
+              "Instruction must stay a 32B POD for mapped traces");
+static_assert(offsetof(Instruction, ia) == offsetof(PackedInst, ia) &&
+              offsetof(Instruction, target) ==
+                      offsetof(PackedInst, target) &&
+              offsetof(Instruction, dataAddr) ==
+                      offsetof(PackedInst, dataAddr) &&
+              offsetof(Instruction, length) ==
+                      offsetof(PackedInst, length) &&
+              offsetof(Instruction, kind) == offsetof(PackedInst, kind) &&
+              offsetof(Instruction, taken) == offsetof(PackedInst, taken),
+              "Instruction layout must match the on-disk record");
+
+/** File offset of the first record: header + name rounded up to the
+ * record size, so mapped records are naturally aligned. */
+constexpr std::uint64_t
+recordBase(std::uint32_t name_len)
+{
+    const std::uint64_t raw = sizeof(FileHeader) + name_len;
+    return (raw + sizeof(PackedInst) - 1) & ~(sizeof(PackedInst) - 1);
+}
+
 /** Pre-reserve at most this many records; a corrupted count field may
  * claim 2^60 records and must not drive the reservation.  Reading
  * still honours the full count — the vector just grows normally past
@@ -48,13 +83,50 @@ fail(const std::string &what)
 }
 
 [[noreturn]] void
-failAt(std::uint64_t record, const std::string &what)
+failAt(std::uint64_t record, std::uint64_t rec_base,
+       const std::string &what)
 {
     std::ostringstream msg;
     msg << "trace stream: record " << record << " (offset "
-        << (sizeof(FileHeader) + record * sizeof(PackedInst))
-        << "+name): " << what;
+        << (rec_base + record * sizeof(PackedInst)) << "): " << what;
     throw TraceIoError(msg.str());
+}
+
+/** Header validation shared by the stream and mapped readers. */
+void
+validateHeader(const FileHeader &h)
+{
+    if (std::memcmp(h.magic, kTraceMagic, 4) != 0)
+        fail("bad magic (not a ZBPT trace file)");
+    if (h.version != kTraceVersion)
+        fail("unsupported version " + std::to_string(h.version) +
+             " (expected " + std::to_string(kTraceVersion) + ")");
+    if (h.pad != 0)
+        fail("nonzero header padding (corrupted header)");
+    if (h.nameLen > kMaxTraceNameLen)
+        fail("trace name length " + std::to_string(h.nameLen) +
+             " exceeds the " + std::to_string(kMaxTraceNameLen) +
+             "-byte limit (corrupted header)");
+}
+
+/** Record validation shared by the stream and mapped readers. */
+void
+validateRecord(const PackedInst &p, std::uint64_t i,
+               std::uint64_t rec_base)
+{
+    if (p.kind > static_cast<std::uint8_t>(InstKind::kIndirect))
+        failAt(i, rec_base,
+               "invalid instruction kind " + std::to_string(p.kind));
+    if (p.length != 2 && p.length != 4 && p.length != 6)
+        failAt(i, rec_base,
+               "invalid instruction length " + std::to_string(p.length));
+    if (p.taken > 1)
+        failAt(i, rec_base,
+               "invalid taken flag " + std::to_string(p.taken));
+    for (unsigned b = 0; b < sizeof(p.pad); ++b)
+        if (p.pad[b] != 0)
+            failAt(i, rec_base,
+                   "nonzero record padding (corrupted record)");
 }
 
 } // namespace
@@ -73,6 +145,11 @@ writeTrace(const Trace &t, std::ostream &os)
              std::to_string(kMaxTraceNameLen) + " bytes");
     os.write(reinterpret_cast<const char *>(&h), sizeof(h));
     os.write(t.name().data(), static_cast<std::streamsize>(h.nameLen));
+    // Zero-fill up to the aligned record base (v3).
+    const char zeros[sizeof(PackedInst)] = {};
+    const std::uint64_t align_pad =
+            recordBase(h.nameLen) - sizeof(FileHeader) - h.nameLen;
+    os.write(zeros, static_cast<std::streamsize>(align_pad));
     for (const auto &inst : t) {
         PackedInst p{};
         p.ia = inst.ia;
@@ -95,22 +172,23 @@ readTrace(std::istream &is)
     if (is.gcount() != static_cast<std::streamsize>(sizeof(h)))
         fail("truncated header (" + std::to_string(is.gcount()) +
              " of " + std::to_string(sizeof(h)) + " bytes)");
-    if (std::memcmp(h.magic, kTraceMagic, 4) != 0)
-        fail("bad magic (not a ZBPT trace file)");
-    if (h.version != kTraceVersion)
-        fail("unsupported version " + std::to_string(h.version) +
-             " (expected " + std::to_string(kTraceVersion) + ")");
-    if (h.pad != 0)
-        fail("nonzero header padding (corrupted header)");
-    if (h.nameLen > kMaxTraceNameLen)
-        fail("trace name length " + std::to_string(h.nameLen) +
-             " exceeds the " + std::to_string(kMaxTraceNameLen) +
-             "-byte limit (corrupted header)");
+    validateHeader(h);
 
     std::string name(h.nameLen, '\0');
     is.read(name.data(), static_cast<std::streamsize>(h.nameLen));
     if (static_cast<std::uint32_t>(is.gcount()) != h.nameLen)
         fail("truncated trace name");
+
+    const std::uint64_t rec_base = recordBase(h.nameLen);
+    char align_pad[sizeof(PackedInst)] = {};
+    const std::streamsize pad_len = static_cast<std::streamsize>(
+            rec_base - sizeof(FileHeader) - h.nameLen);
+    is.read(align_pad, pad_len);
+    if (is.gcount() != pad_len)
+        fail("truncated alignment padding");
+    for (std::streamsize b = 0; b < pad_len; ++b)
+        if (align_pad[b] != 0)
+            fail("nonzero alignment padding (corrupted file)");
 
     Trace t(name);
     t.reserve(std::min(h.count, kMaxReserve));
@@ -118,19 +196,9 @@ readTrace(std::istream &is)
         PackedInst p{};
         is.read(reinterpret_cast<char *>(&p), sizeof(p));
         if (is.gcount() != static_cast<std::streamsize>(sizeof(p)))
-            failAt(i, "truncated record (file claims " +
-                      std::to_string(h.count) + " records)");
-        if (p.kind > static_cast<std::uint8_t>(InstKind::kIndirect))
-            failAt(i, "invalid instruction kind " +
-                      std::to_string(p.kind));
-        if (p.length != 2 && p.length != 4 && p.length != 6)
-            failAt(i, "invalid instruction length " +
-                      std::to_string(p.length));
-        if (p.taken > 1)
-            failAt(i, "invalid taken flag " + std::to_string(p.taken));
-        for (unsigned b = 0; b < sizeof(p.pad); ++b)
-            if (p.pad[b] != 0)
-                failAt(i, "nonzero record padding (corrupted record)");
+            failAt(i, rec_base, "truncated record (file claims " +
+                                std::to_string(h.count) + " records)");
+        validateRecord(p, i, rec_base);
         Instruction inst;
         inst.ia = p.ia;
         inst.target = p.target;
@@ -171,5 +239,107 @@ loadTraceFile(const std::string &path)
         throw TraceIoError(path + ": " + e.what());
     }
 }
+
+#if ZBP_TRACE_HAVE_MMAP
+
+namespace
+{
+
+/** Owns one read-only file mapping; shared by every Trace viewing it. */
+struct MappedFile
+{
+    MappedFile(void *b, std::size_t l) : base(b), len(l) {}
+    ~MappedFile()
+    {
+        if (base != nullptr && len != 0)
+            ::munmap(base, len);
+    }
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+
+    void *base;
+    std::size_t len;
+};
+
+} // namespace
+
+Trace
+mapTraceFile(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        throw TraceOpenError("cannot open trace file: " + path);
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+        ::close(fd);
+        throw TraceOpenError("cannot stat trace file: " + path);
+    }
+    const std::size_t len = static_cast<std::size_t>(st.st_size);
+    if (len < sizeof(FileHeader)) {
+        ::close(fd);
+        throw TraceIoError(path + ": trace stream: truncated header (" +
+                           std::to_string(len) + " of " +
+                           std::to_string(sizeof(FileHeader)) + " bytes)");
+    }
+    void *base = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd); // the mapping outlives the descriptor
+    if (base == MAP_FAILED)
+        throw TraceOpenError("cannot map trace file: " + path);
+    auto mapping = std::make_shared<MappedFile>(base, len);
+
+    try {
+        const auto *bytes = static_cast<const unsigned char *>(base);
+        FileHeader h{};
+        std::memcpy(&h, bytes, sizeof(h));
+        validateHeader(h);
+        const std::uint64_t rec_base = recordBase(h.nameLen);
+        if (len < rec_base)
+            fail("truncated alignment padding");
+        std::string name(reinterpret_cast<const char *>(bytes) +
+                                 sizeof(FileHeader),
+                         h.nameLen);
+        for (std::uint64_t off = sizeof(FileHeader) + h.nameLen;
+             off < rec_base; ++off)
+            if (bytes[off] != 0)
+                fail("nonzero alignment padding (corrupted file)");
+        // Bounds: exactly count records, nothing more (the subtraction
+        // is safe — len >= rec_base was checked above).
+        const std::uint64_t payload = len - rec_base;
+        if (payload % sizeof(PackedInst) != 0 ||
+            payload / sizeof(PackedInst) != h.count) {
+            if (payload / sizeof(PackedInst) < h.count)
+                failAt(payload / sizeof(PackedInst), rec_base,
+                       "truncated record (file claims " +
+                               std::to_string(h.count) + " records)");
+            fail("trailing bytes after the last record (truncated "
+                 "count field or appended garbage)");
+        }
+        const auto *recs =
+                reinterpret_cast<const PackedInst *>(bytes + rec_base);
+        for (std::uint64_t i = 0; i < h.count; ++i)
+            validateRecord(recs[i], i, rec_base);
+        // Every byte validated: expose the records as Instructions
+        // (layout pinned by the static_asserts above).
+        const auto *data =
+                reinterpret_cast<const Instruction *>(bytes + rec_base);
+        return Trace::adoptView(std::move(name), data, h.count,
+                                std::move(mapping));
+    } catch (const TraceOpenError &) {
+        throw;
+    } catch (const TraceIoError &e) {
+        // `mapping` unmaps on unwind.
+        throw TraceIoError(path + ": " + e.what());
+    }
+}
+
+#else // !ZBP_TRACE_HAVE_MMAP
+
+Trace
+mapTraceFile(const std::string &path)
+{
+    return loadTraceFile(path);
+}
+
+#endif
 
 } // namespace zbp::trace

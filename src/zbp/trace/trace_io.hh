@@ -2,17 +2,22 @@
  * @file
  * Binary trace serialization.
  *
- * Format "ZBPT" v2: a fixed little-endian header followed by packed
- * per-instruction records.  Deliberately simple — the point is to let
- * users capture a generated workload once and replay it across
- * configuration sweeps without regenerating.
+ * Format "ZBPT" v3: a fixed little-endian header, the trace name, zero
+ * padding up to the next 32-byte file offset, then packed 32-byte
+ * per-instruction records.  The alignment padding (new in v3) lets a
+ * memory-mapped file expose its record array directly as the in-memory
+ * Instruction layout — no copy, no misaligned access — which is what
+ * the trace cache and the fused sweep path rely on to share one
+ * physical copy of a trace across processes and configurations.
  *
  * Robustness contract: trace files are external input.  The reader
  * validates the header (magic, version, zeroed padding), bounds every
  * read (a truncated or bit-flipped file can never make it allocate
  * unbounded memory or return a silently partial trace), and rejects
  * trailing garbage.  All failures surface as TraceIoError with a
- * positional message; nothing here aborts or invokes UB.
+ * positional message; nothing here aborts or invokes UB.  The mapped
+ * loader applies the identical validation to the mapped bytes before
+ * handing out a view.
  */
 
 #ifndef ZBP_TRACE_TRACE_IO_HH
@@ -29,7 +34,9 @@ namespace zbp::trace
 
 /** Magic bytes at the start of every trace file. */
 inline constexpr char kTraceMagic[4] = {'Z', 'B', 'P', 'T'};
-inline constexpr std::uint32_t kTraceVersion = 2; // v2: adds dataAddr
+/** v2 added dataAddr; v3 pads the name so records sit 32-byte aligned
+ * (zero-copy mapping). */
+inline constexpr std::uint32_t kTraceVersion = 3;
 
 /** Longest trace name the reader accepts (the header's nameLen field
  * is attacker-controlled; a corrupted length must not drive a huge
@@ -69,6 +76,22 @@ Trace readTrace(std::istream &is);
  * reject. */
 void saveTraceFile(const Trace &t, const std::string &path);
 Trace loadTraceFile(const std::string &path);
+
+/**
+ * Zero-copy load: memory-map @p path read-only and return a view-backed
+ * Trace whose instruction array *is* the mapped record array (the
+ * 32-byte on-disk record layout matches trace::Instruction exactly, and
+ * v3 alignment guarantees natural alignment).  The mapping is shared
+ * copy-on-write with the page cache, so concurrent jobs loading the
+ * same file consume one physical copy; it is released when the last
+ * Trace sharing the view is destroyed.
+ *
+ * Validation is as strict as readTrace — every record is checked before
+ * the view is handed out.  Throws TraceOpenError when the file cannot
+ * be opened or mapped, TraceIoError on any corruption.  On platforms
+ * without mmap this falls back to loadTraceFile (owned copy).
+ */
+Trace mapTraceFile(const std::string &path);
 
 } // namespace zbp::trace
 

@@ -66,7 +66,7 @@ class Walker
         emit(ia, len, trace::InstKind::kNonBranch, false, kNoAddr);
         if (gp.dataAccessFraction > 0.0 &&
             rng.chance(gp.dataAccessFraction)) {
-            out.instructions().back().dataAddr = drawDataAddr();
+            out.back().dataAddr = drawDataAddr();
         }
     }
 

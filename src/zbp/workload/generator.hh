@@ -23,6 +23,14 @@
 namespace zbp::workload
 {
 
+/**
+ * Version of the workload synthesis pipeline (program builder + trace
+ * walker).  Part of the trace-cache key: bump it whenever a change makes
+ * buildProgram or generateTrace emit different instructions for the same
+ * parameters, so stale cached traces are regenerated instead of reused.
+ */
+inline constexpr std::uint32_t kGeneratorVersion = 1;
+
 /** Dynamic-behaviour knobs. */
 struct GenParams
 {

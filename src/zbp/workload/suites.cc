@@ -1,9 +1,18 @@
 #include "zbp/workload/suites.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
 
 #include "zbp/common/log.hh"
+#include "zbp/trace/trace_io.hh"
 
 namespace zbp::workload
 {
@@ -154,6 +163,74 @@ makeAll()
     return v;
 }
 
+// ---- trace cache ----------------------------------------------------
+
+std::atomic<std::uint64_t> cacheHits{0};
+std::atomic<std::uint64_t> cacheMisses{0};
+std::atomic<std::uint64_t> cacheInvalid{0};
+
+/** The uncached generation path (the pre-cache makeSuiteTrace body). */
+trace::Trace
+generateSuiteTrace(const SuiteSpec &spec, double length_scale)
+{
+    const Program prog = buildProgram(spec.build);
+    GenParams gp = spec.gen;
+    gp.length = static_cast<std::uint64_t>(
+            static_cast<double>(gp.length) * length_scale);
+    if (gp.length < 10'000)
+        gp.length = 10'000;
+    // Keep the *number* of phases constant as the trace shrinks so the
+    // hot window still sweeps the whole root set (footprint coverage
+    // must not degrade with ZBP_LEN_SCALE).
+    if (length_scale < 1.0 && gp.phaseLength != 0) {
+        gp.phaseLength = static_cast<std::uint64_t>(
+                static_cast<double>(gp.phaseLength) * length_scale);
+        if (gp.phaseLength < 15'000)
+            gp.phaseLength = 15'000;
+    }
+    return generateTrace(prog, gp, spec.name);
+}
+
+std::string
+cachePathFor(const char *dir, const SuiteSpec &spec, double scale)
+{
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(
+                          suiteTraceKey(spec, scale)));
+    return std::string(dir) + "/" + spec.name + "-" + hex + ".zbpt";
+}
+
+/** Publish @p t at @p path atomically: write a uniquely-named tmp file
+ * in the same directory, then rename over the target.  Racing writers
+ * produce identical bytes, so last-rename-wins is harmless; a failure
+ * only costs the caching, never the result. */
+void
+saveCacheFileAtomic(const trace::Trace &t, const std::string &path)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(fs::path(path).parent_path(), ec);
+
+    static std::atomic<std::uint64_t> token{0};
+    const std::uint64_t id =
+            (std::hash<std::thread::id>{}(std::this_thread::get_id()) << 16) ^
+            token.fetch_add(1, std::memory_order_relaxed);
+    const std::string tmp = path + ".tmp." + std::to_string(id);
+    try {
+        trace::saveTraceFile(t, tmp);
+    } catch (const trace::TraceIoError &e) {
+        warn("trace cache: cannot write '", tmp, "': ", e.what());
+        fs::remove(tmp, ec);
+        return;
+    }
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        warn("trace cache: cannot publish '", path, "': ", ec.message());
+        fs::remove(tmp, ec);
+    }
+}
+
 } // namespace
 
 const std::vector<SuiteSpec> &
@@ -172,26 +249,130 @@ findSuite(const std::string &name)
     fatal("unknown suite '", name, "'");
 }
 
+std::uint64_t
+suiteTraceKey(const SuiteSpec &spec, double length_scale)
+{
+    const BuildParams &b = spec.build;
+    const GenParams &g = spec.gen;
+    std::uint64_t h = 0xCBF29CE484222325ull; // FNV offset basis
+    const auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 0x100000001B3ull;
+        h ^= h >> 32;
+    };
+    const auto mixd = [&mix](double d) {
+        mix(std::bit_cast<std::uint64_t>(d));
+    };
+
+    // Anything that changes the generated instruction stream must feed
+    // the key: format + generator versions, the scale, and every knob
+    // of the static and dynamic recipes.
+    mix(trace::kTraceVersion);
+    mix(kGeneratorVersion);
+    mixd(length_scale);
+
+    mix(b.seed);
+    mix(b.numFunctions);
+    mix(b.minBlocksPerFunction);
+    mix(b.maxBlocksPerFunction);
+    mix(b.minInstsPerBlock);
+    mix(b.maxInstsPerBlock);
+    mixd(b.callFraction);
+    mixd(b.uncondFraction);
+    mixd(b.indirectFraction);
+    mixd(b.loopFraction);
+    mixd(b.flakyFraction);
+    mixd(b.periodicFraction);
+    mix(b.minLoopTrip);
+    mix(b.maxLoopTrip);
+    mix(b.base);
+    mix(b.functionAlign);
+    mix(b.moduleSize);
+    mix(b.moduleGapBytes);
+
+    mix(g.seed);
+    mix(g.length);
+    mix(g.numRoots);
+    mix(g.hotRoots);
+    mix(g.phaseLength);
+    mix(g.phaseStride);
+    mixd(g.rootSkew);
+    mix(g.dispatcherBase);
+    mix(g.maxCallDepth);
+    mix(g.maxTransactionInsts);
+    mixd(g.dataAccessFraction);
+    mix(g.stackBase);
+    mix(g.heapBase);
+    mix(g.heapRegionBytes);
+    mix(g.sharedHeapBytes);
+
+    // SplitMix64 finalizer: spread the FNV state over all 64 bits.
+    h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+    h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+    return h ^ (h >> 31);
+}
+
 trace::Trace
 makeSuiteTrace(const SuiteSpec &spec, double length_scale)
 {
     ZBP_ASSERT(length_scale > 0.0, "length_scale must be positive");
-    const Program prog = buildProgram(spec.build);
-    GenParams gp = spec.gen;
-    gp.length = static_cast<std::uint64_t>(
-            static_cast<double>(gp.length) * length_scale);
-    if (gp.length < 10'000)
-        gp.length = 10'000;
-    // Keep the *number* of phases constant as the trace shrinks so the
-    // hot window still sweeps the whole root set (footprint coverage
-    // must not degrade with ZBP_LEN_SCALE).
-    if (length_scale < 1.0 && gp.phaseLength != 0) {
-        gp.phaseLength = static_cast<std::uint64_t>(
-                static_cast<double>(gp.phaseLength) * length_scale);
-        if (gp.phaseLength < 15'000)
-            gp.phaseLength = 15'000;
+    const char *dir = std::getenv("ZBP_TRACE_CACHE");
+    if (dir == nullptr || *dir == '\0')
+        return generateSuiteTrace(spec, length_scale);
+
+    const std::string path = cachePathFor(dir, spec, length_scale);
+    try {
+        trace::Trace t = trace::mapTraceFile(path);
+        cacheHits.fetch_add(1, std::memory_order_relaxed);
+        return t;
+    } catch (const trace::TraceOpenError &) {
+        // Not cached yet (or unreadable): generate and publish.
+        cacheMisses.fetch_add(1, std::memory_order_relaxed);
+    } catch (const trace::TraceIoError &e) {
+        cacheInvalid.fetch_add(1, std::memory_order_relaxed);
+        warn("trace cache: regenerating corrupt entry '", path,
+             "': ", e.what());
     }
-    return generateTrace(prog, gp, spec.name);
+    trace::Trace t = generateSuiteTrace(spec, length_scale);
+    saveCacheFileAtomic(t, path);
+    return t;
+}
+
+trace::TraceHandle
+suiteTraceHandle(const SuiteSpec &spec, double length_scale)
+{
+    // Weak registry: while any job still holds a handle, later requests
+    // share it; once every holder is gone the entry expires and the
+    // trace is re-mapped (cheap) or regenerated on the next request.
+    static std::mutex mu;
+    static std::unordered_map<std::uint64_t,
+                              std::weak_ptr<const trace::Trace>> reg;
+    const std::uint64_t key = suiteTraceKey(spec, length_scale);
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        if (const auto it = reg.find(key); it != reg.end())
+            if (auto sp = it->second.lock())
+                return sp;
+    }
+    // Generate outside the lock so distinct suites load in parallel.
+    auto sp = std::make_shared<const trace::Trace>(
+            makeSuiteTrace(spec, length_scale));
+    std::lock_guard<std::mutex> lk(mu);
+    auto &slot = reg[key];
+    if (auto prior = slot.lock())
+        return prior; // another thread won the race; share its copy
+    slot = sp;
+    return sp;
+}
+
+TraceCacheStats
+traceCacheStats()
+{
+    TraceCacheStats s;
+    s.hits = cacheHits.load(std::memory_order_relaxed);
+    s.misses = cacheMisses.load(std::memory_order_relaxed);
+    s.invalid = cacheInvalid.load(std::memory_order_relaxed);
+    return s;
 }
 
 double

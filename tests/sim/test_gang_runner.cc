@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for gang-chunked sweep execution.  The load-bearing property is
+ * bit-identity: interleaving N configurations over one trace in chunks
+ * of any size must produce exactly the results of N independent serial
+ * runs — same cycles, same outcome taxonomy, same machinery counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "zbp/sim/gang_runner.hh"
+#include "zbp/sim/simulator.hh"
+
+namespace zbp::sim
+{
+namespace
+{
+
+void
+expectSameResult(const cpu::SimResult &a, const cpu::SimResult &b)
+{
+    EXPECT_EQ(a.traceName, b.traceName);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_DOUBLE_EQ(a.cpi, b.cpi);
+    EXPECT_EQ(a.branches, b.branches);
+    EXPECT_EQ(a.takenBranches, b.takenBranches);
+    EXPECT_EQ(a.correct, b.correct);
+    EXPECT_EQ(a.mispredictDir, b.mispredictDir);
+    EXPECT_EQ(a.mispredictTarget, b.mispredictTarget);
+    EXPECT_EQ(a.surpriseCompulsory, b.surpriseCompulsory);
+    EXPECT_EQ(a.surpriseLatency, b.surpriseLatency);
+    EXPECT_EQ(a.surpriseCapacity, b.surpriseCapacity);
+    EXPECT_EQ(a.surpriseBenign, b.surpriseBenign);
+    EXPECT_EQ(a.phantoms, b.phantoms);
+    EXPECT_EQ(a.icacheMisses, b.icacheMisses);
+    EXPECT_EQ(a.dcacheMisses, b.dcacheMisses);
+    EXPECT_EQ(a.dataAccesses, b.dataAccesses);
+    EXPECT_EQ(a.btb1MissReports, b.btb1MissReports);
+    EXPECT_EQ(a.btb2RowReads, b.btb2RowReads);
+    EXPECT_EQ(a.btb2Transfers, b.btb2Transfers);
+    EXPECT_EQ(a.btb2FullSearches, b.btb2FullSearches);
+    EXPECT_EQ(a.btb2PartialSearches, b.btb2PartialSearches);
+    EXPECT_EQ(a.predictionsMade, b.predictionsMade);
+    EXPECT_EQ(a.resolves, b.resolves);
+}
+
+std::vector<GangConfig>
+fig2Gang()
+{
+    return {{"config1", configNoBtb2()},
+            {"config2", configBtb2()},
+            {"config3", configLargeBtb1()}};
+}
+
+std::vector<trace::TraceHandle>
+smallTraces()
+{
+    std::vector<trace::TraceHandle> out;
+    for (const char *name : {"cb84", "tpf"})
+        out.push_back(workload::suiteTraceHandle(
+                workload::findSuite(name), 0.01));
+    return out;
+}
+
+TEST(GangRunner, BitIdenticalToSerialAcrossChunkSizes)
+{
+    const auto traces = smallTraces();
+    const auto gang = fig2Gang();
+
+    // Serial reference: independent full runs.
+    std::vector<std::vector<cpu::SimResult>> ref(gang.size());
+    for (std::size_t ci = 0; ci < gang.size(); ++ci)
+        for (const auto &t : traces)
+            ref[ci].push_back(runOne(gang[ci].cfg, *t));
+
+    for (const std::size_t chunk : {std::size_t{1}, std::size_t{1000},
+                                    std::size_t{1} << 30}) {
+        GangRunner runner(gang, 1);
+        runner.setChunk(chunk);
+        runner.setSinkPath("");
+        const auto got = runner.run(traces);
+        ASSERT_EQ(got.size(), gang.size());
+        for (std::size_t ci = 0; ci < gang.size(); ++ci) {
+            ASSERT_EQ(got[ci].size(), traces.size());
+            for (std::size_t ti = 0; ti < traces.size(); ++ti) {
+                ASSERT_TRUE(got[ci][ti].ok)
+                        << got[ci][ti].error << " (chunk " << chunk
+                        << ")";
+                expectSameResult(got[ci][ti].result, ref[ci][ti]);
+            }
+        }
+    }
+}
+
+TEST(GangRunner, FailingMemberDoesNotSinkTheGang)
+{
+    auto gang = fig2Gang();
+    gang[1].name = "broken";
+    gang[1].cfg.btb1.rows = 3; // not a power of two: ctor rejects
+
+    GangRunner runner(gang, 1);
+    runner.setSinkPath("");
+    const auto traces = smallTraces();
+    const auto got = runner.run(traces);
+
+    for (std::size_t ti = 0; ti < traces.size(); ++ti) {
+        EXPECT_TRUE(got[0][ti].ok) << got[0][ti].error;
+        EXPECT_TRUE(got[2][ti].ok) << got[2][ti].error;
+        EXPECT_FALSE(got[1][ti].ok);
+        EXPECT_NE(got[1][ti].error.find("power of two"),
+                  std::string::npos)
+                << got[1][ti].error;
+    }
+}
+
+TEST(GangRunner, WritesOneRecordPerConfigTracePair)
+{
+    const std::string path =
+            testing::TempDir() + "gang_records.jsonl";
+    std::remove(path.c_str());
+
+    GangRunner runner(fig2Gang(), 1);
+    runner.setSinkPath(path);
+    const auto traces = smallTraces();
+    runner.run(traces);
+
+    std::ifstream in(path);
+    std::size_t lines = 0;
+    for (std::string line; std::getline(in, line);)
+        if (!line.empty())
+            ++lines;
+    EXPECT_EQ(lines, 3 * traces.size());
+    std::remove(path.c_str());
+}
+
+TEST(GangRunner, FuseEnvSelectsIdenticalFig2Rows)
+{
+    const auto traces = smallTraces();
+
+    ::setenv("ZBP_FUSE", "0", 1);
+    const auto legacy = runFig2Rows(traces, 1);
+    EXPECT_FALSE(fuseFromEnv());
+    ::setenv("ZBP_FUSE", "1", 1);
+    const auto fused = runFig2Rows(traces, 1);
+    EXPECT_TRUE(fuseFromEnv());
+    ::unsetenv("ZBP_FUSE");
+
+    ASSERT_EQ(fused.size(), legacy.size());
+    for (std::size_t i = 0; i < fused.size(); ++i) {
+        EXPECT_EQ(fused[i].trace, legacy[i].trace);
+        expectSameResult(fused[i].base, legacy[i].base);
+        expectSameResult(fused[i].withBtb2, legacy[i].withBtb2);
+        expectSameResult(fused[i].largeBtb1, legacy[i].largeBtb1);
+    }
+}
+
+} // namespace
+} // namespace zbp::sim

@@ -47,8 +47,22 @@ TEST(Simulator, SuiteRunnerBuildsAllThirteen)
     SuiteRunner runner(0.01);
     EXPECT_EQ(runner.traces().size(), 13u);
     for (const auto &t : runner.traces()) {
-        EXPECT_FALSE(t.empty());
-        EXPECT_TRUE(t.consistent());
+        EXPECT_FALSE(t->empty());
+        EXPECT_TRUE(t->consistent());
+    }
+}
+
+TEST(Simulator, SuiteRunnerHandlesShareStorage)
+{
+    SuiteRunner runner(0.01);
+    // Handles are shared, not deep copies: copying the handle vector
+    // must alias the same Trace objects and instruction storage.
+    const std::vector<trace::TraceHandle> copies = runner.traces();
+    ASSERT_EQ(copies.size(), runner.traces().size());
+    for (std::size_t i = 0; i < copies.size(); ++i) {
+        EXPECT_EQ(copies[i].get(), runner.traces()[i].get());
+        EXPECT_EQ(copies[i]->data(), runner.traces()[i]->data());
+        EXPECT_GE(copies[i].use_count(), 2);
     }
 }
 

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests for the immutable per-trace sidecar: every derived value must
+ * equal what a fresh scan of the raw trace yields (the index is an
+ * accelerator, never a semantic input).
+ */
+
+#include <gtest/gtest.h>
+
+#include "zbp/trace/trace_index.hh"
+#include "zbp/workload/suites.hh"
+
+namespace zbp::trace
+{
+namespace
+{
+
+Trace
+tinyTrace()
+{
+    Trace t("tiny");
+    Instruction a;
+    a.ia = 0x1000;
+    a.length = 4;
+    t.push(a);
+    Instruction b; // taken conditional branch
+    b.ia = 0x1004;
+    b.length = 4;
+    b.kind = InstKind::kCondBranch;
+    b.taken = true;
+    b.target = 0x2000;
+    t.push(b);
+    Instruction c; // not-taken conditional branch
+    c.ia = 0x2000;
+    c.length = 6;
+    c.kind = InstKind::kCondBranch;
+    c.taken = false;
+    c.target = 0x3000;
+    t.push(c);
+    Instruction d;
+    d.ia = 0x2006;
+    d.length = 2;
+    t.push(d);
+    return t;
+}
+
+TEST(TraceIndex, MatchesRawScanOnTinyTrace)
+{
+    const Trace t = tinyTrace();
+    const TraceIndex idx(t);
+
+    ASSERT_EQ(idx.size(), t.size());
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        EXPECT_EQ(idx.nextIa(i), t[i].nextIa()) << "at " << i;
+        EXPECT_EQ(idx.blockSector(i), t[i].ia >> 7) << "at " << i;
+    }
+    const std::vector<std::uint32_t> expect_branches{1, 2};
+    EXPECT_EQ(idx.branchPositions(), expect_branches);
+    EXPECT_EQ(idx.branches(), 2u);
+}
+
+TEST(TraceIndex, MatchesRawScanOnGeneratedSuite)
+{
+    const auto t = workload::makeSuiteTrace(
+            workload::findSuite("cb84"), 0.01);
+    const TraceIndex idx(t);
+
+    ASSERT_EQ(idx.size(), t.size());
+    std::vector<std::uint32_t> branches;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        ASSERT_EQ(idx.nextIa(i), t[i].nextIa()) << "at " << i;
+        ASSERT_EQ(idx.blockSector(i), t[i].ia >> 7) << "at " << i;
+        if (t[i].branch())
+            branches.push_back(static_cast<std::uint32_t>(i));
+    }
+    EXPECT_EQ(idx.branchPositions(), branches);
+}
+
+} // namespace
+} // namespace zbp::trace

@@ -116,10 +116,12 @@ TEST(TraceIo, TruncationRejected)
 
 TEST(TraceIo, GarbageKindRejected)
 {
-    // Corrupt the kind byte of the first record (header is 24 B + name;
-    // record layout: ia(8) target(8) dataAddr(8) length(1) kind(1)...).
+    // Corrupt the kind byte of the first record (header is 24 B + name,
+    // zero-padded to a 32 B boundary in v3; record layout: ia(8)
+    // target(8) dataAddr(8) length(1) kind(1)...).
     std::string bytes = serialized(sampleTrace());
-    const std::size_t rec0 = 24 + std::string("sample").size();
+    const std::size_t rec0 = (24 + std::string("sample").size() + 31) &
+                             ~std::size_t{31};
     bytes[rec0 + 25] = 0x7F;
     const std::string msg = expectRejected(bytes);
     EXPECT_NE(msg.find("kind"), std::string::npos) << msg;

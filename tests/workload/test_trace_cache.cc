@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for the content-addressed on-disk trace cache: a hit must be
+ * bit-identical to generation, any recipe change must change the key,
+ * and a corrupt entry must be regenerated, never trusted.
+ *
+ * Each test owns its own cache directory and restores ZBP_TRACE_CACHE
+ * on exit; the process-wide cache counters are compared by delta.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "zbp/workload/suites.hh"
+
+namespace zbp::workload
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Scoped ZBP_TRACE_CACHE pointing at a fresh directory. */
+class ScopedCacheDir
+{
+  public:
+    ScopedCacheDir()
+    {
+        const char *old = std::getenv("ZBP_TRACE_CACHE");
+        if (old != nullptr) {
+            hadOld = true;
+            oldVal = old;
+        }
+        dir = fs::path(testing::TempDir()) /
+              ("trace_cache_" + std::to_string(::getpid()));
+        fs::create_directories(dir);
+        ::setenv("ZBP_TRACE_CACHE", dir.c_str(), 1);
+    }
+
+    ~ScopedCacheDir()
+    {
+        if (hadOld)
+            ::setenv("ZBP_TRACE_CACHE", oldVal.c_str(), 1);
+        else
+            ::unsetenv("ZBP_TRACE_CACHE");
+        std::error_code ec;
+        fs::remove_all(dir, ec);
+    }
+
+    const fs::path &path() const { return dir; }
+
+    /** The single cached file, or an empty path. */
+    fs::path
+    onlyFile() const
+    {
+        fs::path found;
+        for (const auto &e : fs::directory_iterator(dir))
+            found = e.path();
+        return found;
+    }
+
+  private:
+    fs::path dir;
+    bool hadOld = false;
+    std::string oldVal;
+};
+
+TEST(TraceCache, HitIsBitIdenticalToGeneration)
+{
+    const SuiteSpec &spec = findSuite("cb84");
+    const auto reference = makeSuiteTrace(spec, 0.01); // no cache yet...
+
+    const ScopedCacheDir cache;
+    const auto before = traceCacheStats();
+    const auto generated = makeSuiteTrace(spec, 0.01); // cold: generates
+    const auto mid = traceCacheStats();
+    EXPECT_EQ(mid.generated() - before.generated(), 1u);
+
+    const auto hit = makeSuiteTrace(spec, 0.01); // warm: maps the file
+    const auto after = traceCacheStats();
+    EXPECT_EQ(after.hits - mid.hits, 1u);
+    EXPECT_EQ(after.generated(), mid.generated());
+    EXPECT_FALSE(hit.ownsStorage()) << "a cache hit should be a view";
+
+    ASSERT_EQ(hit.size(), reference.size());
+    ASSERT_EQ(generated.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+        ASSERT_EQ(hit[i], reference[i]) << "record " << i;
+        ASSERT_EQ(generated[i], reference[i]) << "record " << i;
+    }
+}
+
+TEST(TraceCache, KeyChangesWithRecipeAndScale)
+{
+    const SuiteSpec &base = findSuite("cb84");
+    const std::uint64_t k = suiteTraceKey(base, 0.01);
+
+    EXPECT_NE(suiteTraceKey(base, 0.02), k) << "scale must key";
+
+    SuiteSpec mutated = base;
+    mutated.gen.seed += 1;
+    EXPECT_NE(suiteTraceKey(mutated, 0.01), k) << "gen params must key";
+
+    SuiteSpec rebuilt = base;
+    rebuilt.build.numFunctions += 1;
+    EXPECT_NE(suiteTraceKey(rebuilt, 0.01), k) << "build params must key";
+
+    // The name is display metadata, not recipe: same key.
+    SuiteSpec renamed = base;
+    renamed.paperName = "different-display-name";
+    EXPECT_EQ(suiteTraceKey(renamed, 0.01), k);
+}
+
+TEST(TraceCache, CorruptEntryIsRegenerated)
+{
+    const SuiteSpec &spec = findSuite("cb84");
+    const ScopedCacheDir cache;
+    const auto reference = makeSuiteTrace(spec, 0.01); // populates
+    const fs::path file = cache.onlyFile();
+    ASSERT_FALSE(file.empty());
+
+    { // Flip the version byte: mapTraceFile must reject it.
+        std::fstream f(file, std::ios::in | std::ios::out |
+                                     std::ios::binary);
+        f.seekp(4);
+        const char bad = 0x7f;
+        f.write(&bad, 1);
+    }
+
+    const auto before = traceCacheStats();
+    const auto regenerated = makeSuiteTrace(spec, 0.01);
+    const auto mid = traceCacheStats();
+    EXPECT_EQ(mid.invalid - before.invalid, 1u);
+
+    ASSERT_EQ(regenerated.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i)
+        ASSERT_EQ(regenerated[i], reference[i]) << "record " << i;
+
+    // The rewritten entry serves the next call as a clean hit.
+    (void)makeSuiteTrace(spec, 0.01);
+    const auto after = traceCacheStats();
+    EXPECT_EQ(after.hits - mid.hits, 1u);
+    EXPECT_EQ(after.invalid, mid.invalid);
+}
+
+TEST(TraceCache, HandleRegistrySharesLiveTraces)
+{
+    const SuiteSpec &spec = findSuite("cb84");
+    const trace::TraceHandle a = suiteTraceHandle(spec, 0.01);
+    const trace::TraceHandle b = suiteTraceHandle(spec, 0.01);
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a.get(), b.get())
+            << "live handles for one recipe must share one Trace";
+    EXPECT_NE(suiteTraceHandle(spec, 0.02).get(), a.get());
+}
+
+} // namespace
+} // namespace zbp::workload
