@@ -17,6 +17,7 @@
 
 #include "zbp/core/hierarchy.hh"
 #include "zbp/cpu/core_model.hh"
+#include "zbp/sim/cmp/cmp_model.hh"
 #include "zbp/sim/configs.hh"
 #include "zbp/trace/trace_index.hh"
 #include "zbp/workload/generator.hh"
@@ -231,6 +232,44 @@ BM_SweepFused3Configs(benchmark::State &state)
             state.iterations() * cfgs.size() * trace.size()));
 }
 BENCHMARK(BM_SweepFused3Configs)->Unit(benchmark::kMillisecond);
+
+// --- CMP lockstep stepping ------------------------------------------
+
+void
+BM_CmpStep(benchmark::State &state)
+{
+    // N cores in lockstep against one shared banked BTB2 + shared L2I,
+    // every core running the same trace (worst-case arbiter pressure:
+    // identical transfer schedules collide on the same banks).  Items
+    // processed = decoded instructions across all cores, so the
+    // items/s rate is directly comparable to BM_RunBtb2 and exposes
+    // the CMP interleaving overhead per core added.
+    const auto n = static_cast<unsigned>(state.range(0));
+    core::MachineParams cfg = sim::configBtb2();
+    cfg.collectStatsText = false;
+    cfg.cmp.cores = n;
+    cfg.cmp.btb2Banks = 4;
+    cfg.cmp.sharedL2i = true;
+    const auto trace = benchTrace();
+    const trace::TraceIndex index(trace);
+    const std::vector<const trace::Trace *> traces(n, &trace);
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        sim::CmpModel model(cfg);
+        for (unsigned i = 0; i < n; ++i)
+            model.setTraceIndex(i, &index);
+        const auto r = model.run(traces);
+        for (const auto &c : r.core)
+            cycles += c.cycles;
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+            state.iterations() * n * trace.size()));
+    state.counters["cycles/s"] = benchmark::Counter(
+            static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CmpStep)->Arg(2)->Arg(4)->Arg(8)->Unit(
+        benchmark::kMillisecond);
 
 } // namespace
 

@@ -26,10 +26,13 @@ scale="${ZBP_PERF_SCALE:-0.25}"
 out="${ZBP_PERF_OUT:-$repo_root/BENCH_sim.json}"
 
 bench="$build_dir/bench/fig2_cpi"
-if [[ ! -x "$bench" ]]; then
-    echo "perf: missing $bench (build the repo first)" >&2
-    exit 1
-fi
+cmp_bench="$build_dir/bench/cmp_sharing"
+for b in "$bench" "$cmp_bench"; do
+    if [[ ! -x "$b" ]]; then
+        echo "perf: missing $b (build the repo first)" >&2
+        exit 1
+    fi
+done
 
 results="$(mktemp /tmp/zbp_perf_XXXXXX.jsonl)"
 cache_dir="$(mktemp -d /tmp/zbp_perf_cache_XXXXXX)"
@@ -37,8 +40,8 @@ trap 'rm -rf "$results" "$cache_dir"' EXIT
 rm -f "$results"
 
 echo "== perf: fig2_cpi, ZBP_JOBS=1, ZBP_LEN_SCALE=$scale =="
-BENCH="$bench" RESULTS="$results" SCALE="$scale" OUT="$out" \
-    CACHE_DIR="$cache_dir" \
+BENCH="$bench" CMP_BENCH="$cmp_bench" RESULTS="$results" \
+    SCALE="$scale" OUT="$out" CACHE_DIR="$cache_dir" \
     python3 - <<'EOF'
 import json
 import os
@@ -46,27 +49,30 @@ import subprocess
 import time
 
 bench = os.environ["BENCH"]
+cmp_bench = os.environ["CMP_BENCH"]
 results = os.environ["RESULTS"]
 scale = os.environ["SCALE"]
 out = os.environ["OUT"]
 cache_dir = os.environ["CACHE_DIR"]
 
 
-def sweep(jsonl, **extra_env):
-    """Run the pinned fig2 sweep once; return (wall, records)."""
+def sweep(jsonl, prog=None, **extra_env):
+    """Run a pinned single-thread sweep once; return (wall, records).
+    CMP sharing records (cmp=true) are ok=false by design and pass
+    through; any other ok=false record is a failed job."""
     if os.path.exists(jsonl):
         os.unlink(jsonl)
     env = dict(os.environ, ZBP_JOBS="1", ZBP_LEN_SCALE=scale,
                ZBP_RESULTS_JSONL=jsonl, **extra_env)
     t0 = time.monotonic()
-    subprocess.run([bench], check=True, env=env,
+    subprocess.run([prog or bench], check=True, env=env,
                    stdout=subprocess.DEVNULL)
     wall = time.monotonic() - t0
     recs = []
     with open(jsonl) as f:
         for line in f:
             rec = json.loads(line)
-            if not rec.get("ok", False):
+            if not rec.get("ok", False) and not rec.get("cmp", False):
                 raise SystemExit(f"perf: failed job in sweep: {line}")
             recs.append(rec)
     return wall, recs
@@ -118,6 +124,30 @@ fused_sweep = {
     "speedup_vs_unfused": round(legacy_wall / fused_wall, 2),
 }
 
+# CMP row: the pinned 4-core / 4-bank point of the sharing sweep
+# (homogeneous + heterogeneous mixes), single-threaded, warm trace
+# cache.  Wall-clock tracks the lockstep-stepping overhead; the
+# conflict fractions track the sharing model itself — a change to
+# arbitration or banking moves them even when wall-clock holds.
+cmp_wall, cmp_recs = sweep(results, prog=cmp_bench,
+                           ZBP_TRACE_CACHE=cache_dir,
+                           ZBP_CMP_CORES="4", ZBP_BTB2_BANKS="4")
+cmp_core_recs = [r for r in cmp_recs if not r.get("cmp", False)]
+cmp_share = {r["config"]: r for r in cmp_recs if r.get("cmp", False)}
+cmp_cycles = sum(r["cycles"] for r in cmp_core_recs)
+cmp = {
+    "wall_seconds": round(cmp_wall, 3),
+    "cores": 4,
+    "banks": 4,
+    "core_runs": len(cmp_core_recs),
+    "simulated_cycles": cmp_cycles,
+    "cycles_per_second": round(cmp_cycles / cmp_wall, 1),
+    "conflict_fraction_homog": cmp_share[
+        "cmp-homog-c4-b4#shared"]["conflictFraction"],
+    "conflict_fraction_hetero": cmp_share[
+        "cmp-hetero-c4-b4#shared"]["conflictFraction"],
+}
+
 # Single-thread baseline measured on the pre-optimisation tree
 # (per-cycle loop, heap-allocating hit lists, unconditional stats
 # text), same machine class, same pinned workload.
@@ -139,6 +169,7 @@ doc = {
     "speedup_vs_baseline": round(
         baseline["wall_seconds"] / current["wall_seconds"], 2),
     "fused_sweep": fused_sweep,
+    "cmp": cmp,
 }
 with open(out, "w") as f:
     json.dump(doc, f, indent=2)
@@ -154,5 +185,9 @@ print(f"perf: fused sweep {fused_sweep['wall_seconds']}s "
       f"{fused_sweep['speedup_vs_unfused']}x, DRAM-stream amplification "
       f"{fused_sweep['dram_stream_amplification']} vs "
       f"{fused_sweep['legacy_dram_stream_amplification']}")
+print(f"perf: cmp 4-core/4-bank {cmp['wall_seconds']}s, "
+      f"{cmp['cycles_per_second']:.3g} simulated cycles/s, conflict "
+      f"fraction homog {cmp['conflict_fraction_homog']:.4f} / hetero "
+      f"{cmp['conflict_fraction_hetero']:.4f}")
 print(f"perf: wrote {out}")
 EOF

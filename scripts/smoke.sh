@@ -6,9 +6,11 @@
 #
 # Usage:
 #   scripts/smoke.sh               # full: configure, build, ctest, bench
-#   scripts/smoke.sh --bench-only  # just the bench leg (what the
+#   scripts/smoke.sh --bench-only  # just the bench legs (what the
 #                                  # runner_smoke ctest target runs, so
 #                                  # ctest does not recurse into itself)
+#   scripts/smoke.sh --cmp-only    # just the CMP leg (the cmp_smoke
+#                                  # ctest target)
 #
 # Environment:
 #   ZBP_SMOKE_BUILD_DIR  build tree (default: <repo>/build)
@@ -24,7 +26,68 @@ build_dir="${ZBP_SMOKE_BUILD_DIR:-$repo_root/build}"
 jobs="${ZBP_SMOKE_JOBS:-4}"
 scale="${ZBP_SMOKE_SCALE:-0.05}"
 bench_only=0
+cmp_only=0
 [[ "${1:-}" == "--bench-only" ]] && bench_only=1
+[[ "${1:-}" == "--cmp-only" ]] && cmp_only=1
+
+# CMP leg: a 4-core mini-run of the sharing sweep on the CmpRunner
+# path (per-core JSONL records + one sharing record per job), then a
+# resume replay that must satisfy every job from the checkpoint.  With
+# ZBP_CMP_CORES=4 the sweep is 2 mixes x 1 core count x 2 bank counts
+# = 4 jobs, each writing 4 per-core records + 1 sharing record.
+run_cmp_leg() {
+    echo "== cmp smoke: cmp_sharing, 4 cores, ZBP_LEN_SCALE=$scale =="
+    local cmp_bench="$build_dir/bench/cmp_sharing"
+    if [[ ! -x "$cmp_bench" ]]; then
+        echo "smoke: missing $cmp_bench (build the repo first)" >&2
+        exit 1
+    fi
+    cmp_results="$(mktemp /tmp/zbp_smoke_cmp_XXXXXX.jsonl)"
+    cmp_resumed="$(mktemp /tmp/zbp_smoke_cmp_resume_XXXXXX.jsonl)"
+    trap 'rm -f ${results:-} ${resumed:-} ${tracefile:-} \
+        "$cmp_results" "$cmp_resumed"; rm -rf ${cache_dir:-}' EXIT
+    rm -f "$cmp_results" "$cmp_resumed"
+
+    ZBP_LEN_SCALE="$scale" ZBP_JOBS="$jobs" ZBP_CMP_CORES=4 \
+        ZBP_RESULTS_JSONL="$cmp_results" "$cmp_bench"
+
+    local cmp_records
+    cmp_records="$(wc -l < "$cmp_results")"
+    if [[ "$cmp_records" -ne 20 ]]; then
+        echo "smoke: expected 20 CMP JSONL records, got $cmp_records" >&2
+        exit 1
+    fi
+    # Sharing records are ok=false by design (they are not re-runnable
+    # jobs); a failed job is an ok=false record without the cmp tag.
+    if grep '"ok":false' "$cmp_results" | grep -qv '"cmp":true'; then
+        echo "smoke: failed CMP jobs recorded in $cmp_results:" >&2
+        grep '"ok":false' "$cmp_results" | grep -v '"cmp":true' >&2
+        exit 1
+    fi
+    if ! grep -q '"config":"cmp-hetero-c4-b4#shared"' "$cmp_results"; then
+        echo "smoke: missing sharing record in $cmp_results" >&2
+        exit 1
+    fi
+    echo "smoke: cmp OK ($cmp_records records)"
+
+    echo "== cmp resume smoke: rerun against the checkpoint =="
+    ZBP_LEN_SCALE="$scale" ZBP_JOBS="$jobs" ZBP_CMP_CORES=4 \
+        ZBP_RESULTS_JSONL="$cmp_resumed" ZBP_RESUME_JSONL="$cmp_results" \
+        "$cmp_bench" >/dev/null
+    local cmp_new
+    cmp_new="$(wc -l < "$cmp_resumed" 2>/dev/null || echo 0)"
+    if [[ "$cmp_new" -ne 0 ]]; then
+        echo "smoke: CMP resume re-ran $cmp_new jobs, expected 0" >&2
+        exit 1
+    fi
+    echo "smoke: cmp resume OK (all jobs satisfied from checkpoint)"
+}
+
+if [[ "$cmp_only" == 1 ]]; then
+    run_cmp_leg
+    echo "smoke: total wall-clock $((SECONDS - smoke_start))s"
+    exit 0
+fi
 
 if [[ "$bench_only" == 0 ]]; then
     echo "== tier-1: configure + build + ctest =="
@@ -129,4 +192,11 @@ if ! grep -q "13 cache hits, 0 generated" <<<"$warm_out"; then
     exit 1
 fi
 echo "smoke: trace cache OK (second run: 13 hits, 0 generated)"
+
+# The bench-only leg is the runner_smoke ctest target; the CMP leg has
+# its own ctest target (cmp_smoke), so only the full run stacks both.
+if [[ "$bench_only" == 0 ]]; then
+    run_cmp_leg
+fi
+
 echo "smoke: total wall-clock $((SECONDS - smoke_start))s"

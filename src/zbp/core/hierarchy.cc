@@ -5,11 +5,15 @@
 namespace zbp::core
 {
 
-BranchPredictorHierarchy::BranchPredictorHierarchy(const MachineParams &p)
+BranchPredictorHierarchy::BranchPredictorHierarchy(
+        const MachineParams &p, btb::SetAssocBtb *shared_btb2)
     : prm(p),
       btb1Ptr(std::make_unique<btb::SetAssocBtb>("btb1", p.btb1)),
       btbpPtr(std::make_unique<btb::SetAssocBtb>("btbp", p.btbp)),
-      btb2Ptr(std::make_unique<btb::SetAssocBtb>("btb2", p.btb2)),
+      btb2Ptr(shared_btb2 != nullptr
+                      ? nullptr
+                      : std::make_unique<btb::SetAssocBtb>("btb2", p.btb2)),
+      btb2Use(shared_btb2 != nullptr ? shared_btb2 : btb2Ptr.get()),
       phtTable(p.phtEntries),
       ctbTable(p.ctbEntries),
       sbht(p.surpriseBhtEntries),
@@ -110,7 +114,7 @@ BranchPredictorHierarchy::makePrediction(const Candidate &c,
         if (victim) {
             btbpPtr->install(*victim);
             if (prm.btb2Enabled) {
-                btb2Ptr->install(*victim);
+                btb2Use->install(*victim);
                 ++nVictimsToBtb2;
             }
         }
@@ -223,7 +227,7 @@ BranchPredictorHierarchy::resolveSurprise(Addr ia, trace::InstKind kind,
         const auto e = btb::BtbEntry::freshTaken(ia, target);
         btbpPtr->install(e);
         if (prm.btb2Enabled)
-            btb2Ptr->install(e);
+            btb2Use->install(e);
         installCycle.assign(ia, now);
         ++nSurpriseInstalls;
     }
@@ -250,7 +254,8 @@ BranchPredictorHierarchy::reset()
 {
     btb1Ptr->reset();
     btbpPtr->reset();
-    btb2Ptr->reset();
+    if (btb2Ptr != nullptr)
+        btb2Ptr->reset(); // the shared BTB2 is reset once by its owner
     phtTable.reset();
     ctbTable.reset();
     sbht.reset();

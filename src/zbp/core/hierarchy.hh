@@ -91,15 +91,26 @@ class CandidateList
 class BranchPredictorHierarchy
 {
   public:
-    explicit BranchPredictorHierarchy(const MachineParams &p);
+    /**
+     * @p shared_btb2 non-null puts this hierarchy in CMP mode: the
+     * second level is an externally-owned structure shared between
+     * cores (sim::CmpModel owns it); no private BTB2 is built, and
+     * reset() leaves the shared array alone — its owner resets it once
+     * per run, not once per core.
+     */
+    explicit BranchPredictorHierarchy(
+            const MachineParams &p,
+            btb::SetAssocBtb *shared_btb2 = nullptr);
 
     // --- structure access -------------------------------------------
     btb::SetAssocBtb &btb1() { return *btb1Ptr; }
     btb::SetAssocBtb &btbp() { return *btbpPtr; }
-    btb::SetAssocBtb &btb2() { return *btb2Ptr; }
+    btb::SetAssocBtb &btb2() { return *btb2Use; }
     const btb::SetAssocBtb &btb1() const { return *btb1Ptr; }
     const btb::SetAssocBtb &btbp() const { return *btbpPtr; }
-    const btb::SetAssocBtb &btb2() const { return *btb2Ptr; }
+    const btb::SetAssocBtb &btb2() const { return *btb2Use; }
+    /** False when the BTB2 is the CMP-shared one. */
+    bool ownsBtb2() const { return btb2Ptr != nullptr; }
     FastIndexTable &fit() { return fitTable; }
     dir::SurpriseBht &surpriseBht() { return sbht; }
     dir::HistoryState &specHistory() { return specHist; }
@@ -172,7 +183,8 @@ class BranchPredictorHierarchy
     MachineParams prm;
     std::unique_ptr<btb::SetAssocBtb> btb1Ptr;
     std::unique_ptr<btb::SetAssocBtb> btbpPtr;
-    std::unique_ptr<btb::SetAssocBtb> btb2Ptr;
+    std::unique_ptr<btb::SetAssocBtb> btb2Ptr; ///< null in CMP mode
+    btb::SetAssocBtb *btb2Use; ///< btb2Ptr.get() or the shared array
     dir::Pht phtTable;
     dir::Ctb ctbTable;
     dir::SurpriseBht sbht;

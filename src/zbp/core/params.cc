@@ -129,6 +129,19 @@ MachineParams::validate() const
     checkNonZero("cpu.fetchBufferInsts", cpu.fetchBufferInsts);
     checkProb("cpu.dataStallProb", cpu.dataStallProb);
 
+    if (cmp.cores < 1 || cmp.cores > 64)
+        reject("cmp.cores must be in [1, 64], got " +
+               std::to_string(cmp.cores));
+    checkPow2("cmp.btb2Banks", cmp.btb2Banks);
+    if (cmp.btb2Banks > btb2.rows)
+        reject("cmp.btb2Banks " + std::to_string(cmp.btb2Banks) +
+               " exceeds btb2.rows " + std::to_string(btb2.rows) +
+               " (cannot bank finer than one row per bank)");
+    checkNonZero("cmp.arbQueueDepth", cmp.arbQueueDepth);
+    checkNonZero("cmp.stepInsts", cmp.stepInsts);
+    if (cmp.sharedL2i)
+        checkCache("cmp.l2i", cmp.l2i);
+
     checkProb("faults.rate", faults.rate);
     for (unsigned i = 0; i < fault::kSiteCount; ++i) {
         const double r = faults.siteRate[i];

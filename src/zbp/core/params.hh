@@ -15,6 +15,7 @@
 #include "zbp/btb/set_assoc_btb.hh"
 #include "zbp/cache/icache.hh"
 #include "zbp/fault/fault_injector.hh"
+#include "zbp/preload/btb2_arbiter.hh"
 #include "zbp/preload/btb2_engine.hh"
 #include "zbp/preload/sector_order_table.hh"
 
@@ -75,6 +76,32 @@ struct CpuParams
     unsigned dcacheMissExtra = 0;
 };
 
+/**
+ * CMP (chip multiprocessor) knobs, consumed by sim::CmpModel.  A plain
+ * CoreModel ignores them entirely; the defaults describe a degenerate
+ * one-core "CMP" whose single-bank, conflict-free shared BTB2 is
+ * bit-identical to the private-BTB2 machine (pinned by the golden
+ * counter equivalence test).
+ */
+struct CmpParams
+{
+    unsigned cores = 1;        ///< front ends stepping in lockstep
+    unsigned btb2Banks = 1;    ///< shared-BTB2 banks (power of two)
+    unsigned arbQueueDepth = 8; ///< max cycles of backlog a bank queues
+    preload::ArbPolicy arbPolicy = preload::ArbPolicy::kFcfs;
+
+    /** Instructions each core decodes per lockstep window.  Smaller =
+     * tighter inter-core time alignment, more stepping overhead. */
+    unsigned stepInsts = 64;
+
+    /** Model a shared L2 instruction cache behind the per-core L1Is.
+     * Off by default so the N=1 CMP stays bit-identical to CoreModel. */
+    bool sharedL2i = false;
+    cache::ICacheParams l2i{/*sizeBytes=*/1024 * 1024, /*ways=*/8,
+                            /*lineBytes=*/256, /*missLatency=*/40,
+                            /*missRecordTtl=*/2000};
+};
+
 /** Everything needed to build one simulated machine. */
 struct MachineParams
 {
@@ -108,6 +135,9 @@ struct MachineParams
     /** Predictor-state fault injection (off by default; when off, no
      * injector is constructed and every hook is a null test). */
     fault::FaultParams faults;
+
+    /** CMP sharing knobs; ignored outside sim::CmpModel. */
+    CmpParams cmp;
 
     /**
      * Reject degenerate configurations with a descriptive

@@ -58,10 +58,13 @@ simInvariantError(const SimResult &r)
     return {};
 }
 
-CoreModel::CoreModel(const core::MachineParams &p) : prm(p)
+CoreModel::CoreModel(const core::MachineParams &p,
+                     const SharedCoreContext &shared)
+    : prm(p), sharedL2i(shared.l2i), sharedCoreId(shared.coreId)
 {
     prm.validate();
-    bp = std::make_unique<core::BranchPredictorHierarchy>(prm);
+    bp = std::make_unique<core::BranchPredictorHierarchy>(prm,
+                                                          shared.btb2);
     l1i = std::make_unique<cache::ICache>(prm.icache);
     if (prm.dcacheEnabled)
         l1d = std::make_unique<cache::ICache>(prm.dcache);
@@ -69,6 +72,8 @@ CoreModel::CoreModel(const core::MachineParams &p) : prm(p)
     if (prm.btb2Enabled) {
         eng = std::make_unique<preload::Btb2Engine>(
                 prm.engine, bp->btb2(), bp->btbp(), *sotTable, *l1i);
+        if (shared.arbiter != nullptr)
+            eng->setArbiter(shared.arbiter, shared.coreId);
     }
     pipe = std::make_unique<core::SearchPipeline>(prm.search, *bp,
                                                   eng.get());
@@ -77,7 +82,10 @@ CoreModel::CoreModel(const core::MachineParams &p) : prm(p)
         inj = std::make_unique<fault::FaultInjector>(prm.faults);
         bp->btb1().attachFaultInjector(*inj, fault::Site::kBtb1);
         bp->btbp().attachFaultInjector(*inj, fault::Site::kBtbp);
-        bp->btb2().attachFaultInjector(*inj, fault::Site::kBtb2);
+        // The CMP-shared BTB2 and arbiter are wired by their owner
+        // (sim::CmpModel) into its own injector, not per core.
+        if (bp->ownsBtb2())
+            bp->btb2().attachFaultInjector(*inj, fault::Site::kBtb2);
         bp->pht().attachFaultInjector(*inj);
         bp->ctb().attachFaultInjector(*inj);
         sotTable->attachFaultInjector(*inj);
@@ -217,7 +225,14 @@ CoreModel::fetchTick(Cycle now)
             if (!l1i->access(line, now)) {
                 if (eng)
                     eng->noteICacheMiss(line, now);
-                fetchBlockedUntil = now + prm.icache.missLatency;
+                // Single core: infinite L2, fixed latency (paper §4).
+                // CMP with a shared L2I: the fill latency depends on
+                // whether a sibling already pulled the line in.
+                const std::uint32_t lat = sharedL2i != nullptr
+                        ? sharedL2i->fetchMiss(sharedCoreId, line, now,
+                                               prm.icache.missLatency)
+                        : prm.icache.missLatency;
+                fetchBlockedUntil = now + lat;
                 return; // retry this instruction after the fill
             }
         }

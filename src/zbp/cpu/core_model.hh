@@ -28,6 +28,7 @@
 #include <string>
 
 #include "zbp/cache/icache.hh"
+#include "zbp/cache/shared_l2i.hh"
 #include "zbp/core/hierarchy.hh"
 #include "zbp/core/params.hh"
 #include "zbp/core/search_pipeline.hh"
@@ -126,11 +127,28 @@ double cpiImprovement(const SimResult &base, const SimResult &test);
  */
 std::string simInvariantError(const SimResult &r);
 
+/**
+ * CMP wiring handed to a core at construction.  All pointed-to
+ * structures are owned by sim::CmpModel and shared between its cores;
+ * every member null (the default) gives the private single-core
+ * machine.  With a shared BTB2 the core builds no private one, routes
+ * its engine's row reads through the arbiter as @p coreId, and leaves
+ * the shared structures' fault wiring and reset to their owner.
+ */
+struct SharedCoreContext
+{
+    btb::SetAssocBtb *btb2 = nullptr;
+    preload::Btb2Arbiter *arbiter = nullptr;
+    cache::SharedL2I *l2i = nullptr;
+    unsigned coreId = 0;
+};
+
 /** One simulated machine, runnable over one trace. */
 class CoreModel
 {
   public:
-    explicit CoreModel(const core::MachineParams &p);
+    explicit CoreModel(const core::MachineParams &p,
+                       const SharedCoreContext &shared = {});
     ~CoreModel();
 
     CoreModel(const CoreModel &) = delete;
@@ -277,6 +295,8 @@ class CoreModel
     std::unique_ptr<preload::Btb2Engine> eng;
     std::unique_ptr<core::SearchPipeline> pipe;
     std::unique_ptr<fault::FaultInjector> inj; ///< null = injection off
+    cache::SharedL2I *sharedL2i = nullptr; ///< CMP-shared; null = infinite L2
+    unsigned sharedCoreId = 0;             ///< this core's id at the L2I
     const std::atomic<bool> *cancel = nullptr;
 
     // Run state.

@@ -23,6 +23,8 @@ siteName(Site s)
         return "sot";
       case Site::kTransfer:
         return "transfer";
+      case Site::kArbiter:
+        return "arbiter";
     }
     return "?";
 }

@@ -49,9 +49,10 @@ enum class Site : std::uint8_t
     kCtb,      ///< changing target buffer entries
     kSot,      ///< sector order table entries
     kTransfer, ///< BTB2->BTBP bulk-transfer payloads in flight
+    kArbiter,  ///< shared-BTB2 bank arbiter queue state (CMP)
 };
 
-inline constexpr unsigned kSiteCount = 7;
+inline constexpr unsigned kSiteCount = 8;
 
 /** Short stable name for reports ("btb1", "pht", ...). */
 const char *siteName(Site s);
@@ -86,7 +87,7 @@ struct FaultParams
 
     /** Per-site override; negative = inherit `rate`. */
     std::array<double, kSiteCount> siteRate{-1.0, -1.0, -1.0, -1.0,
-                                            -1.0, -1.0, -1.0};
+                                            -1.0, -1.0, -1.0, -1.0};
 
     /** Hard cap on rate-driven faults (targeted faults always fire). */
     std::uint64_t maxFaults = ~std::uint64_t{0};

@@ -1,0 +1,101 @@
+#include "zbp/preload/btb2_arbiter.hh"
+
+#include <algorithm>
+
+#include "zbp/common/log.hh"
+
+namespace zbp::preload
+{
+
+Btb2Arbiter::Btb2Arbiter(const Btb2ArbiterParams &p,
+                         std::uint32_t btb2_row_bytes)
+    : prm(p),
+      freeAt(p.banks, 0),
+      grantsByCore(p.cores, 0),
+      waitByCore(p.cores, 0),
+      grantsByBank(p.banks, 0)
+{
+    ZBP_ASSERT(p.cores >= 1, "arbiter needs at least one core");
+    ZBP_ASSERT(p.banks >= 1 && (p.banks & (p.banks - 1)) == 0,
+               "arbiter bank count must be a power of two");
+    ZBP_ASSERT(p.queueDepth >= 1, "arbiter queue depth must be >= 1");
+    ZBP_ASSERT(btb2_row_bytes >= 1 &&
+                       (btb2_row_bytes & (btb2_row_bytes - 1)) == 0,
+               "btb2 row bytes must be a power of two");
+    rowShift = 0;
+    while ((std::uint32_t{1} << rowShift) < btb2_row_bytes)
+        ++rowShift;
+}
+
+RowGrant
+Btb2Arbiter::requestRead(unsigned core, Addr row, Cycle now)
+{
+    ZBP_ASSERT(core < prm.cores, "arbiter request from unknown core");
+    ++nRequests;
+    const unsigned bank = bankOf(row);
+
+    if (faults) {
+        faultBank = bank;
+        faults->onAccess(fault::Site::kArbiter, row);
+    }
+
+    Cycle slot = std::max(now, freeAt[bank]);
+    if (prm.policy == ArbPolicy::kTdm && prm.cores > 1) {
+        // Round the slot up to this core's next owned time slot.
+        const Cycle phase = slot % prm.cores;
+        if (phase != core)
+            slot += (core + prm.cores - phase) % prm.cores;
+    }
+
+    const Cycle wait = slot - now;
+    if (wait > prm.queueDepth) {
+        ++nRejects;
+        RowGrant g;
+        g.granted = false;
+        g.retryAt = slot - prm.queueDepth;
+        return g;
+    }
+
+    freeAt[bank] = slot + 1;
+    ++nGrants;
+    ++grantsByCore[core];
+    ++grantsByBank[bank];
+    if (wait > 0) {
+        ++nConflicts;
+        nWaitCycles += wait;
+        waitByCore[core] += wait;
+    }
+    RowGrant g;
+    g.granted = true;
+    g.at = slot;
+    return g;
+}
+
+void
+Btb2Arbiter::attachFaultInjector(fault::FaultInjector &inj)
+{
+    faults = &inj;
+    // A parity hit on queue state forces a replay window: the requested
+    // bank stays busy for a few extra cycles.  Timing-only corruption —
+    // no grant ever returns a wrong row.
+    inj.attach(fault::Site::kArbiter,
+               [this](Rng &rng, std::uint64_t /*where*/) {
+                   freeAt[faultBank] += 1 + rng.below(8);
+               });
+}
+
+void
+Btb2Arbiter::reset()
+{
+    std::fill(freeAt.begin(), freeAt.end(), 0);
+    std::fill(grantsByCore.begin(), grantsByCore.end(), 0);
+    std::fill(waitByCore.begin(), waitByCore.end(), 0);
+    std::fill(grantsByBank.begin(), grantsByBank.end(), 0);
+    nRequests.reset();
+    nGrants.reset();
+    nConflicts.reset();
+    nWaitCycles.reset();
+    nRejects.reset();
+}
+
+} // namespace zbp::preload

@@ -260,14 +260,30 @@ Btb2Engine::tick(Cycle now)
 
     Tracker &t = *issue;
     const Addr row_addr = t.schedule.front();
+
+    // CMP mode: the shared read port must grant a slot first.  A
+    // rejected request leaves the schedule untouched — the read is
+    // retried at the arbiter's hint, so contention delays transfers
+    // but never drops rows.  issue_at >= now keeps the pipe
+    // due-ordered (nextEventAt depends on that).
+    Cycle issue_at = now;
+    if (arb != nullptr) {
+        const RowGrant g = arb->requestRead(coreId, row_addr, now);
+        if (!g.granted) {
+            nextReadAt = std::max(g.retryAt, now + 1);
+            return;
+        }
+        issue_at = g.at;
+    }
+
     t.schedule.pop_front();
     ++t.rowsDone;
     ++nRowReads;
-    nextReadAt = now + prm.rowReadInterval;
+    nextReadAt = issue_at + prm.rowReadInterval;
 
     const auto hits = btb2.readRow(row_addr);
     PendingWrite pw;
-    pw.due = now + prm.pipeDepth;
+    pw.due = issue_at + prm.pipeDepth;
     for (const auto &h : hits) {
         pw.entries[pw.n++] = *h.entry;
         if (prm.semiExclusive)

@@ -32,6 +32,7 @@
 
 #include "zbp/btb/set_assoc_btb.hh"
 #include "zbp/cache/icache.hh"
+#include "zbp/preload/btb2_arbiter.hh"
 #include "zbp/preload/miss_sink.hh"
 #include "zbp/preload/sector_order_table.hh"
 #include "zbp/stats/stats.hh"
@@ -163,6 +164,21 @@ class Btb2Engine : public MissSink
      */
     void attachFaultInjector(fault::FaultInjector &inj);
 
+    /**
+     * CMP mode: route every row read through @p a as core @p core.  The
+     * arbiter may delay a read (bank busy: the read issues at the
+     * granted slot and the cadence stretches accordingly) or reject it
+     * (bank queue full: the read is held and re-requested — delayed,
+     * never dropped).  Null (the default) restores the private,
+     * conflict-free read port.
+     */
+    void
+    setArbiter(Btb2Arbiter *a, unsigned core)
+    {
+        arb = a;
+        coreId = core;
+    }
+
     const std::vector<Tracker> &trackers() const { return trk; }
 
     void
@@ -219,6 +235,8 @@ class Btb2Engine : public MissSink
     };
     RingBuffer<PendingWrite> pipe{16};
     unsigned rrNext = 0; ///< round-robin cursor over trackers
+    Btb2Arbiter *arb = nullptr; ///< shared read port (CMP); null = private
+    unsigned coreId = 0;        ///< this engine's id at the arbiter
     fault::FaultInjector *faults = nullptr; ///< null = injection off
     /** The in-flight entry the kTransfer callback corrupts (set only
      * around the onAccess call in tick()). */

@@ -1,0 +1,172 @@
+#include "zbp/sim/cmp/cmp_model.hh"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace zbp::sim
+{
+
+namespace
+{
+
+/** Stable per-core fault seed: distinct cores must draw distinct
+ * corruption streams from one configured seed (SplitMix64 finalizer —
+ * the same mix the workload generators use). */
+std::uint64_t
+mixSeed(std::uint64_t seed, unsigned core)
+{
+    std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (core + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+CmpModel::CmpModel(const core::MachineParams &p) : prm(p)
+{
+    prm.validate();
+    const unsigned n = prm.cmp.cores;
+
+    cpu::SharedCoreContext ctx;
+    if (prm.btb2Enabled) {
+        btb2 = std::make_unique<btb::SetAssocBtb>("btb2", prm.btb2);
+        arb = std::make_unique<preload::Btb2Arbiter>(
+                preload::Btb2ArbiterParams{n, prm.cmp.btb2Banks,
+                                           prm.cmp.arbQueueDepth,
+                                           prm.cmp.arbPolicy},
+                prm.btb2.rowBytes);
+        ctx.btb2 = btb2.get();
+        ctx.arbiter = arb.get();
+    }
+    if (prm.cmp.sharedL2i) {
+        l2i = std::make_unique<cache::SharedL2I>(prm.cmp.l2i, n);
+        ctx.l2i = l2i.get();
+    }
+
+    // Shared structures get a CMP-owned injector so a shared-array
+    // corruption happens once, not once per core; the cores' private
+    // injectors draw per-core streams from mixed seeds.
+    if (prm.faults.enabled) {
+        inj = std::make_unique<fault::FaultInjector>(prm.faults);
+        if (btb2)
+            btb2->attachFaultInjector(*inj, fault::Site::kBtb2);
+        if (arb)
+            arb->attachFaultInjector(*inj);
+    }
+
+    cs.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+        core::MachineParams cp = prm;
+        if (n > 1)
+            cp.faults.seed = mixSeed(prm.faults.seed, i);
+        ctx.coreId = i;
+        cs.push_back(std::make_unique<cpu::CoreModel>(cp, ctx));
+    }
+}
+
+CmpModel::~CmpModel() = default;
+
+void
+CmpModel::beginRun(const std::vector<const trace::Trace *> &traces)
+{
+    ZBP_ASSERT(!runActive, "beginRun() while a CMP run is active");
+    if (traces.size() != cs.size())
+        throw std::invalid_argument(
+                "CmpModel::beginRun: " + std::to_string(traces.size()) +
+                " traces for " + std::to_string(cs.size()) + " cores");
+    len.assign(cs.size(), 0);
+    coreDone.assign(cs.size(), false);
+    maxLen = 0;
+    window = 0;
+    rot = 0;
+    if (inj)
+        inj->reset();
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+        if (traces[i] == nullptr)
+            throw std::invalid_argument("CmpModel::beginRun: null trace");
+        len[i] = traces[i]->size();
+        maxLen = std::max(maxLen, len[i]);
+        cs[i]->beginRun(*traces[i]);
+    }
+    runActive = true;
+}
+
+bool
+CmpModel::advance(std::size_t decode_target)
+{
+    ZBP_ASSERT(runActive, "advance() without beginRun()");
+    const std::size_t target = std::min(decode_target, maxLen);
+    const unsigned n = cores();
+
+    while (window < target) {
+        // Windows land on absolute stepInsts boundaries (never on the
+        // caller's target), so every monotone target sequence produces
+        // the same window schedule — and therefore the same shared-
+        // state access order — as one full-length advance().
+        window = std::min(window + prm.cmp.stepInsts, maxLen);
+        bool all_done = true;
+        // Rotate which core steps first so no core is systematically
+        // older than its siblings at the arbiter (with one core the
+        // rotation is the identity — the N=1 equivalence depends on
+        // nothing here but the advance() targets being monotone).
+        for (unsigned k = 0; k < n; ++k) {
+            const unsigned ci = (rot + k) % n;
+            if (coreDone[ci])
+                continue;
+            coreDone[ci] = cs[ci]->advance(std::min(window, len[ci]));
+            if (!coreDone[ci])
+                all_done = false;
+        }
+        rot = (rot + 1) % n;
+        if (all_done)
+            break;
+    }
+
+    for (unsigned ci = 0; ci < n; ++ci)
+        if (!coreDone[ci])
+            return false;
+    return true;
+}
+
+CmpResult
+CmpModel::finishRun()
+{
+    ZBP_ASSERT(runActive, "finishRun() without beginRun()");
+    runActive = false;
+
+    CmpResult r;
+    r.core.reserve(cs.size());
+    for (auto &c : cs)
+        r.core.push_back(c->finishRun());
+
+    if (arb) {
+        r.arbRequests = arb->requests();
+        r.arbGrants = arb->grants();
+        r.arbConflicts = arb->conflicts();
+        r.arbWaitCycles = arb->conflictWaitCycles();
+        r.arbQueueFullRejects = arb->queueFullRejects();
+        r.coreGrants = arb->coreGrants();
+        r.coreWaitCycles = arb->coreWaitCycles();
+        r.bankGrants = arb->bankGrants();
+    }
+    if (l2i) {
+        r.l2iHits = l2i->hits();
+        r.l2iMisses = l2i->misses();
+        r.l2iCoreHits = l2i->coreHits();
+        r.l2iCoreMisses = l2i->coreMisses();
+    }
+    r.faultsInjectedShared = inj ? inj->injected() : 0;
+    return r;
+}
+
+CmpResult
+CmpModel::run(const std::vector<const trace::Trace *> &traces)
+{
+    beginRun(traces);
+    advance(maxLen);
+    return finishRun();
+}
+
+} // namespace zbp::sim

@@ -125,6 +125,64 @@ TEST(ParamsValidate, NegativeSiteRateIsInheritSentinel)
     EXPECT_NO_THROW(p.validate());
 }
 
+TEST(ParamsValidate, RejectsBadCmpCoreCount)
+{
+    MachineParams p;
+    p.cmp.cores = 0;
+    expectRejected(p, "cmp.cores");
+
+    MachineParams q;
+    q.cmp.cores = 65;
+    expectRejected(q, "cmp.cores");
+}
+
+TEST(ParamsValidate, RejectsNonPowerOfTwoBtb2Banks)
+{
+    MachineParams p;
+    p.cmp.btb2Banks = 3;
+    expectRejected(p, "cmp.btb2Banks");
+}
+
+TEST(ParamsValidate, RejectsMoreBanksThanBtb2Rows)
+{
+    MachineParams p;
+    p.cmp.btb2Banks = p.btb2.rows * 2;
+    expectRejected(p, "cmp.btb2Banks");
+}
+
+TEST(ParamsValidate, RejectsZeroArbQueueDepth)
+{
+    MachineParams p;
+    p.cmp.arbQueueDepth = 0;
+    expectRejected(p, "cmp.arbQueueDepth");
+}
+
+TEST(ParamsValidate, RejectsZeroCmpStepInsts)
+{
+    MachineParams p;
+    p.cmp.stepInsts = 0;
+    expectRejected(p, "cmp.stepInsts");
+}
+
+TEST(ParamsValidate, ChecksSharedL2iGeometryOnlyWhenEnabled)
+{
+    MachineParams p;
+    p.cmp.l2i.sizeBytes = p.cmp.l2i.lineBytes * p.cmp.l2i.ways + 1;
+    EXPECT_NO_THROW(p.validate()); // off: geometry not consulted
+
+    p.cmp.sharedL2i = true;
+    expectRejected(p, "cmp.l2i");
+}
+
+TEST(ParamsValidate, CmpConfigIsValidAtManyCoresAndBanks)
+{
+    MachineParams p;
+    p.cmp.cores = 64;
+    p.cmp.btb2Banks = 16;
+    p.cmp.sharedL2i = true;
+    EXPECT_NO_THROW(p.validate());
+}
+
 TEST(ParamsValidate, CoreModelRefusesInvalidConfig)
 {
     MachineParams p = sim::configBtb2();

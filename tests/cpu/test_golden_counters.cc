@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "zbp/cpu/core_model.hh"
+#include "zbp/sim/cmp/cmp_model.hh"
 #include "zbp/sim/configs.hh"
 #include "zbp/workload/generator.hh"
 #include "zbp/workload/program_builder.hh"
@@ -231,6 +232,48 @@ TEST(GoldenCounters, AllTracesAllConfigsMatchCheckedInValues)
         std::printf("};\n");
         GTEST_SKIP() << "regen mode: printed actual counters, "
                         "no assertions run";
+    }
+}
+
+TEST(GoldenCounters, CmpSingleCoreSingleBankMatchesCheckedInValues)
+{
+    // The N=1 CMP equivalence regression: a CmpModel with one core and
+    // a single zero-conflict BTB2 bank must be bit-identical to the
+    // plain CoreModel these golden rows were captured from.  Any drift
+    // in the arbiter hook, the shared-BTB2 plumbing, or the lockstep
+    // window logic shows up here as a counter mismatch.
+    if (regenMode())
+        GTEST_SKIP() << "regen mode: the CoreModel test prints the rows";
+
+    std::vector<std::string> traceNames;
+    for (const auto &g : kGolden) {
+        if (traceNames.empty() || traceNames.back() != g.trace)
+            traceNames.push_back(g.trace);
+    }
+    std::vector<trace::Trace> traces;
+    traces.reserve(traceNames.size());
+    for (const auto &n : traceNames)
+        traces.push_back(makeGoldenTrace(n));
+
+    for (const auto &g : kGolden) {
+        const trace::Trace *t = nullptr;
+        for (std::size_t i = 0; i < traceNames.size(); ++i) {
+            if (traceNames[i] == g.trace)
+                t = &traces[i];
+        }
+        ASSERT_NE(t, nullptr);
+        core::MachineParams cfg = configFor(g.config);
+        cfg.cmp.cores = 1;
+        cfg.cmp.btb2Banks = 1;
+        sim::CmpModel m(cfg);
+        const auto r = m.run({t});
+        ASSERT_EQ(r.core.size(), 1u);
+        expectMatchesGolden(g, r.core[0]);
+        // The degenerate arbiter never delayed anything.
+        EXPECT_EQ(r.arbConflicts, 0u) << g.trace << " / " << g.config;
+        EXPECT_EQ(r.arbWaitCycles, 0u) << g.trace << " / " << g.config;
+        EXPECT_EQ(r.arbQueueFullRejects, 0u)
+                << g.trace << " / " << g.config;
     }
 }
 
