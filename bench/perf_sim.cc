@@ -10,6 +10,7 @@
  * into individual layers when the headline moves.
  */
 
+#include <cstdio>
 #include <memory>
 #include <vector>
 
@@ -17,6 +18,7 @@
 
 #include "zbp/core/hierarchy.hh"
 #include "zbp/cpu/core_model.hh"
+#include "zbp/obs/interval_sampler.hh"
 #include "zbp/sim/cmp/cmp_model.hh"
 #include "zbp/sim/configs.hh"
 #include "zbp/trace/trace_index.hh"
@@ -159,6 +161,46 @@ BM_RunBtb2StatsText(benchmark::State &state)
     runEndToEnd(state, sim::configBtb2(), true);
 }
 BENCHMARK(BM_RunBtb2StatsText)->Unit(benchmark::kMillisecond);
+
+// --- observability overhead -----------------------------------------
+//
+// The obs contract: with ZBP_OBS_* unset, every hook is a null-pointer
+// test, so BM_ObsOverhead must sit within 2% of BM_RunBtb2 (same
+// machine, same trace; compare the two when reviewing a perf run).
+// The Sampling variant prices the enabled path (1k-inst intervals to a
+// discarded sidecar) — it is allowed to cost more, it just must not
+// perturb counters (tests pin that bit-identity).
+
+void
+BM_ObsOverhead(benchmark::State &state)
+{
+    // Hooks present, disabled: CoreModel's smp/tracer stay null.
+    runEndToEnd(state, sim::configBtb2(), false);
+}
+BENCHMARK(BM_ObsOverhead)->Unit(benchmark::kMillisecond);
+
+void
+BM_ObsOverheadSampling(benchmark::State &state)
+{
+    const auto cfg = sim::configBtb2();
+    const auto trace = benchTrace();
+    const std::string path = "/tmp/zbp_bm_obs_intervals.jsonl";
+    obs::IntervalWriter writer(path);
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        cpu::CoreModel model(cfg);
+        model.attachObs(&writer, 1000, "btb2");
+        const auto r = model.run(trace);
+        cycles += r.cycles;
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(
+            static_cast<std::int64_t>(state.iterations()) * 60'000);
+    state.counters["cycles/s"] = benchmark::Counter(
+            static_cast<double>(cycles), benchmark::Counter::kIsRate);
+    std::remove(path.c_str());
+}
+BENCHMARK(BM_ObsOverheadSampling)->Unit(benchmark::kMillisecond);
 
 // --- sweep fusion ---------------------------------------------------
 

@@ -1,0 +1,215 @@
+#!/usr/bin/env python3
+"""Render and validate zbp::obs output files.
+
+Subcommands:
+  validate TRACE.json     Check a timeline file is valid Chrome
+                          trace-event JSON with both zbp tracks
+                          (orchestration pid 1 and microarchitecture
+                          pid 2).  Exit 0 iff it passes.
+  intervals SIDECAR       Summarize an interval sidecar (.csv or
+                          .jsonl): per (trace, config, core) row
+                          counts, total instructions, and an ASCII
+                          CPI-over-time sparkline.
+  summary TRACE.json      Per-lane event counts and span time for a
+                          timeline file.
+
+Both files come from the ZBP_OBS_* environment contract (see README):
+ZBP_OBS_TRACE=timeline.json ZBP_OBS_INTERVAL=N ZBP_OBS_OUT=sidecar.
+"""
+
+import argparse
+import collections
+import csv
+import json
+import sys
+
+PID_RUNNER = 1
+PID_UARCH = 2
+
+SPARK = " .:-=+*#%@"
+
+
+def load_events(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError("not a trace-event JSON object file "
+                         "(missing traceEvents)")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("traceEvents is not a list")
+    return events
+
+
+def cmd_validate(args):
+    try:
+        events = load_events(args.file)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"obs_report: {args.file}: {e}", file=sys.stderr)
+        return 1
+
+    problems = []
+    track_pids = set()
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i} is not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("X", "i", "M"):
+            problems.append(f"event {i}: unexpected ph {ph!r}")
+            continue
+        for key in ("pid", "name"):
+            if key not in ev:
+                problems.append(f"event {i} ({ph}): missing {key!r}")
+        if ph == "X":
+            for key in ("tid", "ts", "dur"):
+                if key not in ev:
+                    problems.append(f"event {i} (span): missing {key!r}")
+            track_pids.add(ev.get("pid"))
+        elif ph == "i":
+            if "ts" not in ev:
+                problems.append(f"event {i} (instant): missing 'ts'")
+            if ev.get("s") != "t":
+                problems.append(f"event {i} (instant): scope is not 't'")
+            track_pids.add(ev.get("pid"))
+        if len(problems) > 20:
+            break
+
+    if PID_RUNNER not in track_pids:
+        problems.append("no span/instant on the orchestration track "
+                        f"(pid {PID_RUNNER})")
+    if PID_UARCH not in track_pids:
+        problems.append("no span/instant on the microarchitecture track "
+                        f"(pid {PID_UARCH})")
+    summaries = [e for e in events
+                 if isinstance(e, dict) and
+                 e.get("name") == "zbp_obs_summary"]
+    if not summaries:
+        problems.append("missing zbp_obs_summary footer (file truncated?)")
+
+    if problems:
+        for p in problems:
+            print(f"obs_report: {args.file}: {p}", file=sys.stderr)
+        return 1
+    dropped = summaries[-1].get("args", {}).get("dropped", 0)
+    print(f"{args.file}: OK ({len(events)} events, both tracks present, "
+          f"{dropped} dropped)")
+    return 0
+
+
+def read_interval_rows(path):
+    """Yield dict rows from a .csv or .jsonl interval sidecar."""
+    if path.endswith(".csv"):
+        with open(path, newline="", encoding="utf-8") as f:
+            for row in csv.DictReader(f):
+                yield {k: (v if k in ("trace", "config") else int(v))
+                       for k, v in row.items()}
+    else:
+        with open(path, "r", encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+
+
+def sparkline(values, width=60):
+    if not values:
+        return ""
+    if len(values) > width:  # downsample by averaging buckets
+        step = len(values) / width
+        values = [sum(values[int(i * step):int((i + 1) * step)] or [0]) /
+                  max(1, len(values[int(i * step):int((i + 1) * step)]))
+                  for i in range(width)]
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    return "".join(SPARK[int((v - lo) / span * (len(SPARK) - 1))]
+                   for v in values)
+
+
+def cmd_intervals(args):
+    groups = collections.defaultdict(list)
+    try:
+        for row in read_interval_rows(args.file):
+            key = (row.get("trace", "?"), row.get("config", "?"),
+                   row.get("core", 0))
+            groups[key].append(row)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"obs_report: {args.file}: {e}", file=sys.stderr)
+        return 1
+    if not groups:
+        print(f"obs_report: {args.file}: no interval rows",
+              file=sys.stderr)
+        return 1
+
+    for (trace, config, core), rows in sorted(groups.items()):
+        rows.sort(key=lambda r: r["interval"])
+        insts = sum(r["insts"] for r in rows)
+        cycles = sum(r.get("cycles", 0) for r in rows)
+        cpis = [r["cycles"] / r["insts"]
+                for r in rows if r.get("insts") and "cycles" in r]
+        print(f"{trace} / {config} / core {core}: {len(rows)} intervals, "
+              f"{insts} insts, {cycles} cycles"
+              + (f", CPI {cycles / insts:.3f}" if insts else ""))
+        if cpis:
+            print(f"  CPI  [{min(cpis):.3f} .. {max(cpis):.3f}]  "
+                  f"{sparkline(cpis)}")
+        for col in args.column or []:
+            vals = [r.get(col, 0) for r in rows]
+            print(f"  {col:<20} total {sum(vals):>12}  {sparkline(vals)}")
+    return 0
+
+
+def cmd_summary(args):
+    try:
+        events = load_events(args.file)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"obs_report: {args.file}: {e}", file=sys.stderr)
+        return 1
+    lane_names = {}
+    stats = collections.defaultdict(lambda: [0, 0, 0.0])  # spans, inst, dur
+    for ev in events:
+        if not isinstance(ev, dict):
+            continue
+        key = (ev.get("pid"), ev.get("tid"))
+        if ev.get("ph") == "M" and ev.get("name") == "thread_name":
+            lane_names[key] = ev.get("args", {}).get("name", "?")
+        elif ev.get("ph") == "X":
+            stats[key][0] += 1
+            stats[key][2] += float(ev.get("dur", 0))
+        elif ev.get("ph") == "i":
+            stats[key][1] += 1
+    track = {PID_RUNNER: "runner", PID_UARCH: "uarch"}
+    for key in sorted(stats, key=lambda k: (k[0] or 0, k[1] or 0)):
+        spans, instants, dur = stats[key]
+        name = lane_names.get(key, f"tid {key[1]}")
+        unit = "us" if key[0] == PID_RUNNER else "cycles"
+        print(f"{track.get(key[0], key[0]):>6} | {name:<24} "
+              f"{spans:>7} spans  {instants:>7} instants  "
+              f"{dur:>14.0f} {unit}")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    p = sub.add_parser("validate", help="schema-check a timeline file")
+    p.add_argument("file")
+    p.set_defaults(fn=cmd_validate)
+
+    p = sub.add_parser("intervals", help="summarize an interval sidecar")
+    p.add_argument("file")
+    p.add_argument("--column", "-c", action="append",
+                   help="also plot this probe column (repeatable)")
+    p.set_defaults(fn=cmd_intervals)
+
+    p = sub.add_parser("summary", help="per-lane timeline statistics")
+    p.add_argument("file")
+    p.set_defaults(fn=cmd_summary)
+
+    args = ap.parse_args()
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

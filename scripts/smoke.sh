@@ -11,6 +11,10 @@
 #                                  # ctest does not recurse into itself)
 #   scripts/smoke.sh --cmp-only    # just the CMP leg (the cmp_smoke
 #                                  # ctest target)
+#   scripts/smoke.sh --obs-only    # just the observability leg (the
+#                                  # obs_smoke ctest target): one sweep
+#                                  # with ZBP_OBS_* set, then schema-
+#                                  # validate the timeline + sidecar
 #
 # Environment:
 #   ZBP_SMOKE_BUILD_DIR  build tree (default: <repo>/build)
@@ -27,8 +31,10 @@ jobs="${ZBP_SMOKE_JOBS:-4}"
 scale="${ZBP_SMOKE_SCALE:-0.05}"
 bench_only=0
 cmp_only=0
+obs_only=0
 [[ "${1:-}" == "--bench-only" ]] && bench_only=1
 [[ "${1:-}" == "--cmp-only" ]] && cmp_only=1
+[[ "${1:-}" == "--obs-only" ]] && obs_only=1
 
 # CMP leg: a 4-core mini-run of the sharing sweep on the CmpRunner
 # path (per-core JSONL records + one sharing record per job), then a
@@ -83,8 +89,52 @@ run_cmp_leg() {
     echo "smoke: cmp resume OK (all jobs satisfied from checkpoint)"
 }
 
+# Observability leg: one small sweep with the full ZBP_OBS_* contract
+# enabled — interval sidecar + Perfetto timeline — then schema-validate
+# both.  The timeline must parse as trace-event JSON and carry spans on
+# BOTH tracks (runner orchestration pid 1 and microarchitecture pid 2);
+# the sidecar must contain interval rows.
+run_obs_leg() {
+    echo "== obs smoke: fig2_cpi with ZBP_OBS_INTERVAL + ZBP_OBS_TRACE =="
+    local obs_bench="$build_dir/bench/fig2_cpi"
+    if [[ ! -x "$obs_bench" ]]; then
+        echo "smoke: missing $obs_bench (build the repo first)" >&2
+        exit 1
+    fi
+    obs_trace="$(mktemp /tmp/zbp_smoke_obs_XXXXXX.json)"
+    obs_out="$(mktemp /tmp/zbp_smoke_obs_XXXXXX.jsonl)"
+    trap 'rm -f ${results:-} ${resumed:-} ${tracefile:-} \
+        ${cmp_results:-} ${cmp_resumed:-} "$obs_trace" "$obs_out"; \
+        rm -rf ${cache_dir:-}' EXIT
+    rm -f "$obs_trace" "$obs_out"
+
+    ZBP_LEN_SCALE="$scale" ZBP_JOBS="$jobs" ZBP_OBS_INTERVAL=2000 \
+        ZBP_OBS_OUT="$obs_out" ZBP_OBS_TRACE="$obs_trace" \
+        "$obs_bench" >/dev/null
+
+    python3 "$repo_root/scripts/obs_report.py" validate "$obs_trace"
+    if ! python3 "$repo_root/scripts/obs_report.py" intervals \
+            "$obs_out" >/dev/null; then
+        echo "smoke: interval sidecar $obs_out failed to summarize" >&2
+        exit 1
+    fi
+    local obs_rows
+    obs_rows="$(wc -l < "$obs_out")"
+    if [[ "$obs_rows" -lt 10 ]]; then
+        echo "smoke: expected >=10 interval rows, got $obs_rows" >&2
+        exit 1
+    fi
+    echo "smoke: obs OK (timeline valid, $obs_rows interval rows)"
+}
+
 if [[ "$cmp_only" == 1 ]]; then
     run_cmp_leg
+    echo "smoke: total wall-clock $((SECONDS - smoke_start))s"
+    exit 0
+fi
+
+if [[ "$obs_only" == 1 ]]; then
+    run_obs_leg
     echo "smoke: total wall-clock $((SECONDS - smoke_start))s"
     exit 0
 fi
@@ -193,10 +243,12 @@ if ! grep -q "13 cache hits, 0 generated" <<<"$warm_out"; then
 fi
 echo "smoke: trace cache OK (second run: 13 hits, 0 generated)"
 
-# The bench-only leg is the runner_smoke ctest target; the CMP leg has
-# its own ctest target (cmp_smoke), so only the full run stacks both.
+# The bench-only leg is the runner_smoke ctest target; the CMP and obs
+# legs have their own ctest targets (cmp_smoke, obs_smoke), so only the
+# full run stacks all of them.
 if [[ "$bench_only" == 0 ]]; then
     run_cmp_leg
+    run_obs_leg
 fi
 
 echo "smoke: total wall-clock $((SECONDS - smoke_start))s"

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <sstream>
 
+#include "zbp/obs/interval_sampler.hh"
+#include "zbp/obs/trace_writer.hh"
+
 namespace zbp::cpu
 {
 
@@ -60,7 +63,8 @@ simInvariantError(const SimResult &r)
 
 CoreModel::CoreModel(const core::MachineParams &p,
                      const SharedCoreContext &shared)
-    : prm(p), sharedL2i(shared.l2i), sharedCoreId(shared.coreId)
+    : prm(p), sharedL2i(shared.l2i), sharedArb(shared.arbiter),
+      sharedCoreId(shared.coreId)
 {
     prm.validate();
     bp = std::make_unique<core::BranchPredictorHierarchy>(prm,
@@ -95,6 +99,102 @@ CoreModel::CoreModel(const core::MachineParams &p,
 }
 
 CoreModel::~CoreModel() = default;
+
+void
+CoreModel::attachObs(obs::IntervalWriter *w, std::uint64_t interval,
+                     const std::string &config_name)
+{
+    if (w == nullptr || interval == 0) {
+        smp.reset();
+        return;
+    }
+    obsConfigName = config_name;
+    smp = std::make_unique<obs::IntervalSampler>(w, interval);
+
+    // The canonical probe set.  Fixed regardless of which components
+    // this machine has (absent ones report 0) so every sidecar row has
+    // identical columns, and per-core where a shared structure keeps
+    // per-core counts so column sums still reproduce aggregates.  The
+    // truly global shared counters are reported by core 0 only.
+    smp->addProbe("cycles", [this] { return cycle; });
+    smp->addProbe("branches", [this] { return nBranches; });
+    smp->addProbe("takenBranches", [this] { return nTaken; });
+    smp->addProbe("correct",
+                  [this] { return outcomes.count(Outcome::kCorrect); });
+    smp->addProbe("mispredicts", [this] {
+        return outcomes.count(Outcome::kMispredictDir) +
+               outcomes.count(Outcome::kMispredictTarget);
+    });
+    smp->addProbe("surprises", [this] {
+        return outcomes.count(Outcome::kSurpriseCompulsory) +
+               outcomes.count(Outcome::kSurpriseLatency) +
+               outcomes.count(Outcome::kSurpriseCapacity) +
+               outcomes.count(Outcome::kSurpriseBenign);
+    });
+    smp->addProbe("icacheHits", [this] { return l1i->hits(); });
+    smp->addProbe("icacheMisses", [this] { return l1i->misses(); });
+    smp->addProbe("btb1MissReports",
+                  [this] { return pipe->missReportCount(); });
+    smp->addProbe("predictions",
+                  [this] { return pipe->predictionCount(); });
+    smp->addProbe("btb2RowReads",
+                  [this] { return eng ? eng->rowReads() : 0; });
+    smp->addProbe("btb2Transfers",
+                  [this] { return eng ? eng->hitsTransferred() : 0; });
+    smp->addProbe("btb2FullSearches",
+                  [this] { return eng ? eng->fullSearchCount() : 0; });
+    smp->addProbe("btb2PartialSearches",
+                  [this] { return eng ? eng->partialSearchCount() : 0; });
+    smp->addProbe("sotHits", [this] { return sotTable->hitCount(); });
+    smp->addProbe("sotMisses", [this] { return sotTable->missCount(); });
+    smp->addProbe("l2iHits", [this] {
+        return sharedL2i ? sharedL2i->coreHits()[sharedCoreId] : 0;
+    });
+    smp->addProbe("l2iMisses", [this] {
+        return sharedL2i ? sharedL2i->coreMisses()[sharedCoreId] : 0;
+    });
+    smp->addProbe("arbGrants", [this] {
+        return sharedArb ? sharedArb->coreGrants()[sharedCoreId] : 0;
+    });
+    smp->addProbe("arbWaitCycles", [this] {
+        return sharedArb ? sharedArb->coreWaitCycles()[sharedCoreId] : 0;
+    });
+    smp->addProbe("arbConflicts", [this] {
+        return sharedArb != nullptr && sharedCoreId == 0
+                       ? sharedArb->conflicts()
+                       : 0;
+    });
+    smp->addProbe("arbQueueFullRejects", [this] {
+        return sharedArb != nullptr && sharedCoreId == 0
+                       ? sharedArb->queueFullRejects()
+                       : 0;
+    });
+    smp->addProbe("faultsInjected",
+                  [this] { return inj ? inj->injected() : 0; });
+}
+
+void
+CoreModel::attachTracer(obs::TraceWriter *t)
+{
+    tracer = t;
+    injTraced = false;
+    if (t == nullptr) {
+        if (eng)
+            eng->setTracer(nullptr, 0);
+        if (inj)
+            inj->setTracer(nullptr, 0);
+        return;
+    }
+    const std::string core_tag = "core" + std::to_string(sharedCoreId);
+    if (eng)
+        eng->setTracer(t, t->newLane(obs::TraceWriter::kPidUarch,
+                                     core_tag + " preload"));
+    if (inj) {
+        inj->setTracer(t, t->newLane(obs::TraceWriter::kPidUarch,
+                                     core_tag + " faults"));
+        injTraced = true;
+    }
+}
 
 void
 CoreModel::startRun(const trace::Trace &t)
@@ -725,6 +825,11 @@ CoreModel::beginRun(const trace::Trace &t)
     lastDecodeIdx = 0;
     cancelPoll = 0;
     runActive = true;
+
+    if (smp) {
+        smp->setIdentity(t.name(), obsConfigName, sharedCoreId);
+        smp->beginRun();
+    }
 }
 
 bool
@@ -750,6 +855,8 @@ CoreModel::advance(std::size_t decode_target)
         // Components whose tick is a strict no-op before their wake-up
         // cycle are gated here instead of paying the call: the guards
         // are the same conditions the ticks re-check internally.
+        if (injTraced)
+            inj->noteCycle(cycle); // timestamps rate-driven fault instants
         if (inj && inj->nextTargetedAt() <= cycle)
             inj->tick(cycle);
         if (!events.empty() && events.front().at <= cycle)
@@ -760,6 +867,8 @@ CoreModel::advance(std::size_t decode_target)
             eng->tick(cycle);
         fetchTick(cycle);
         decodeTick(cycle);
+        if (smp != nullptr && decodeIdx >= smp->nextAt())
+            smp->sample(decodeIdx);
         if (decodeIdx != lastDecodeIdx) {
             lastDecodeIdx = decodeIdx;
             lastProgressAt = cycle;
@@ -832,6 +941,9 @@ CoreModel::finishRun()
     runActive = false;
     const trace::Trace &t = *tr;
     pipe->halt();
+
+    if (smp)
+        smp->finish(decodeIdx); // final partial interval + flush
 
     // Branches decoded near the end of the trace have resolve events
     // scheduled past the final cycle; the machine is done with them (no

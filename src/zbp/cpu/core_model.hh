@@ -39,6 +39,13 @@
 #include "zbp/trace/trace_index.hh"
 #include "zbp/util/ring_buffer.hh"
 
+namespace zbp::obs
+{
+class IntervalSampler;
+class IntervalWriter;
+class TraceWriter;
+}
+
 namespace zbp::cpu
 {
 
@@ -216,6 +223,27 @@ class CoreModel
     /** The fault injector, or nullptr when injection is disabled. */
     fault::FaultInjector *faultInjector() { return inj.get(); }
 
+    /**
+     * Attach interval sampling: every @p interval decoded instructions
+     * the canonical probe set (CPI inputs, BTB1/BTB2 activity, SOT and
+     * cache hit rates, arbiter contention, faults) is delta-sampled
+     * into @p w under (trace, @p config_name, core id).  The probe set
+     * is fixed — components this machine lacks report 0 — so every row
+     * in a sidecar has the same columns.  Probes are read-only: counters
+     * stay bit-identical with sampling on.  Null @p w or 0 @p interval
+     * detaches.  Call before beginRun().
+     */
+    void attachObs(obs::IntervalWriter *w, std::uint64_t interval,
+                   const std::string &config_name);
+
+    /**
+     * Attach the obs timeline: the engine's preload searches and the
+     * fault injector's applied faults get lanes on the microarch track
+     * ("core<id> preload" / "core<id> faults").  The CMP-shared
+     * arbiter's lane is wired by its owner.  Null detaches.
+     */
+    void attachTracer(obs::TraceWriter *t);
+
     /** Component access for white-box tests. */
     core::BranchPredictorHierarchy &hierarchy() { return *bp; }
     core::SearchPipeline &pipeline() { return *pipe; }
@@ -296,8 +324,15 @@ class CoreModel
     std::unique_ptr<core::SearchPipeline> pipe;
     std::unique_ptr<fault::FaultInjector> inj; ///< null = injection off
     cache::SharedL2I *sharedL2i = nullptr; ///< CMP-shared; null = infinite L2
+    preload::Btb2Arbiter *sharedArb = nullptr; ///< CMP-shared; probes only
     unsigned sharedCoreId = 0;             ///< this core's id at the L2I
     const std::atomic<bool> *cancel = nullptr;
+
+    // Observability (all null/false unless explicitly attached).
+    std::unique_ptr<obs::IntervalSampler> smp;
+    std::string obsConfigName;
+    obs::TraceWriter *tracer = nullptr;
+    bool injTraced = false; ///< inj needs noteCycle() each iteration
 
     // Run state.
     const trace::Trace *tr = nullptr;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "zbp/obs/trace_writer.hh"
+
 namespace zbp::fault
 {
 
@@ -55,6 +57,13 @@ FaultInjector::fire(Site s, std::uint64_t where)
     fn(rng, where);
     ++nInjected;
     ++perSite[static_cast<unsigned>(s)];
+    if (tracer != nullptr) {
+        tracer->instant(obs::TraceWriter::kPidUarch, laneId, "fault",
+                        std::string("fault:") + siteName(s),
+                        static_cast<double>(nowCycle),
+                        {{"where", obs::jsonNum(where)},
+                         {"injected", obs::jsonNum(nInjected)}});
+    }
 }
 
 void

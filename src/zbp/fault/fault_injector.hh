@@ -36,6 +36,11 @@
 #include "zbp/common/rng.hh"
 #include "zbp/common/types.hh"
 
+namespace zbp::obs
+{
+class TraceWriter;
+}
+
 namespace zbp::fault
 {
 
@@ -136,6 +141,7 @@ class FaultInjector
     void
     tick(Cycle now)
     {
+        nowCycle = now;
         while (nextTargeted < schedule.size() &&
                schedule[nextTargeted].at <= now) {
             const TargetedFault &t = schedule[nextTargeted++];
@@ -165,6 +171,21 @@ class FaultInjector
      * the targeted schedule. */
     void reset();
 
+    /** Attach the obs timeline: each applied fault is emitted as an
+     * instant on lane @p lane of the microarch track.  Injection
+     * decisions and the Rng stream are unaffected — tracing never
+     * changes what gets corrupted. */
+    void setTracer(obs::TraceWriter *t, std::uint32_t lane)
+    {
+        tracer = t;
+        laneId = lane;
+    }
+    bool traced() const { return tracer != nullptr; }
+
+    /** Timestamp source for traced onAccess() fires; the owning run
+     * loop calls this only when a tracer is attached. */
+    void noteCycle(Cycle now) { nowCycle = now; }
+
   private:
     void fire(Site s, std::uint64_t where);
 
@@ -176,6 +197,11 @@ class FaultInjector
     std::vector<TargetedFault> schedule; ///< sorted by cycle
     std::size_t nextTargeted = 0;
     std::uint64_t nInjected = 0;
+
+    // Timeline (null = tracing off; fire() emits instants when set).
+    obs::TraceWriter *tracer = nullptr;
+    std::uint32_t laneId = 0;
+    Cycle nowCycle = 0;
 };
 
 } // namespace zbp::fault

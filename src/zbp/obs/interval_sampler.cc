@@ -1,0 +1,183 @@
+#include "zbp/obs/interval_sampler.hh"
+
+#include <cinttypes>
+
+#include "zbp/common/log.hh"
+#include "zbp/obs/trace_writer.hh"
+
+namespace zbp::obs
+{
+
+namespace
+{
+
+constexpr std::size_t kFlushBatch = 256; ///< ring capacity before drain
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+} // namespace
+
+IntervalWriter::IntervalWriter(const std::string &path)
+    : filePath(path), csv(endsWith(path, ".csv"))
+{
+    f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        fatal("cannot create interval sidecar '", path, "'");
+}
+
+IntervalWriter::~IntervalWriter()
+{
+    close();
+}
+
+void
+IntervalWriter::close()
+{
+    std::lock_guard<std::mutex> lk(mu);
+    if (f == nullptr)
+        return;
+    std::fclose(f);
+    f = nullptr;
+}
+
+void
+IntervalWriter::writeBatch(const std::string &trace,
+                           const std::string &config, unsigned core,
+                           const std::vector<const char *> &probes,
+                           const std::vector<IntervalRow> &rows)
+{
+    if (rows.empty())
+        return;
+    std::lock_guard<std::mutex> lk(mu);
+    if (f == nullptr)
+        return;
+    if (!headerDone) {
+        headerDone = true;
+        for (const char *p : probes)
+            headerProbes.emplace_back(p);
+        if (csv) {
+            std::fputs("trace,config,core,interval,inst_end,insts", f);
+            for (const char *p : probes) {
+                std::fputc(',', f);
+                std::fputs(p, f);
+            }
+            std::fputc('\n', f);
+        }
+    } else if (headerProbes.size() != probes.size()) {
+        fatal("interval sidecar '", filePath,
+              "': probe set changed mid-file (", headerProbes.size(),
+              " vs ", probes.size(), " columns)");
+    }
+    for (const auto &r : rows) {
+        ZBP_ASSERT(r.deltas.size() == probes.size(),
+                   "interval row width mismatch");
+        if (csv) {
+            std::fprintf(f, "%s,%s,%u,%" PRIu64 ",%" PRIu64 ",%" PRIu64,
+                         trace.c_str(), config.c_str(), core, r.interval,
+                         r.instEnd, r.insts);
+            for (std::uint64_t d : r.deltas)
+                std::fprintf(f, ",%" PRIu64, d);
+            std::fputc('\n', f);
+        } else {
+            std::string line = "{\"trace\":" + jsonStr(trace) +
+                               ",\"config\":" + jsonStr(config) +
+                               ",\"core\":" + jsonNum(std::uint64_t{core}) +
+                               ",\"interval\":" + jsonNum(r.interval) +
+                               ",\"inst_end\":" + jsonNum(r.instEnd) +
+                               ",\"insts\":" + jsonNum(r.insts);
+            for (std::size_t i = 0; i < probes.size(); ++i) {
+                line += ",\"";
+                line += probes[i];
+                line += "\":";
+                line += jsonNum(r.deltas[i]);
+            }
+            line += "}\n";
+            std::fputs(line.c_str(), f);
+        }
+        ++nRows;
+    }
+    std::fflush(f);
+}
+
+std::uint64_t
+IntervalWriter::rowsWritten() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return nRows;
+}
+
+IntervalSampler::IntervalSampler(IntervalWriter *writer,
+                                 std::uint64_t interval_insts)
+    : out(writer), step(interval_insts)
+{
+    ZBP_ASSERT(step >= 1, "interval must be >= 1 instruction");
+}
+
+void
+IntervalSampler::addProbe(const char *name,
+                          std::function<std::uint64_t()> fn)
+{
+    names.push_back(name);
+    probes.push_back(std::move(fn));
+}
+
+void
+IntervalSampler::beginRun()
+{
+    prev.resize(probes.size());
+    for (std::size_t i = 0; i < probes.size(); ++i)
+        prev[i] = probes[i]();
+    prevInst = 0;
+    nextSampleAt = step;
+    nIntervals = 0;
+    ring.clear();
+}
+
+void
+IntervalSampler::record(std::uint64_t inst_count)
+{
+    IntervalRow r;
+    r.interval = nIntervals++;
+    r.instEnd = inst_count;
+    r.insts = inst_count - prevInst;
+    r.deltas.resize(probes.size());
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+        const std::uint64_t v = probes[i]();
+        r.deltas[i] = v - prev[i];
+        prev[i] = v;
+    }
+    prevInst = inst_count;
+    ring.push_back(std::move(r));
+    if (ring.size() >= kFlushBatch)
+        flush();
+}
+
+void
+IntervalSampler::sample(std::uint64_t inst_count)
+{
+    record(inst_count);
+    nextSampleAt = inst_count + step;
+}
+
+void
+IntervalSampler::finish(std::uint64_t inst_count)
+{
+    if (inst_count > prevInst)
+        record(inst_count);
+    flush();
+}
+
+void
+IntervalSampler::flush()
+{
+    if (out != nullptr && !ring.empty())
+        out->writeBatch(traceId, configName, coreId, names, ring);
+    ring.clear();
+}
+
+} // namespace zbp::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "zbp/common/log.hh"
+#include "zbp/obs/trace_writer.hh"
 
 namespace zbp::preload
 {
@@ -53,6 +54,14 @@ Btb2Arbiter::requestRead(unsigned core, Addr row, Cycle now)
         RowGrant g;
         g.granted = false;
         g.retryAt = slot - prm.queueDepth;
+        if (tracer != nullptr) {
+            tracer->instant(
+                    obs::TraceWriter::kPidUarch, laneId, "arb",
+                    "arb:queue-full", static_cast<double>(now),
+                    {{"core", obs::jsonNum(std::uint64_t{core})},
+                     {"bank", obs::jsonNum(std::uint64_t{bank})},
+                     {"retryAt", obs::jsonNum(g.retryAt)}});
+        }
         return g;
     }
 
@@ -64,6 +73,14 @@ Btb2Arbiter::requestRead(unsigned core, Addr row, Cycle now)
         ++nConflicts;
         nWaitCycles += wait;
         waitByCore[core] += wait;
+        if (tracer != nullptr) {
+            // Queue residency: request time to granted slot.
+            tracer->span(obs::TraceWriter::kPidUarch, laneId, "arb",
+                         "arb:bank-wait", static_cast<double>(now),
+                         static_cast<double>(wait),
+                         {{"core", obs::jsonNum(std::uint64_t{core})},
+                          {"bank", obs::jsonNum(std::uint64_t{bank})}});
+        }
     }
     RowGrant g;
     g.granted = true;

@@ -90,6 +90,16 @@ class Btb2Arbiter
     /** Wire Site::kArbiter corruption (bank busy-stretch) into @p inj. */
     void attachFaultInjector(fault::FaultInjector &inj);
 
+    /** Attach the obs timeline: bank waits become spans and queue-full
+     * rejects instants on lane @p lane of the microarch track.  Grant
+     * timing and counters are unaffected. */
+    void
+    setTracer(obs::TraceWriter *t, std::uint32_t lane)
+    {
+        tracer = t;
+        laneId = lane;
+    }
+
     /** Drop all reservations and counters (fresh machine). */
     void reset();
 
@@ -131,6 +141,8 @@ class Btb2Arbiter
     std::vector<Cycle> freeAt; ///< per bank: first unreserved slot
     unsigned faultBank = 0; ///< bank the kArbiter callback stretches
     fault::FaultInjector *faults = nullptr;
+    obs::TraceWriter *tracer = nullptr; ///< null = tracing off
+    std::uint32_t laneId = 0;
 
     stats::Counter nRequests;
     stats::Counter nGrants;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "zbp/obs/trace_writer.hh"
+
 namespace zbp::preload
 {
 
@@ -139,9 +141,23 @@ Btb2Engine::scheduleFull(Tracker &t)
 }
 
 void
+Btb2Engine::traceSearch(const Tracker &t, Cycle now, const char *kind,
+                        const char *end)
+{
+    const Cycle start = t.searchStartAt;
+    tracer->span(obs::TraceWriter::kPidUarch, laneId, "preload",
+                 std::string("search:") + kind,
+                 static_cast<double>(start),
+                 static_cast<double>(now > start ? now - start : 0),
+                 {{"block", obs::jsonNum(t.block)},
+                  {"rows", obs::jsonNum(std::uint64_t{t.rowsDone})},
+                  {"end", obs::jsonStr(end)}});
+}
+
+void
 Btb2Engine::startSearch(Tracker &t, Cycle now)
 {
-    (void)now;
+    t.searchStartAt = now;
     if (t.icMissValid) {
         t.phase = Tracker::Phase::kFull;
         scheduleFull(t);
@@ -302,14 +318,22 @@ Btb2Engine::tick(Cycle now)
         if (t.icMissValid) {
             // The I-cache miss arrived during the partial search:
             // continue with the full steered search.
+            if (tracer != nullptr)
+                traceSearch(t, now, "partial", "upgraded");
             ++nPartialUpgraded;
             scheduleFull(t);
             t.phase = Tracker::Phase::kFull;
+            t.searchStartAt = now;
+            t.rowsDone = 0;
         } else {
+            if (tracer != nullptr)
+                traceSearch(t, now, "partial", "abandoned");
             ++nPartialAbandoned;
             finishTracker(t, now);
         }
     } else {
+        if (tracer != nullptr)
+            traceSearch(t, now, "full", "done");
         finishTracker(t, now);
     }
 }

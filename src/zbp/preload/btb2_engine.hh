@@ -113,6 +113,8 @@ struct Tracker
     bool btb1MissValid = false;
     bool icMissValid = false;
     Cycle startableAt = 0;   ///< earliest cycle a read may issue
+    Cycle searchStartAt = 0; ///< cycle the current phase's search began
+                             ///< (timeline spans only; no timing role)
     /** Scheduled row addresses remaining to read. */
     RowSchedule schedule;
     /** Rows read so far in the current phase. */
@@ -179,6 +181,17 @@ class Btb2Engine : public MissSink
         coreId = core;
     }
 
+    /** Attach the obs timeline: each partial/full search becomes a
+     * complete span on lane @p lane of the microarch track (the bulk
+     * transfer it drives shares the span).  Timing and counters are
+     * unaffected. */
+    void
+    setTracer(obs::TraceWriter *t, std::uint32_t lane)
+    {
+        tracer = t;
+        laneId = lane;
+    }
+
     const std::vector<Tracker> &trackers() const { return trk; }
 
     void
@@ -213,6 +226,8 @@ class Btb2Engine : public MissSink
     void startSearch(Tracker &t, Cycle now);
     void scheduleFull(Tracker &t);
     void finishTracker(Tracker &t, Cycle now);
+    void traceSearch(const Tracker &t, Cycle now, const char *kind,
+                     const char *end);
 
     /** BTB2 rows per 128 B sector (depends on the configured BTB2
      * congruence class width, §6 future work). */
@@ -238,6 +253,8 @@ class Btb2Engine : public MissSink
     Btb2Arbiter *arb = nullptr; ///< shared read port (CMP); null = private
     unsigned coreId = 0;        ///< this engine's id at the arbiter
     fault::FaultInjector *faults = nullptr; ///< null = injection off
+    obs::TraceWriter *tracer = nullptr;     ///< null = tracing off
+    std::uint32_t laneId = 0;
     /** The in-flight entry the kTransfer callback corrupts (set only
      * around the onAccess call in tick()). */
     btb::BtbEntry *transferCursor = nullptr;

@@ -154,6 +154,9 @@ class SectorOrderTable
         g.add("misses", nMisses, "order() calls without a pattern");
     }
 
+    std::uint64_t hitCount() const { return nHits.value(); }
+    std::uint64_t missCount() const { return nMisses.value(); }
+
   private:
     struct Entry
     {

@@ -11,6 +11,7 @@
 #include <unordered_map>
 
 #include "zbp/common/log.hh"
+#include "zbp/obs/obs_config.hh"
 #include "zbp/runner/executor.hh"
 #include "zbp/runner/jsonl_sink.hh"
 #include "zbp/trace/trace_io.hh"
@@ -305,6 +306,18 @@ extractBool(const std::string &line, const std::string &key, bool &out)
     return false;
 }
 
+/** Per-worker-thread lane on the orchestration track, allocated on
+ * first use.  The writer is the process-wide singleton, so a lane
+ * outlives any one JobRunner and can be cached per thread. */
+std::uint32_t
+workerLane(obs::TraceWriter *tw)
+{
+    static thread_local std::uint32_t lane = 0;
+    if (lane == 0)
+        lane = tw->newLane(obs::TraceWriter::kPidRunner, "job worker");
+    return lane;
+}
+
 } // namespace
 
 std::string
@@ -418,6 +431,15 @@ jobRecord(const SimJob &job, const SimJobResult &r)
     o.field("cpi", r.result.cpi);
     for (const auto &f : kFields)
         o.field(f.name, r.result.*f.member);
+    if (r.telemetry.collected) {
+        o.field("queueSeconds", r.telemetry.queueSeconds);
+        o.field("loadSeconds", r.telemetry.loadSeconds);
+        o.field("runSeconds", r.telemetry.runSeconds);
+        o.field("timeoutMargin", r.telemetry.timeoutMargin);
+        o.field("retries", static_cast<std::uint64_t>(r.telemetry.retries));
+        o.field("queueDepth", r.telemetry.queueDepth);
+        o.field("traceCacheHits", r.telemetry.traceCacheHits);
+    }
     return o.str();
 }
 
@@ -480,6 +502,12 @@ JobRunner::run(const std::vector<SimJob> &jobs)
     std::vector<SimJobResult> results(resolved.size());
     TimeoutWatchdog dog(timeout);
 
+    obs::TraceWriter *const tw = obs::globalTraceWriter();
+    obs::IntervalWriter *const iw = obs::globalIntervalWriter();
+    const std::uint64_t obs_interval = obs::globalIntervalInsts();
+    const auto submit_at = std::chrono::steady_clock::now();
+    std::atomic<std::uint64_t> nStarted{0};
+
     ParallelExecutor exec(nJobs);
     exec.run(resolved.size(), [&](std::size_t i) {
         const SimJob &job = resolved[i];
@@ -495,12 +523,28 @@ JobRunner::run(const std::vector<SimJob> &jobs)
                 // re-write to the sink (the record already exists in
                 // the resumed-from file).
                 out = it->second;
+                if (tw != nullptr)
+                    tw->instant(obs::TraceWriter::kPidRunner,
+                                workerLane(tw), "job", "job:resumed",
+                                tw->nowUs(),
+                                {{"job", obs::jsonStr(label)}});
                 meter.jobDone(label + " (resumed)", 0.0);
                 return;
             }
         }
 
+        out.telemetry.collected = true;
+        out.telemetry.queueDepth =
+                resolved.size() - (nStarted.fetch_add(1) + 1);
         const auto t0 = std::chrono::steady_clock::now();
+        out.telemetry.queueSeconds =
+                std::chrono::duration<double>(t0 - submit_at).count();
+        std::uint32_t lane = 0;
+        double job_ts = 0.0;
+        if (tw != nullptr) {
+            lane = workerLane(tw);
+            job_ts = tw->nowUs();
+        }
         for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
             out.attempts = attempt;
             bool retryable = false;
@@ -512,14 +556,41 @@ JobRunner::run(const std::vector<SimJob> &jobs)
                         throw std::runtime_error(
                                 "job has no trace (null trace pointer "
                                 "and empty tracePath)");
+                    const auto l0 = std::chrono::steady_clock::now();
+                    const double l0_ts =
+                            tw != nullptr ? tw->nowUs() : 0.0;
                     local = trace::loadTraceFile(job.tracePath);
                     tp = &local;
+                    out.telemetry.loadSeconds =
+                            std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() - l0)
+                                    .count();
+                    if (tw != nullptr)
+                        tw->span(obs::TraceWriter::kPidRunner, lane,
+                                 "job", "load", l0_ts,
+                                 tw->nowUs() - l0_ts,
+                                 {{"path", obs::jsonStr(job.tracePath)}});
                 }
                 cpu::CoreModel model(job.cfg);
+                if (iw != nullptr)
+                    model.attachObs(iw, obs_interval, job.configName);
+                if (tw != nullptr)
+                    model.attachTracer(tw);
                 std::atomic<bool> cancelled{false};
                 TimeoutWatchdog::Scope scope(dog, cancelled);
                 model.setCancelFlag(&cancelled);
+                const auto r0 = std::chrono::steady_clock::now();
+                const double r0_ts = tw != nullptr ? tw->nowUs() : 0.0;
                 out.result = model.run(*tp);
+                out.telemetry.runSeconds =
+                        std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - r0)
+                                .count();
+                if (tw != nullptr)
+                    tw->span(obs::TraceWriter::kPidRunner, lane, "job",
+                             "run", r0_ts, tw->nowUs() - r0_ts,
+                             {{"attempt",
+                               obs::jsonNum(std::uint64_t{attempt})}});
                 out.ok = true;
                 out.error.clear();
                 break;
@@ -549,12 +620,28 @@ JobRunner::run(const std::vector<SimJob> &jobs)
             }
             if (!retryable || attempt == max_attempts)
                 break;
+            if (tw != nullptr)
+                tw->instant(obs::TraceWriter::kPidRunner, lane, "job",
+                            "job:retry-backoff", tw->nowUs(),
+                            {{"attempt",
+                              obs::jsonNum(std::uint64_t{attempt})},
+                             {"error", obs::jsonStr(out.error)}});
             // Deterministic exponential backoff before the retry.
             std::this_thread::sleep_for(
                     std::chrono::milliseconds(10u << (attempt - 1)));
         }
         out.seconds = std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - t0).count();
+        out.telemetry.retries = out.attempts - 1;
+        if (dog.enabled())
+            out.telemetry.timeoutMargin = dog.seconds() - out.seconds;
+        if (tw != nullptr)
+            tw->span(obs::TraceWriter::kPidRunner, lane, "job",
+                     "job:" + label, job_ts, tw->nowUs() - job_ts,
+                     {{"ok", out.ok ? std::string("true")
+                                    : std::string("false")},
+                      {"attempts",
+                       obs::jsonNum(std::uint64_t{out.attempts})}});
         sink.write(jobRecord(job, out));
         meter.jobDone(label, out.seconds);
     });

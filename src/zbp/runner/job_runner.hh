@@ -59,6 +59,27 @@ struct SimJob
     std::uint64_t seed = 0;
 };
 
+/**
+ * Runner telemetry for one executed job: where its wall-clock went and
+ * how contended the runner was.  Appended to the JSONL record as extra
+ * fields only when `collected` is set (records from before this
+ * subsystem, and synthetic results in tests, keep the exact old shape);
+ * the resume extractors tolerate unknown fields, so record identity is
+ * unchanged either way.
+ */
+struct JobTelemetry
+{
+    bool collected = false;
+    double queueSeconds = 0.0;   ///< submit -> first attempt start
+    double loadSeconds = 0.0;    ///< trace load/map time (last attempt)
+    double runSeconds = 0.0;     ///< model execution (last attempt)
+    double timeoutMargin = 0.0;  ///< timeout - elapsed; 0 when no timeout
+    unsigned retries = 0;        ///< attempts - 1
+    std::uint64_t queueDepth = 0;   ///< jobs still waiting at start
+    std::uint64_t traceCacheHits = 0; ///< on-disk trace cache hits (when
+                                      ///< the executing layer knows)
+};
+
 /** Outcome of one job: a result, or a captured error. */
 struct SimJobResult
 {
@@ -68,6 +89,7 @@ struct SimJobResult
     unsigned attempts = 1; ///< execution attempts (retries + 1)
     bool resumed = false;  ///< satisfied from a resume file, not re-run
     cpu::SimResult result; ///< valid when ok
+    JobTelemetry telemetry;
 };
 
 class JobRunner

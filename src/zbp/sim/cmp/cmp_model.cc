@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "zbp/obs/trace_writer.hh"
+
 namespace zbp::sim
 {
 
@@ -69,6 +71,40 @@ CmpModel::CmpModel(const core::MachineParams &p) : prm(p)
 CmpModel::~CmpModel() = default;
 
 void
+CmpModel::attachObs(obs::IntervalWriter *w, std::uint64_t interval,
+                    const std::string &config_name)
+{
+    for (auto &c : cs)
+        c->attachObs(w, interval, config_name);
+}
+
+void
+CmpModel::attachTracer(obs::TraceWriter *t)
+{
+    tracer = t;
+    for (auto &c : cs)
+        c->attachTracer(t);
+    if (t == nullptr) {
+        cmpLane = 0;
+        injTraced = false;
+        if (arb)
+            arb->setTracer(nullptr, 0);
+        if (inj)
+            inj->setTracer(nullptr, 0);
+        return;
+    }
+    cmpLane = t->newLane(obs::TraceWriter::kPidRunner, "cmp windows");
+    if (arb)
+        arb->setTracer(t, t->newLane(obs::TraceWriter::kPidUarch,
+                                     "shared arbiter"));
+    if (inj) {
+        inj->setTracer(t, t->newLane(obs::TraceWriter::kPidUarch,
+                                     "shared faults"));
+        injTraced = true;
+    }
+}
+
+void
 CmpModel::beginRun(const std::vector<const trace::Trace *> &traces)
 {
     ZBP_ASSERT(!runActive, "beginRun() while a CMP run is active");
@@ -100,6 +136,14 @@ CmpModel::advance(std::size_t decode_target)
     const std::size_t target = std::min(decode_target, maxLen);
     const unsigned n = cores();
 
+    const std::size_t win0 = window;
+    const double adv_ts = tracer != nullptr ? tracer->nowUs() : 0.0;
+    // The shared injector has no cycle clock of its own (cores each run
+    // their own); stamp its instants at window granularity — the same
+    // resolution the sharing model itself has.
+    if (injTraced)
+        inj->noteCycle(static_cast<Cycle>(window));
+
     while (window < target) {
         // Windows land on absolute stepInsts boundaries (never on the
         // caller's target), so every monotone target sequence produces
@@ -120,9 +164,21 @@ CmpModel::advance(std::size_t decode_target)
                 all_done = false;
         }
         rot = (rot + 1) % n;
+        if (injTraced)
+            inj->noteCycle(static_cast<Cycle>(window));
         if (all_done)
             break;
     }
+
+    if (tracer != nullptr && window > win0)
+        tracer->span(obs::TraceWriter::kPidRunner, cmpLane, "cmp",
+                     "cmp:window", adv_ts, tracer->nowUs() - adv_ts,
+                     {{"from", obs::jsonNum(
+                               static_cast<std::uint64_t>(win0))},
+                      {"to", obs::jsonNum(
+                               static_cast<std::uint64_t>(window))},
+                      {"cores", obs::jsonNum(
+                               static_cast<std::uint64_t>(n))}});
 
     for (unsigned ci = 0; ci < n; ++ci)
         if (!coreDone[ci])

@@ -45,6 +45,12 @@
 
 #include "zbp/cpu/core_model.hh"
 
+namespace zbp::obs
+{
+class IntervalWriter;
+class TraceWriter;
+} // namespace zbp::obs
+
 namespace zbp::sim
 {
 
@@ -153,6 +159,18 @@ class CmpModel
             c->setCancelFlag(flag);
     }
 
+    /** Attach interval sampling to every core (see CoreModel::attachObs;
+     * the per-core `core` column keeps the sidecar rows apart).  Call
+     * before beginRun(); null/0 detaches. */
+    void attachObs(obs::IntervalWriter *w, std::uint64_t interval,
+                   const std::string &config_name);
+
+    /** Attach timeline tracing: every core's microarch lanes, plus
+     * shared-structure lanes (arbiter waits, shared-fault instants) and
+     * a runner-track lane carrying one span per advance() window batch.
+     * Null detaches. */
+    void attachTracer(obs::TraceWriter *t);
+
   private:
     core::MachineParams prm;
     std::unique_ptr<btb::SetAssocBtb> btb2; ///< the shared second level
@@ -168,6 +186,11 @@ class CmpModel
     std::size_t maxLen = 0;
     unsigned rot = 0;              ///< rotating window start core
     bool runActive = false;
+
+    // Observability (null/0 = off; zero cost on the hot path).
+    obs::TraceWriter *tracer = nullptr;
+    std::uint32_t cmpLane = 0;     ///< runner-track lane for window spans
+    bool injTraced = false;        ///< shared injector has a tracer lane
 };
 
 } // namespace zbp::sim

@@ -8,6 +8,7 @@
 
 #include "zbp/cache/dmiss_map.hh"
 #include "zbp/common/log.hh"
+#include "zbp/obs/obs_config.hh"
 #include "zbp/runner/executor.hh"
 #include "zbp/runner/jsonl_sink.hh"
 #include "zbp/trace/trace_index.hh"
@@ -17,6 +18,16 @@ namespace zbp::sim
 
 namespace
 {
+
+/** Per-worker-thread lane on the orchestration track. */
+std::uint32_t
+cmpLaneFor(obs::TraceWriter *tw)
+{
+    static thread_local std::uint32_t lane = 0;
+    if (lane == 0)
+        lane = tw->newLane(obs::TraceWriter::kPidRunner, "cmp worker");
+    return lane;
+}
 
 /** Extract an unsigned JSON field from a flat record line; false when
  * the key is absent or unparsable (same tolerance as the generic
@@ -227,11 +238,28 @@ CmpRunner::run(const std::vector<CmpJob> &jobs)
     runner::ProgressMeter meter(jobs.size(), progress);
     std::vector<CmpJobResult> results(jobs.size());
 
+    obs::TraceWriter *const tw = obs::globalTraceWriter();
+    obs::IntervalWriter *const iw = obs::globalIntervalWriter();
+    const std::uint64_t obs_interval = obs::globalIntervalInsts();
+    const auto submit_at = SteadyClock::now();
+    std::atomic<std::uint64_t> nStarted{0};
+
     const runner::ParallelExecutor exec(nJobs);
     exec.run(jobs.size(), [&](std::size_t ji) {
         const CmpJob &job = jobs[ji];
         CmpJobResult &out = results[ji];
         const unsigned n = static_cast<unsigned>(job.traces.size());
+
+        const std::uint64_t queue_depth =
+                jobs.size() - (nStarted.fetch_add(1) + 1);
+        const double queue_s = std::chrono::duration<double>(
+                SteadyClock::now() - submit_at).count();
+        std::uint32_t lane = 0;
+        double job_ts = 0.0;
+        if (tw != nullptr) {
+            lane = cmpLaneFor(tw);
+            job_ts = tw->nowUs();
+        }
 
         // Per-core identity, interchangeable with JobRunner's: seed
         // from (config name, trace name) only, never execution order.
@@ -278,6 +306,10 @@ CmpRunner::run(const std::vector<CmpJob> &jobs)
         const auto t0 = SteadyClock::now();
         try {
             CmpModel model(job.cfg);
+            if (iw != nullptr)
+                model.attachObs(iw, obs_interval, job.name);
+            if (tw != nullptr)
+                model.attachTracer(tw);
 
             // Shared read-only sidecars, deduplicated by trace: a
             // homogeneous mix indexes its one trace once, not once per
@@ -324,6 +356,10 @@ CmpRunner::run(const std::vector<CmpJob> &jobs)
                 cr.ok = true;
                 cr.seconds = out.seconds / n;
                 cr.result = out.result.core[i];
+                cr.telemetry.collected = true;
+                cr.telemetry.queueSeconds = queue_s;
+                cr.telemetry.queueDepth = queue_depth;
+                cr.telemetry.runSeconds = cr.seconds;
                 sink.write(runner::jobRecord(cj, cr));
             }
             sink.write(sharingRecord(job, shared_seed, out.seconds,
@@ -339,6 +375,13 @@ CmpRunner::run(const std::vector<CmpJob> &jobs)
             cr.seconds = out.seconds;
             sink.write(runner::jobRecord(cj, cr));
         }
+        if (tw != nullptr)
+            tw->span(obs::TraceWriter::kPidRunner, lane, "cmp",
+                     std::string("cmp:") + job.name, job_ts,
+                     tw->nowUs() - job_ts,
+                     {{"ok", out.ok ? "true" : "false"},
+                      {"cores", obs::jsonNum(
+                               static_cast<std::uint64_t>(n))}});
         meter.jobDone(job.name, out.seconds);
     });
     return results;

@@ -9,6 +9,7 @@
 #include "zbp/cache/dmiss_map.hh"
 #include "zbp/common/log.hh"
 #include "zbp/cpu/core_model.hh"
+#include "zbp/obs/obs_config.hh"
 #include "zbp/runner/executor.hh"
 #include "zbp/runner/jsonl_sink.hh"
 #include "zbp/trace/trace_index.hh"
@@ -28,6 +29,16 @@ struct GangMember
     bool done = false;
     double seconds = 0.0; ///< wall-clock accumulated in this member
 };
+
+/** Per-worker-thread lane on the orchestration track. */
+std::uint32_t
+gangLane(obs::TraceWriter *tw)
+{
+    static thread_local std::uint32_t lane = 0;
+    if (lane == 0)
+        lane = tw->newLane(obs::TraceWriter::kPidRunner, "gang worker");
+    return lane;
+}
 
 } // namespace
 
@@ -103,6 +114,12 @@ GangRunner::run(const std::vector<trace::TraceHandle> &traces)
     for (auto &row : results)
         row.resize(nt);
 
+    obs::TraceWriter *const tw = obs::globalTraceWriter();
+    obs::IntervalWriter *const iw = obs::globalIntervalWriter();
+    const std::uint64_t obs_interval = obs::globalIntervalInsts();
+    const auto submit_at = SteadyClock::now();
+    std::atomic<std::uint64_t> nStarted{0};
+
     // Per-config seeds depend only on (config, trace) identity —
     // identical to what JobRunner derives, so records and resume keys
     // are interchangeable between the two paths.
@@ -111,6 +128,17 @@ GangRunner::run(const std::vector<trace::TraceHandle> &traces)
         const trace::TraceHandle &th = traces[ti];
         const trace::Trace &t = *th;
         const std::size_t n = t.size();
+
+        const std::uint64_t queue_depth =
+                nt - (nStarted.fetch_add(1) + 1);
+        const double queue_s = std::chrono::duration<double>(
+                SteadyClock::now() - submit_at).count();
+        std::uint32_t lane = 0;
+        double gang_ts = 0.0;
+        if (tw != nullptr) {
+            lane = gangLane(tw);
+            gang_ts = tw->nowUs();
+        }
 
         // The shared read-only sidecars: computed once, consumed by
         // every model of the gang.  D-cache outcome maps are keyed by
@@ -166,23 +194,33 @@ GangRunner::run(const std::vector<trace::TraceHandle> &traces)
                         configs[ci].cfg);
                 models[ci]->setTraceIndex(&index);
                 models[ci]->setDataMissMap(dmissFor(configs[ci].cfg));
+                if (iw != nullptr)
+                    models[ci]->attachObs(iw, obs_interval,
+                                          configs[ci].name);
+                if (tw != nullptr)
+                    models[ci]->attachTracer(tw);
                 models[ci]->beginRun(t);
                 members[ci].model = models[ci].get();
             } catch (const std::exception &e) {
                 fail(ci, e.what());
             }
-            members[ci].seconds += std::chrono::duration<double>(
+            const double setup_s = std::chrono::duration<double>(
                     SteadyClock::now() - t0).count();
+            members[ci].seconds += setup_s;
+            results[ci][ti].telemetry.loadSeconds = setup_s;
         }
 
         // Chunk-interleaved walk: every live member decodes the same
         // [prev, target) instruction window before the window moves.
         for (std::size_t target = std::min(chunk, n);; target += chunk) {
             bool any_live = false;
+            std::uint64_t live = 0;
+            const double chunk_ts = tw != nullptr ? tw->nowUs() : 0.0;
             for (std::size_t ci = 0; ci < nc; ++ci) {
                 GangMember &m = members[ci];
                 if (m.model == nullptr || m.done)
                     continue;
+                ++live;
                 const auto t0 = SteadyClock::now();
                 try {
                     m.done = m.model->advance(std::min(target, n));
@@ -194,6 +232,12 @@ GangRunner::run(const std::vector<trace::TraceHandle> &traces)
                 if (m.model != nullptr && !m.done)
                     any_live = true;
             }
+            if (tw != nullptr && live > 0)
+                tw->span(obs::TraceWriter::kPidRunner, lane, "gang",
+                         "chunk", chunk_ts, tw->nowUs() - chunk_ts,
+                         {{"target", obs::jsonNum(static_cast<
+                                   std::uint64_t>(std::min(target, n)))},
+                          {"live", obs::jsonNum(live)}});
             if (!any_live)
                 break;
         }
@@ -215,12 +259,25 @@ GangRunner::run(const std::vector<trace::TraceHandle> &traces)
             if (out.resumed)
                 continue; // already reported by the resume branch
             out.seconds = m.seconds;
+            out.telemetry.collected = true;
+            out.telemetry.queueSeconds = queue_s;
+            out.telemetry.queueDepth = queue_depth;
+            out.telemetry.runSeconds = m.seconds
+                    - out.telemetry.loadSeconds;
             runner::SimJob job(configs[ci].name, configs[ci].cfg, &t,
                                seeds[ci]);
             sink.write(runner::jobRecord(job, out));
             meter.jobDone(configs[ci].name + "/" + t.name(),
                           out.seconds);
         }
+        if (tw != nullptr)
+            tw->span(obs::TraceWriter::kPidRunner, lane, "gang",
+                     std::string("gang:") + t.name(), gang_ts,
+                     tw->nowUs() - gang_ts,
+                     {{"configs", obs::jsonNum(
+                               static_cast<std::uint64_t>(nc))},
+                      {"insts", obs::jsonNum(
+                               static_cast<std::uint64_t>(n))}});
     });
     return results;
 }

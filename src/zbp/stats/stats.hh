@@ -8,7 +8,9 @@
 #ifndef ZBP_STATS_STATS_HH
 #define ZBP_STATS_STATS_HH
 
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <map>
 #include <string>
@@ -115,26 +117,46 @@ class Group
 
     const std::string &name() const { return groupName; }
 
-    /** Append "group.stat value  # desc" lines to @p out. */
+    /**
+     * Append "group.stat value  # desc" lines to @p out.  Lines size to
+     * their content (a long name or description is never truncated),
+     * and a non-finite derived value — a ratio whose denominator is
+     * still zero, typically on an empty run — dumps as 0 rather than
+     * "inf"/"nan", so dump output is always parseable.
+     */
     void
     dump(std::string &out) const
     {
-        char buf[256];
+        char stack_buf[256];
         for (const auto &s : scalars) {
-            std::snprintf(buf, sizeof(buf), "%-48s %16.6g  # %s\n",
-                          (groupName + "." + s.name).c_str(), s.eval(),
+            const std::string label = groupName + "." + s.name;
+            const double v = finiteOrZero(s.eval());
+            const int need = std::snprintf(
+                    stack_buf, sizeof(stack_buf), "%-48s %16.6g  # %s\n",
+                    label.c_str(), v, s.desc.c_str());
+            if (need < 0)
+                continue; // encoding error: skip the line, keep dumping
+            if (static_cast<std::size_t>(need) < sizeof(stack_buf)) {
+                out += stack_buf;
+                continue;
+            }
+            // Rare long line: render again into an exact-sized buffer.
+            std::string line(static_cast<std::size_t>(need), '\0');
+            std::snprintf(line.data(), line.size() + 1,
+                          "%-48s %16.6g  # %s\n", label.c_str(), v,
                           s.desc.c_str());
-            out += buf;
+            out += line;
         }
     }
 
-    /** Look up a registered scalar by name; panics if absent. */
+    /** Look up a registered scalar by name (non-finite derived values
+     * read as 0, matching dump()); panics if absent. */
     double
     value(const std::string &name) const
     {
         for (const auto &s : scalars)
             if (s.name == name)
-                return s.eval();
+                return finiteOrZero(s.eval());
         panic("stat '", name, "' not found in group '", groupName, "'");
     }
 
@@ -154,6 +176,12 @@ class Group
         std::string desc;
         std::function<double()> eval;
     };
+
+    static double
+    finiteOrZero(double v)
+    {
+        return std::isfinite(v) ? v : 0.0;
+    }
 
     std::string groupName;
     std::vector<Scalar> scalars;

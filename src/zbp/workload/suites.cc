@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "zbp/common/log.hh"
+#include "zbp/obs/obs_config.hh"
 #include "zbp/trace/trace_io.hh"
 
 namespace zbp::workload
@@ -169,6 +170,22 @@ std::atomic<std::uint64_t> cacheHits{0};
 std::atomic<std::uint64_t> cacheMisses{0};
 std::atomic<std::uint64_t> cacheInvalid{0};
 
+/** Timeline instant for one cache lookup outcome (no-op when the
+ * timeline is off).  One shared lane: instants have no duration, so
+ * concurrent lookups from different workers render fine on it. */
+void
+noteCacheEvent(const char *what, const std::string &path)
+{
+    obs::TraceWriter *const tw = obs::globalTraceWriter();
+    if (tw == nullptr)
+        return;
+    static const std::uint32_t lane =
+            tw->newLane(obs::TraceWriter::kPidRunner, "trace cache");
+    tw->instant(obs::TraceWriter::kPidRunner, lane, "cache",
+                std::string("trace-cache:") + what, tw->nowUs(),
+                {{"path", obs::jsonStr(path)}});
+}
+
 /** The uncached generation path (the pre-cache makeSuiteTrace body). */
 trace::Trace
 generateSuiteTrace(const SuiteSpec &spec, double length_scale)
@@ -324,12 +341,15 @@ makeSuiteTrace(const SuiteSpec &spec, double length_scale)
     try {
         trace::Trace t = trace::mapTraceFile(path);
         cacheHits.fetch_add(1, std::memory_order_relaxed);
+        noteCacheEvent("hit", path);
         return t;
     } catch (const trace::TraceOpenError &) {
         // Not cached yet (or unreadable): generate and publish.
         cacheMisses.fetch_add(1, std::memory_order_relaxed);
+        noteCacheEvent("miss", path);
     } catch (const trace::TraceIoError &e) {
         cacheInvalid.fetch_add(1, std::memory_order_relaxed);
+        noteCacheEvent("invalid", path);
         warn("trace cache: regenerating corrupt entry '", path,
              "': ", e.what());
     }

@@ -83,5 +83,109 @@ TEST(GroupDeathTest, MissingStatPanics)
     EXPECT_DEATH((void)g.value("nope"), "not found");
 }
 
+TEST(Group, DumpGoldenLine)
+{
+    Counter c;
+    c += 7;
+    Group g("grp");
+    g.add("x", c, "a thing");
+    std::string out;
+    g.dump(out);
+    // The exact fixed-width format ("%-48s %16.6g  # %s\n") other
+    // tooling greps for: name left-padded to 48, value right-aligned
+    // in 16, two spaces before the comment.
+    const std::string expect = "grp.x" + std::string(43, ' ') + ' ' +
+                               std::string(15, ' ') + "7  # a thing\n";
+    EXPECT_EQ(out, expect);
+}
+
+// Regression: dump() used a fixed 256-byte line buffer, so a long
+// group/stat name or description was silently truncated mid-line.
+TEST(Group, DumpDoesNotTruncateLongLines)
+{
+    const std::string long_name(200, 'n');
+    const std::string long_desc(300, 'd');
+    Counter c;
+    c += 1;
+    Group g("averylonggroupname");
+    g.add(long_name, c, long_desc);
+    std::string out;
+    g.dump(out);
+    EXPECT_NE(out.find("averylonggroupname." + long_name),
+              std::string::npos);
+    EXPECT_NE(out.find(long_desc), std::string::npos);
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(out.back(), '\n');
+    // One complete line, not a truncated prefix.
+    EXPECT_GT(out.size(), long_name.size() + long_desc.size());
+}
+
+// A ratio over an empty run (0/0 -> nan, n/0 -> inf) must dump and
+// read back as 0, keeping dump output parseable.
+TEST(Group, NonFiniteDerivedValuesDumpAsZero)
+{
+    Counter num, den;
+    num += 5; // 5 / 0 -> inf
+    Group g("grp");
+    g.addDerived("ratioInf", [&] {
+        return static_cast<double>(num.value()) /
+               static_cast<double>(den.value());
+    });
+    g.addDerived("ratioNan",
+                 [] { return 0.0 / 0.0; });
+    EXPECT_DOUBLE_EQ(g.value("ratioInf"), 0.0);
+    EXPECT_DOUBLE_EQ(g.value("ratioNan"), 0.0);
+    std::string out;
+    g.dump(out);
+    EXPECT_EQ(out.find("inf"), std::string::npos);
+    EXPECT_EQ(out.find("nan"), std::string::npos);
+}
+
+TEST(Group, EmptyRunDumpIsCleanForEveryScalar)
+{
+    // An "empty run": counters never ticked, ratios all 0/0.
+    Counter hits, accesses;
+    Group g("cache");
+    g.add("hits", hits);
+    g.add("accesses", accesses);
+    g.addDerived("hitRate", [&] {
+        return static_cast<double>(hits.value()) /
+               static_cast<double>(accesses.value());
+    });
+    std::string out;
+    g.dump(out);
+    EXPECT_NE(out.find("cache.hitRate"), std::string::npos);
+    EXPECT_EQ(out.find("nan"), std::string::npos);
+    EXPECT_DOUBLE_EQ(g.value("hitRate"), 0.0);
+}
+
+TEST(Histogram, UnderflowStaysInFirstBucket)
+{
+    Histogram h(4, 10);
+    h.sample(0); // smallest representable sample
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, OverflowBoundaryIsExact)
+{
+    Histogram h(2, 10); // [0,10) [10,20) + overflow
+    h.sample(19);
+    h.sample(20); // first value past the covered range
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Group, ValueLooksUpDerivedAndCounterAlike)
+{
+    Counter c;
+    c += 9;
+    Group g("grp");
+    g.add("raw", c);
+    g.addDerived("scaled", [&c] { return c.value() / 3.0; });
+    EXPECT_DOUBLE_EQ(g.value("raw"), 9.0);
+    EXPECT_DOUBLE_EQ(g.value("scaled"), 3.0);
+}
+
 } // namespace
 } // namespace zbp::stats
