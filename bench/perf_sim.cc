@@ -10,6 +10,7 @@
  * into individual layers when the headline moves.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -106,6 +107,29 @@ BM_FirstLevelSearchMerged(benchmark::State &state)
     }
 }
 BENCHMARK(BM_FirstLevelSearchMerged);
+
+void
+BM_BtbSearchSimd(benchmark::State &state)
+{
+    // The dispatched row-match path (rowSig filter + way compare) over
+    // a populated table.  Run once as-built (AVX2/NEON when compiled
+    // in and supported) and once under ZBP_SIMD=0 to price the vector
+    // kernel against the scalar loop; the label records which path
+    // this process resolved to.
+    btb::SetAssocBtb t("btb1", btb::btb1Config());
+    for (Addr ia = 0; ia < 4096 * 8; ia += 10)
+        t.install(btb::BtbEntry::freshTaken(ia, ia + 64));
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(t.searchFrom(a));
+        benchmark::DoNotOptimize(t.readRow(a + 32));
+        a = (a + 14) & 0xFFFF;
+    }
+    state.SetLabel(btb::simd::activePath());
+    state.SetItemsProcessed(
+            static_cast<std::int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_BtbSearchSimd);
 
 // --- end-to-end simulation ------------------------------------------
 
@@ -274,6 +298,57 @@ BM_SweepFused3Configs(benchmark::State &state)
             state.iterations() * cfgs.size() * trace.size()));
 }
 BENCHMARK(BM_SweepFused3Configs)->Unit(benchmark::kMillisecond);
+
+void
+BM_GangMicroChunk(benchmark::State &state)
+{
+    // The fused sweep with the chunk walked in member-interleaved
+    // micro-chunks (arg = sub-window instructions; 0 = plain walk).
+    // Same work as BM_SweepFused3Configs, so the two are directly
+    // comparable and the arg sweep prices the interleave granularity.
+    const auto micro = static_cast<std::size_t>(state.range(0));
+    const auto cfgs = sweepConfigs();
+    const auto trace = benchTrace();
+    const trace::TraceIndex index(trace);
+    constexpr std::size_t kChunk = 65536;
+    for (auto _ : state) {
+        std::vector<std::unique_ptr<cpu::CoreModel>> models;
+        for (const auto &cfg : cfgs) {
+            models.push_back(std::make_unique<cpu::CoreModel>(cfg));
+            models.back()->setTraceIndex(&index);
+            models.back()->beginRun(trace);
+        }
+        std::size_t prev = 0;
+        for (std::size_t target = kChunk;; target += kChunk) {
+            bool all_done = true;
+            if (micro != 0) {
+                for (std::size_t sub = prev + micro;; sub += micro) {
+                    all_done = true;
+                    for (auto &m : models)
+                        all_done &= m->advance(std::min(sub, target));
+                    if (sub >= target || all_done)
+                        break;
+                }
+            } else {
+                for (auto &m : models)
+                    all_done &= m->advance(target);
+            }
+            if (all_done)
+                break;
+            prev = target;
+        }
+        for (auto &m : models)
+            benchmark::DoNotOptimize(m->finishRun());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+            state.iterations() * cfgs.size() * trace.size()));
+}
+BENCHMARK(BM_GangMicroChunk)
+        ->Arg(0)
+        ->Arg(1024)
+        ->Arg(4096)
+        ->Arg(16384)
+        ->Unit(benchmark::kMillisecond);
 
 // --- CMP lockstep stepping ------------------------------------------
 

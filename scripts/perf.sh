@@ -124,6 +124,20 @@ fused_sweep = {
     "speedup_vs_unfused": round(legacy_wall / fused_wall, 2),
 }
 
+# SIMD row: the same warm-cache fused sweep with the vector way-compare
+# kernels killed at runtime (ZBP_SIMD=0, scalar loop, same build).  The
+# scalar/vector ratio prices the data-parallel search path; on a
+# -DZBP_ENABLE_SIMD=OFF build both legs run scalar and the ratio sits
+# at ~1.0.
+scalar_wall, _ = sweep(results, ZBP_TRACE_CACHE=cache_dir,
+                       ZBP_SIMD="0")
+simd = {
+    "vector_wall_seconds": round(fused_wall, 3),
+    "scalar_wall_seconds": round(scalar_wall, 3),
+    "scalar_over_vector": round(scalar_wall / fused_wall, 2),
+    "fused_speedup_vs_unfused": fused_sweep["speedup_vs_unfused"],
+}
+
 # CMP row: the pinned 4-core / 4-bank point of the sharing sweep
 # (homogeneous + heterogeneous mixes), single-threaded, warm trace
 # cache.  Wall-clock tracks the lockstep-stepping overhead; the
@@ -169,6 +183,7 @@ doc = {
     "speedup_vs_baseline": round(
         baseline["wall_seconds"] / current["wall_seconds"], 2),
     "fused_sweep": fused_sweep,
+    "simd": simd,
     "cmp": cmp,
 }
 with open(out, "w") as f:
@@ -185,6 +200,9 @@ print(f"perf: fused sweep {fused_sweep['wall_seconds']}s "
       f"{fused_sweep['speedup_vs_unfused']}x, DRAM-stream amplification "
       f"{fused_sweep['dram_stream_amplification']} vs "
       f"{fused_sweep['legacy_dram_stream_amplification']}")
+print(f"perf: simd {simd['vector_wall_seconds']}s vs scalar "
+      f"(ZBP_SIMD=0) {simd['scalar_wall_seconds']}s: "
+      f"{simd['scalar_over_vector']}x")
 print(f"perf: cmp 4-core/4-bank {cmp['wall_seconds']}s, "
       f"{cmp['cycles_per_second']:.3g} simulated cycles/s, conflict "
       f"fraction homog {cmp['conflict_fraction_homog']:.4f} / hetero "

@@ -1,5 +1,7 @@
 #include "zbp/btb/set_assoc_btb.hh"
 
+#include <stdexcept>
+
 namespace zbp::btb
 {
 
@@ -29,30 +31,39 @@ SetAssocBtb::SetAssocBtb(std::string name, const BtbConfig &cfg_)
 {
     ZBP_ASSERT(isPowerOf2(cfg.rows), "BTB rows must be a power of two");
     ZBP_ASSERT(isPowerOf2(cfg.rowBytes), "rowBytes must be a power of two");
-    ZBP_ASSERT(cfg.ways >= 1, "BTB needs at least one way");
-    ZBP_ASSERT(cfg.ways <= kMaxBtbWays,
-               "BTB ways exceed the inline hit-list capacity");
+    // The hit list and the padded key-plane lane group are fixed at
+    // kMaxBtbWays; a wider config would overflow both, so it is a
+    // construction error, not an assert (sweeps feed user geometry here).
+    if (cfg.ways < 1 || cfg.ways > kMaxBtbWays) {
+        throw std::invalid_argument(
+                "SetAssocBtb '" + btbName + "': ways " +
+                std::to_string(cfg.ways) + " outside the supported range "
+                "1.." + std::to_string(kMaxBtbWays) +
+                " (inline hit-list / lane-group capacity)");
+    }
     ZBP_ASSERT(cfg.tagBits >= 1 && cfg.tagBits <= 58, "bad tagBits");
     cfg.precompute();
-    slots.resize(cfg.entries());
+    const std::size_t n = std::size_t{cfg.rows} * kWayStride;
+    keys.assign(n, 0);
+    ias.assign(n, 0);
+    targets.assign(n, 0);
+    meta.assign(n, 0);
     rowSig.assign(cfg.rows, 0);
     lru.reserve(cfg.rows);
     for (std::uint32_t r = 0; r < cfg.rows; ++r)
         lru.emplace_back(cfg.ways);
 }
 
-BtbEntry &
-SetAssocBtb::at(std::uint32_t row, std::uint32_t way)
+void
+SetAssocBtb::update(std::uint32_t row, std::uint32_t way,
+                    const BtbEntry &e)
 {
     ZBP_ASSERT(row < cfg.rows && way < cfg.ways, "slot out of range");
-    return rowPtr(row)[way];
-}
-
-const BtbEntry &
-SetAssocBtb::at(std::uint32_t row, std::uint32_t way) const
-{
-    ZBP_ASSERT(row < cfg.rows && way < cfg.ways, "slot out of range");
-    return rowPtr(row)[way];
+    ZBP_ASSERT(e.valid, "writing an invalid entry back");
+    storeEntry(row, way, e);
+    // Keep the row filter a superset of the stored tags (the write-back
+    // normally leaves ia untouched, making this a no-op OR).
+    rowSig[row] |= tagSig(e.ia);
 }
 
 std::optional<BtbEntry>
@@ -61,26 +72,29 @@ SetAssocBtb::install(const BtbEntry &e, bool make_mru)
     ZBP_ASSERT(e.valid, "installing an invalid entry");
     const std::uint32_t row = rowOf(e.ia);
     rowSig[row] |= tagSig(e.ia);
-    BtbEntry *r = rowPtr(row);
+    const std::size_t base = slotBase(row);
 
-    // Same-branch update in place.
-    for (std::uint32_t w = 0; w < cfg.ways; ++w) {
-        if (r[w].valid && tagMatch(r[w].ia, e.ia) &&
-            ((r[w].ia ^ e.ia) & cfg.offsetMask) == 0) {
-            r[w] = e;
-            if (make_mru)
-                lru[row].touch(w);
-            else
-                lru[row].demote(w);
-            ++nUpdates;
-            return std::nullopt;
-        }
+    // Same-branch update in place (tag match + same row offset).
+    std::uint32_t m = simd::matchWays(&keys[base], searchKey(e.ia),
+                                      cfg.ways);
+    while (m != 0) {
+        const auto w = static_cast<std::uint32_t>(std::countr_zero(m));
+        m &= m - 1;
+        if (((ias[base + w] ^ e.ia) & cfg.offsetMask) != 0)
+            continue;
+        storeEntry(row, w, e);
+        if (make_mru)
+            lru[row].touch(w);
+        else
+            lru[row].demote(w);
+        ++nUpdates;
+        return std::nullopt;
     }
 
     // Prefer an invalid way; otherwise replace LRU.
     std::uint32_t victim_way = cfg.ways;
     for (std::uint32_t w = 0; w < cfg.ways; ++w) {
-        if (!r[w].valid) {
+        if ((keys[base + w] & kValidBit) == 0) {
             victim_way = w;
             break;
         }
@@ -88,10 +102,10 @@ SetAssocBtb::install(const BtbEntry &e, bool make_mru)
     std::optional<BtbEntry> displaced;
     if (victim_way == cfg.ways) {
         victim_way = lru[row].lru();
-        displaced = r[victim_way];
+        displaced = entryAt(row, victim_way);
         ++nEvictions;
     }
-    r[victim_way] = e;
+    storeEntry(row, victim_way, e);
     if (make_mru)
         lru[row].touch(victim_way);
     else
@@ -118,7 +132,7 @@ bool
 SetAssocBtb::invalidate(Addr ia)
 {
     if (auto hit = lookup(ia)) {
-        rowPtr(hit->row)[hit->way].clear();
+        clearSlot(hit->row, hit->way);
         lru[hit->row].demote(hit->way);
         return true;
     }
@@ -128,8 +142,9 @@ SetAssocBtb::invalidate(Addr ia)
 void
 SetAssocBtb::reset()
 {
-    for (auto &s : slots)
-        s.clear();
+    // Clearing the key plane invalidates every slot; the wider planes
+    // are dead until their lane is re-validated by a store.
+    keys.assign(keys.size(), 0);
     rowSig.assign(cfg.rows, 0);
     // Recency must go with the contents: a reset table should fill way
     // 0 first again, not in whatever order history left behind.
@@ -154,27 +169,30 @@ SetAssocBtb::corruptEntry(Rng &rng, Addr where)
     // A parity hit lands on one way of the accessed row.  Hitting an
     // empty way has no architectural effect; a populated way either
     // loses its entry outright or keeps it with a flipped stored bit.
-    BtbEntry &e = rowPtr(rowOf(where))[rng.below(cfg.ways)];
-    if (!e.valid)
+    const std::uint32_t row = rowOf(where);
+    const std::uint32_t way = rng.below(cfg.ways);
+    const std::size_t s = slotBase(row) + way;
+    if ((keys[s] & kValidBit) == 0)
         return;
     switch (rng.below(3)) {
       case 0:
         // Parity-scrubbed: the entry is dropped (next use = surprise).
-        e.clear();
+        keys[s] = 0;
         break;
       case 1:
         // Stored target bit flip: a taken prediction goes to a wrong
         // address and is corrected at resolve (mispredictTarget).
-        e.target ^= Addr{1} << rng.below(48);
+        targets[s] ^= Addr{1} << rng.below(48);
         break;
       default:
         // Stored tag bit flip: the entry stops matching its branch
         // (and may alias another), staying within the same row.
-        e.ia ^= Addr{1} << (cfg.tagShift + rng.below(8));
-        // The flipped tag bypassed install(); keep the row filter a
-        // superset of the stored tags so the aliased match stays
-        // findable.
-        rowSig[rowOf(where)] |= tagSig(e.ia);
+        ias[s] ^= Addr{1} << (cfg.tagShift + rng.below(8));
+        // The flipped tag bypassed install(); refresh the key lane and
+        // keep the row filter a superset of the stored tags so the
+        // aliased match stays findable.
+        keys[s] = searchKey(ias[s]);
+        rowSig[row] |= tagSig(ias[s]);
         break;
     }
 }
@@ -183,8 +201,9 @@ std::uint64_t
 SetAssocBtb::validCount() const
 {
     std::uint64_t n = 0;
-    for (const auto &s : slots)
-        n += s.valid ? 1 : 0;
+    for (std::uint32_t r = 0; r < cfg.rows; ++r)
+        for (std::uint32_t w = 0; w < cfg.ways; ++w)
+            n += (keys[slotBase(r) + w] & kValidBit) != 0 ? 1 : 0;
     return n;
 }
 

@@ -9,6 +9,15 @@
  * 32-byte chunk of code, which is what lets the first-level search make
  * up to two not-taken predictions per row per cycle (paper §3.2).
  *
+ * Storage is structure-of-arrays: the search-relevant state lives in a
+ * packed key plane (one 64-bit valid|tag word per way, rows padded to
+ * kMaxBtbWays lanes so a row's keys are exactly one 64-byte line), with
+ * the instruction address, target and direction/gate planes held in
+ * separate contiguous arrays.  A row search touches only the signature
+ * and key planes — matchable by one vector compare (btb/simd.hh) — and
+ * the wider planes are read per *hit*, not per way probed.  BtbEntry is
+ * a materialized view assembled on demand.
+ *
  * The class exposes the LRU surgery the semi-exclusive hierarchy needs:
  * install into the LRU way, explicit demote-to-LRU (BTB2 hits), and
  * promote-to-MRU (BTB1 victims written into the BTB2).
@@ -17,23 +26,27 @@
 #ifndef ZBP_BTB_SET_ASSOC_BTB_HH
 #define ZBP_BTB_SET_ASSOC_BTB_HH
 
-#include <array>
+#include <bit>
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "zbp/btb/btb_entry.hh"
+#include "zbp/btb/simd.hh"
 #include "zbp/common/bitfield.hh"
 #include "zbp/fault/fault_injector.hh"
 #include "zbp/stats/stats.hh"
+#include "zbp/util/inline_vec.hh"
 #include "zbp/util/lru.hh"
 
 namespace zbp::btb
 {
 
-/** Upper bound on ways for the inline hit list (largest real config,
- * BTBP/BTB2, uses 6; the Fig. 5 sweep never exceeds that). */
+/** Upper bound on ways for the inline hit list and the padded key-plane
+ * row stride (largest real config, BTBP/BTB2, uses 6; the Fig. 5 sweep
+ * never exceeds that).  Constructor-enforced: a config with more ways
+ * is rejected with std::invalid_argument. */
 constexpr std::uint32_t kMaxBtbWays = 8;
 
 /** Geometry of one BTB level. */
@@ -76,59 +89,34 @@ BtbConfig btbpConfig();
 /** zEC12 BTB2: 24k branches, 4k x 6, IA bits 47:58. */
 BtbConfig btb2Config();
 
-/** Reference to an entry found in the structure. */
+/** An entry found in the structure: its slot plus a materialized copy
+ * of the SoA planes' content for that way. */
 struct BtbHit
 {
     std::uint32_t row;
     std::uint32_t way;
-    const BtbEntry *entry;
+    BtbEntry entry;
 };
 
 /**
  * Fixed-capacity hit list: at most one hit per way, so a row access can
  * never produce more than kMaxBtbWays hits.  Returned by value from the
- * row-access primitives without touching the heap.
+ * row-access primitives without touching the heap; raw-storage backed
+ * (util/inline_vec.hh) so constructing one for the common empty-probe
+ * case writes one size field, not kMaxBtbWays blank entries.
  */
-class BtbHitList
-{
-  public:
-    using const_iterator = const BtbHit *;
+using BtbHitList = InlineVec<BtbHit, kMaxBtbWays>;
 
-    std::size_t size() const { return n; }
-    bool empty() const { return n == 0; }
-
-    const BtbHit &operator[](std::size_t i) const { return hits[i]; }
-
-    const_iterator begin() const { return hits.data(); }
-    const_iterator end() const { return hits.data() + n; }
-
-    void
-    push_back(const BtbHit &h)
-    {
-        ZBP_ASSERT(n < kMaxBtbWays, "BtbHitList overflow");
-        hits[n++] = h;
-    }
-
-    /** Insert @p h before position @p pos, shifting the tail up. */
-    void
-    insertAt(std::size_t pos, const BtbHit &h)
-    {
-        ZBP_ASSERT(pos <= n && n < kMaxBtbWays, "BtbHitList overflow");
-        for (std::size_t i = n; i > pos; --i)
-            hits[i] = hits[i - 1];
-        hits[pos] = h;
-        ++n;
-    }
-
-  private:
-    std::array<BtbHit, kMaxBtbWays> hits;
-    std::size_t n = 0;
-};
-
-/** Generic tagged set-associative BTB. */
+/** Generic tagged set-associative BTB (SoA planes, vector search). */
 class SetAssocBtb
 {
   public:
+    /** Padded way stride of every plane: each row's key lane group is
+     * one 64-byte line regardless of the configured associativity. */
+    static constexpr std::uint32_t kWayStride = kMaxBtbWays;
+
+    /** Throws std::invalid_argument when cfg.ways is 0 or exceeds
+     * kMaxBtbWays (the inline hit-list / lane-group capacity). */
     SetAssocBtb(std::string name, const BtbConfig &cfg);
 
     const BtbConfig &config() const { return cfg; }
@@ -167,6 +155,58 @@ class SetAssocBtb
                << ((tag * 0x9E3779B97F4A7C15ull) >> 58);
     }
 
+    /** The key-plane word a lookup of @p ia must equal: valid bit ORed
+     * with the tag (tagBits <= 58, so bit 63 is free).  Invalid and
+     * padding lanes hold 0 and can never equal a search key. */
+    std::uint64_t
+    searchKey(Addr ia) const
+    {
+        return kValidBit | ((ia >> cfg.tagShift) & cfg.tagMask);
+    }
+
+    /**
+     * The shared row prefilter + way compare: per-way bitmask of valid,
+     * tag-matching lanes of @p row for a lookup of @p ia.  One inlined
+     * helper feeds searchFrom, readRow, lookup and install so the SIMD
+     * and scalar paths (btb/simd.hh) are exercised identically
+     * everywhere: the rowSig test rejects most foreign rows on one
+     * 64-bit load, and the key compare runs data-parallel across the
+     * padded lane group.
+     */
+    std::uint32_t
+    rowMatchMask(std::uint32_t row, Addr ia) const
+    {
+        if ((rowSig[row] & tagSig(ia)) == 0)
+            return 0;
+        return simd::matchWays(&keys[slotBase(row)], searchKey(ia),
+                               cfg.ways);
+    }
+
+    /** Can the row of @p ia possibly hold a tag match?  The bare rowSig
+     * filter probe, for callers that combine several tables' filters
+     * into one fruitless-search fast path.  Skips the fault hook — only
+     * valid when no injector is attached (see faultFree()). */
+    bool
+    sigHit(Addr ia) const
+    {
+        return (rowSig[rowOf(ia)] & tagSig(ia)) != 0;
+    }
+
+    /** True when no fault injector is attached, i.e. a probe carries no
+     * injection opportunity and filter-only fast paths are exact. */
+    bool faultFree() const { return faults == nullptr; }
+
+    /** Hint the signature + key planes of the row of @p ia into cache
+     * ahead of a probe (semantics-free; used to overlap the BTB1/BTBP
+     * loads of one first-level search and the BTB2 bulk-read stream). */
+    void
+    prefetchProbe(Addr ia) const
+    {
+        const std::uint32_t row = rowOf(ia);
+        simd::prefetchRead(&rowSig[row]);
+        simd::prefetchRead(&keys[slotBase(row)]);
+    }
+
     /**
      * Search the row of @p search_addr for valid, tag-matching branches
      * located at or after @p search_addr, in ascending address order.
@@ -183,27 +223,28 @@ class SetAssocBtb
         BtbHitList hits;
         // Filter check after the fault hook: a corruption on this very
         // access updates rowSig before we read it.
-        if ((rowSig[row] & tagSig(search_addr)) == 0)
+        std::uint32_t m = rowMatchMask(row, search_addr);
+        if (m == 0)
             return hits;
-        const BtbEntry *r = rowPtr(row);
+        const Addr *ia_lane = &ias[slotBase(row)];
         const std::uint64_t from = search_addr & cfg.offsetMask;
-        // Walking ways in ascending order and inserting by row offset
-        // keeps the list sorted by (offset, way) without a sort pass.
-        for (std::uint32_t w = 0; w < cfg.ways; ++w) {
-            const BtbEntry &e = r[w];
-            if (!e.valid || !tagMatch(e.ia, search_addr))
-                continue;
+        // Walking match lanes in ascending way order and inserting by
+        // row offset keeps the list sorted by (offset, way) without a
+        // sort pass.
+        do {
+            const auto w = static_cast<std::uint32_t>(std::countr_zero(m));
+            m &= m - 1;
             // Same-row offset comparison: only branches at or after
             // the search point are candidates.
-            const std::uint64_t off = e.ia & cfg.offsetMask;
+            const std::uint64_t off = ia_lane[w] & cfg.offsetMask;
             if (off < from)
                 continue;
             std::size_t pos = hits.size();
             while (pos > 0 &&
-                   (hits[pos - 1].entry->ia & cfg.offsetMask) > off)
+                   (hits[pos - 1].entry.ia & cfg.offsetMask) > off)
                 --pos;
-            hits.insertAt(pos, {row, w, &e});
-        }
+            hits.insertAt(pos, {row, w, entryAt(row, w)});
+        } while (m != 0);
         return hits;
     }
 
@@ -216,13 +257,11 @@ class SetAssocBtb
             faults->onAccess(faultSite, row_addr);
         const std::uint32_t row = rowOf(row_addr);
         BtbHitList hits;
-        if ((rowSig[row] & tagSig(row_addr)) == 0)
-            return hits;
-        const BtbEntry *r = rowPtr(row);
-        for (std::uint32_t w = 0; w < cfg.ways; ++w) {
-            const BtbEntry &e = r[w];
-            if (e.valid && tagMatch(e.ia, row_addr))
-                hits.push_back({row, w, &e});
+        std::uint32_t m = rowMatchMask(row, row_addr);
+        while (m != 0) {
+            const auto w = static_cast<std::uint32_t>(std::countr_zero(m));
+            m &= m - 1;
+            hits.push_back({row, w, entryAt(row, w)});
         }
         return hits;
     }
@@ -234,22 +273,49 @@ class SetAssocBtb
         if (faults != nullptr)
             faults->onAccess(faultSite, ia);
         const std::uint32_t row = rowOf(ia);
-        if ((rowSig[row] & tagSig(ia)) == 0)
-            return std::nullopt;
-        const BtbEntry *r = rowPtr(row);
-        for (std::uint32_t w = 0; w < cfg.ways; ++w) {
-            const BtbEntry &e = r[w];
-            if (e.valid && tagMatch(e.ia, ia) &&
-                ((e.ia ^ ia) & cfg.offsetMask) == 0) {
-                return BtbHit{row, w, &e};
-            }
+        std::uint32_t m = rowMatchMask(row, ia);
+        const Addr *ia_lane = &ias[slotBase(row)];
+        while (m != 0) {
+            const auto w = static_cast<std::uint32_t>(std::countr_zero(m));
+            m &= m - 1;
+            if (((ia_lane[w] ^ ia) & cfg.offsetMask) == 0)
+                return BtbHit{row, w, entryAt(row, w)};
         }
         return std::nullopt;
     }
 
-    /** Mutable access for in-place update of a known slot. */
-    BtbEntry &at(std::uint32_t row, std::uint32_t way);
-    const BtbEntry &at(std::uint32_t row, std::uint32_t way) const;
+    /** Materialize the entry stored in a known slot (invalid entries
+     * come back as a default BtbEntry with valid=false). */
+    BtbEntry
+    entryAt(std::uint32_t row, std::uint32_t way) const
+    {
+        ZBP_ASSERT(row < cfg.rows && way < cfg.ways, "slot out of range");
+        const std::size_t s = slotBase(row) + way;
+        BtbEntry e;
+        if ((keys[s] & kValidBit) == 0)
+            return e;
+        e.valid = true;
+        e.ia = ias[s];
+        e.target = targets[s];
+        e.dir = Bimodal2(static_cast<std::uint8_t>(meta[s] & kDirMask));
+        e.phtAllowed = (meta[s] & kPhtBit) != 0;
+        e.ctbAllowed = (meta[s] & kCtbBit) != 0;
+        return e;
+    }
+
+    /** Write @p e back into a known slot (resolve-time training:
+     * read-modify-write replaces the old mutable at() accessor). */
+    void update(std::uint32_t row, std::uint32_t way, const BtbEntry &e);
+
+    /** In-place direction-state update of a known valid slot. */
+    void
+    setDir(std::uint32_t row, std::uint32_t way, Bimodal2 dir)
+    {
+        ZBP_ASSERT(row < cfg.rows && way < cfg.ways, "slot out of range");
+        const std::size_t s = slotBase(row) + way;
+        meta[s] = static_cast<std::uint8_t>(
+                (meta[s] & ~kDirMask) | dir.raw());
+    }
 
     /**
      * Install @p e, replacing an existing entry for the same branch if
@@ -301,16 +367,34 @@ class SetAssocBtb
     }
 
   private:
-    BtbEntry *
-    rowPtr(std::uint32_t row)
+    static constexpr std::uint64_t kValidBit = std::uint64_t{1} << 63;
+    static constexpr std::uint8_t kDirMask = 0x3;
+    static constexpr std::uint8_t kPhtBit = 0x4;
+    static constexpr std::uint8_t kCtbBit = 0x8;
+
+    std::size_t
+    slotBase(std::uint32_t row) const
     {
-        return &slots[static_cast<std::size_t>(row) * cfg.ways];
+        return static_cast<std::size_t>(row) * kWayStride;
     }
 
-    const BtbEntry *
-    rowPtr(std::uint32_t row) const
+    /** Write every plane of one slot from @p e (must be valid). */
+    void
+    storeEntry(std::uint32_t row, std::uint32_t way, const BtbEntry &e)
     {
-        return &slots[static_cast<std::size_t>(row) * cfg.ways];
+        const std::size_t s = slotBase(row) + way;
+        keys[s] = searchKey(e.ia);
+        ias[s] = e.ia;
+        targets[s] = e.target;
+        meta[s] = static_cast<std::uint8_t>(
+                e.dir.raw() | (e.phtAllowed ? kPhtBit : 0) |
+                (e.ctbAllowed ? kCtbBit : 0));
+    }
+
+    void
+    clearSlot(std::uint32_t row, std::uint32_t way)
+    {
+        keys[slotBase(row) + way] = 0;
     }
 
     /** Apply one parity-hit-like corruption to the row of @p where. */
@@ -318,7 +402,11 @@ class SetAssocBtb
 
     std::string btbName;
     BtbConfig cfg;
-    std::vector<BtbEntry> slots; ///< rows x ways
+    // SoA planes, each rows x kWayStride (lanes >= ways stay zero).
+    std::vector<std::uint64_t> keys; ///< valid|tag search plane
+    std::vector<Addr> ias;           ///< full instruction addresses
+    std::vector<Addr> targets;       ///< predicted-taken targets
+    std::vector<std::uint8_t> meta;  ///< dir state + PHT/CTB gate bits
     std::vector<std::uint64_t> rowSig; ///< per-row tag-presence filter
     std::vector<LruState> lru;
     fault::FaultInjector *faults = nullptr; ///< null = injection off

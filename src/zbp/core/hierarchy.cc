@@ -19,12 +19,33 @@ BranchPredictorHierarchy::BranchPredictorHierarchy(
       sbht(p.surpriseBhtEntries),
       fitTable(p.search.fitEntries)
 {
+    // Both histories fold against the same table geometry on every
+    // prediction/resolve; maintain those folds incrementally across
+    // pushes instead of re-walking the path ring per hash extraction.
+    specHist.configureHashCache(phtTable.indexWidth(),
+                                ctbTable.indexWidth(),
+                                phtTable.tagWidth());
+    archHist.configureHashCache(phtTable.indexWidth(),
+                                ctbTable.indexWidth(),
+                                phtTable.tagWidth());
 }
 
 CandidateList
 BranchPredictorHierarchy::searchFirstLevel(Addr search_addr) const
 {
     CandidateList out;
+
+    // Most searches probe sequential code with no stored branches: when
+    // both row filters miss (and no fault injector needs its access
+    // hook), the search is over after two signature loads.
+    if (btb1Ptr->faultFree() && btbpPtr->faultFree() &&
+        !btb1Ptr->sigHit(search_addr) && !btbpPtr->sigHit(search_addr))
+        return out;
+
+    // Both structures probe the same trace address; hint both key
+    // planes up front so the BTBP's loads overlap the BTB1's compare.
+    btb1Ptr->prefetchProbe(search_addr);
+    btbpPtr->prefetchProbe(search_addr);
 
     // Insertion keeps the list ordered by perceived IA throughout, so
     // the duplicate check and the final sort collapse into the
@@ -33,7 +54,7 @@ BranchPredictorHierarchy::searchFirstLevel(Addr search_addr) const
         const Addr row_base = alignDown(search_addr, t.config().rowBytes);
         for (const auto &h : t.searchFrom(search_addr)) {
             const Addr perceived =
-                    row_base + (h.entry->ia & t.config().offsetMask);
+                    row_base + (h.entry.ia & t.config().offsetMask);
             // Collapse duplicates across levels (same perceived IA):
             // BTB1 is consumed first and wins.
             std::size_t pos = 0;
@@ -42,7 +63,7 @@ BranchPredictorHierarchy::searchFirstLevel(Addr search_addr) const
             if (pos < out.size() && out[pos].perceivedIa == perceived)
                 continue;
             Candidate c;
-            c.entry = *h.entry;
+            c.entry = h.entry;
             c.source = src;
             c.perceivedIa = perceived;
             // MRU-way information affects re-index timing (Table 1).
@@ -67,8 +88,10 @@ BranchPredictorHierarchy::makePrediction(const Candidate &c,
     p.ia = c.perceivedIa;
     p.source = c.source;
     // Fold the pre-branch speculative history once; the same hashes
-    // serve the lookups below and the resolve-time training.
+    // serve the lookups below and the resolve-time training.  Hint
+    // both rows now so their loads overlap the bimodal decision.
     p.hist = hashesOf(specHist);
+    prefetchDirTables(p.hist);
 
     // Direction: bimodal state, PHT override when the entry's gate bit
     // allows it and the PHT has a tag hit.
@@ -121,7 +144,7 @@ BranchPredictorHierarchy::makePrediction(const Candidate &c,
     } else {
         // In-place speculative counter update + recency.
         if (auto h = btb1Ptr->lookup(updated.ia)) {
-            btb1Ptr->at(h->row, h->way).dir = updated.dir;
+            btb1Ptr->setDir(h->row, h->way, updated.dir);
             btb1Ptr->touch(updated.ia);
         }
     }
@@ -193,9 +216,10 @@ BranchPredictorHierarchy::resolvePredicted(const Prediction &pred,
     if (home == nullptr)
         return; // evicted in flight; nothing to train
 
-    btb::BtbEntry &entry = home->at(h->row, h->way);
+    btb::BtbEntry entry = home->entryAt(h->row, h->way);
     trainAfterResolve(entry, &pred, pred.hist, kind, actual_taken,
                       actual_target);
+    home->update(h->row, h->way, entry);
 }
 
 void
@@ -211,13 +235,17 @@ BranchPredictorHierarchy::resolveSurprise(Addr ia, trace::InstKind kind,
     // includes this branch (pushed above), matching the pre-hashes
     // behaviour of passing the live architectural history.
     if (auto h = btb1Ptr->lookup(ia)) {
-        trainAfterResolve(btb1Ptr->at(h->row, h->way), nullptr,
-                          hashesOf(archHist), kind, taken, target);
+        btb::BtbEntry entry = btb1Ptr->entryAt(h->row, h->way);
+        trainAfterResolve(entry, nullptr, hashesOf(archHist), kind,
+                          taken, target);
+        btb1Ptr->update(h->row, h->way, entry);
         return;
     }
     if (auto h = btbpPtr->lookup(ia)) {
-        trainAfterResolve(btbpPtr->at(h->row, h->way), nullptr,
-                          hashesOf(archHist), kind, taken, target);
+        btb::BtbEntry entry = btbpPtr->entryAt(h->row, h->way);
+        trainAfterResolve(entry, nullptr, hashesOf(archHist), kind,
+                          taken, target);
+        btbpPtr->update(h->row, h->way, entry);
         return;
     }
 

@@ -53,39 +53,11 @@ struct Candidate
 /**
  * Fixed-capacity, perceived-IA-ordered candidate list.  One first-level
  * search consumes at most one hit per way of BTB1 and BTBP, so the
- * bound is 2 x kMaxBtbWays; keeping it inline makes searchFirstLevel
- * allocation-free.
+ * bound is 2 x kMaxBtbWays; inline raw storage (util/inline_vec.hh)
+ * keeps searchFirstLevel allocation-free and makes the dominant
+ * empty-search case cost one size-field store.
  */
-class CandidateList
-{
-  public:
-    static constexpr std::size_t kCapacity = 2 * btb::kMaxBtbWays;
-
-    using const_iterator = const Candidate *;
-
-    std::size_t size() const { return n; }
-    bool empty() const { return n == 0; }
-
-    const Candidate &operator[](std::size_t i) const { return cands[i]; }
-
-    const_iterator begin() const { return cands.data(); }
-    const_iterator end() const { return cands.data() + n; }
-
-    /** Insert @p c before position @p pos, shifting the tail up. */
-    void
-    insertAt(std::size_t pos, const Candidate &c)
-    {
-        ZBP_ASSERT(pos <= n && n < kCapacity, "CandidateList overflow");
-        for (std::size_t i = n; i > pos; --i)
-            cands[i] = cands[i - 1];
-        cands[pos] = c;
-        ++n;
-    }
-
-  private:
-    std::array<Candidate, kCapacity> cands;
-    std::size_t n = 0;
-};
+using CandidateList = InlineVec<Candidate, 2 * btb::kMaxBtbWays>;
 
 /** The full first+second level branch prediction state. */
 class BranchPredictorHierarchy
@@ -126,6 +98,26 @@ class BranchPredictorHierarchy
      * copy preferred).
      */
     CandidateList searchFirstLevel(Addr search_addr) const;
+
+    /** Hint both first-level tables' row planes for an upcoming probe
+     * of @p search_addr (issued when the next search address is frozen,
+     * consumed by searchFirstLevel cycles later). */
+    void
+    prefetchFirstLevel(Addr search_addr) const
+    {
+        btb1Ptr->prefetchProbe(search_addr);
+        btbpPtr->prefetchProbe(search_addr);
+    }
+
+    /** Hint the PHT/CTB rows addressed by pre-folded hashes @p h
+     * (issued at decode for the whole chunk of in-flight predictions,
+     * consumed at resolve-time training). */
+    void
+    prefetchDirTables(const dir::HistoryHashes &h) const
+    {
+        phtTable.prefetchHashed(h.phtIndex);
+        ctbTable.prefetchHashed(h.ctbIndex);
+    }
 
     /**
      * Turn a candidate into a broadcast prediction: choose direction

@@ -45,6 +45,10 @@ SearchPipeline::tick(Cycle now)
         return; // retry next cycle; the lookahead is capped
     }
     doSearch(now);
+    // doSearch just froze the next search address (re-index, sequential
+    // advance, or continue-past-row); hint those rows now so the next
+    // probe's key planes are resident when it issues.
+    bp.prefetchFirstLevel(searchAddr);
 }
 
 void

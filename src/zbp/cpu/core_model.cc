@@ -574,6 +574,10 @@ CoreModel::handlePredictedBranch(const trace::Instruction &inst,
     ev.taken = inst.taken;
     ev.target = inst.taken ? inst.target : kNoAddr;
     events.push_back(ev);
+    // The hashes were frozen at prediction time; hint the PHT/CTB rows
+    // they address so resolve-time training (decodeToResolve cycles of
+    // sim time, but soon in wall time) finds the lines resident.
+    bp->prefetchDirTables(p.hist);
 
     if (p.availableAt > now) {
         // The prediction exists but broadcast too late: the branch is

@@ -16,6 +16,7 @@
 #include <optional>
 #include <vector>
 
+#include "zbp/btb/simd.hh"
 #include "zbp/common/bitfield.hh"
 #include "zbp/common/types.hh"
 #include "zbp/dir/history.hh"
@@ -49,6 +50,14 @@ class Ctb
     lookup(Addr ia, const HistoryState &h) const
     {
         return lookupHashed(ia, indexOf(h));
+    }
+
+    /** Hint the row addressed by a pre-folded @p index into cache
+     * (no fault hook, no architectural effect). */
+    void
+    prefetchHashed(std::uint64_t index) const
+    {
+        btb::simd::prefetchRead(&table[index]);
     }
 
     /** lookup() with the history pre-folded. */

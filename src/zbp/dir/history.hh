@@ -84,25 +84,58 @@ class HistoryState
     }
 
     /**
-     * All three table hashes in one traversal of the path ring.
+     * Pre-register the table geometry so the three path folds are
+     * maintained incrementally across push() instead of being
+     * recomputed per hashes() call.  hashes() with the same widths
+     * then reads three live accumulators; other widths still take the
+     * fold3 path.  Purely an acceleration: results are bit-identical
+     * either way.
+     */
+    void
+    configureHashCache(unsigned pht_index_bits, unsigned ctb_index_bits,
+                       unsigned tag_bits)
+    {
+        ZBP_ASSERT(!cacheOn, "hash cache configured twice");
+        cachePhtSlot = path.registerFold(kPhtPathDepth, pht_index_bits);
+        cacheCtbSlot = path.registerFold(kPathDepth, ctb_index_bits);
+        cacheTagSlot = path.registerFold(kPathDepth, tag_bits);
+        cachePhtBits = pht_index_bits;
+        cacheCtbBits = ctb_index_bits;
+        cacheTagBits = tag_bits;
+        cacheOn = true;
+    }
+
+    /**
+     * All three table hashes at once.  With a configured hash cache of
+     * matching widths this reads the incrementally-maintained
+     * accumulators; otherwise it folds the path ring in one traversal.
      * Bit-identical to {phtIndex(pht_index_bits),
-     * pathTagHash(tag_bits), ctbIndex(ctb_index_bits)} but ~3x cheaper:
+     * pathTagHash(tag_bits), ctbIndex(ctb_index_bits)} in both modes:
      * this runs once per prediction on the search hot path.
      */
     HistoryHashes
     hashes(unsigned pht_index_bits, unsigned ctb_index_bits,
            unsigned tag_bits) const
     {
+        const std::uint64_t dv = dirs.value();
+        const std::uint64_t d = dv & ((std::uint64_t{1} << kDirDepth) - 1);
+        HistoryHashes hh;
+        if (cacheOn && pht_index_bits == cachePhtBits &&
+            ctb_index_bits == cacheCtbBits && tag_bits == cacheTagBits) {
+            hh.phtIndex = (path.foldAcc(cachePhtSlot) ^ d ^ (d << 3)) &
+                          ((std::uint64_t{1} << pht_index_bits) - 1);
+            hh.phtTagHash = path.foldAcc(cacheTagSlot) ^
+                            (dv & maskBits(tag_bits));
+            hh.ctbIndex = path.foldAcc(cacheCtbSlot);
+            return hh;
+        }
         PathHistory::FoldStep fp(kPhtPathDepth, pht_index_bits);
         PathHistory::FoldStep fc(kPathDepth, ctb_index_bits);
         PathHistory::FoldStep ft(kPathDepth, tag_bits);
         path.fold3(fp, fc, ft);
-        const std::uint64_t d = dirs.value() &
-                ((std::uint64_t{1} << kDirDepth) - 1);
-        HistoryHashes hh;
         hh.phtIndex = (fp.acc ^ d ^ (d << 3)) &
                       ((std::uint64_t{1} << pht_index_bits) - 1);
-        hh.phtTagHash = ft.acc ^ (dirs.value() & maskBits(tag_bits));
+        hh.phtTagHash = ft.acc ^ (dv & maskBits(tag_bits));
         hh.ctbIndex = fc.acc;
         return hh;
     }
@@ -119,7 +152,7 @@ class HistoryState
     copyFrom(const HistoryState &other)
     {
         dirs.set(other.dirs.value());
-        path.restore(other.path.snapshot());
+        path.copyFrom(other.path);
     }
 
     std::uint64_t directionBits() const { return dirs.value(); }
@@ -127,6 +160,13 @@ class HistoryState
   private:
     DirectionHistory dirs;
     PathHistory path;
+    unsigned cachePhtSlot = 0;
+    unsigned cacheCtbSlot = 0;
+    unsigned cacheTagSlot = 0;
+    unsigned cachePhtBits = 0;
+    unsigned cacheCtbBits = 0;
+    unsigned cacheTagBits = 0;
+    bool cacheOn = false;
 };
 
 } // namespace zbp::dir

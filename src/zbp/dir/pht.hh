@@ -18,6 +18,7 @@
 #include <optional>
 #include <vector>
 
+#include "zbp/btb/simd.hh"
 #include "zbp/common/bitfield.hh"
 #include "zbp/dir/history.hh"
 #include "zbp/fault/fault_injector.hh"
@@ -61,6 +62,16 @@ class Pht
     lookup(Addr ia, const HistoryState &h) const
     {
         return lookupHashed(ia, indexOf(h), tagHashOf(h));
+    }
+
+    /** Hint the row addressed by a pre-folded @p index into cache.
+     * Pure prefetch: no fault hook, no architectural effect.  Issued
+     * where the hashes are frozen (decode) so the line is resident by
+     * the time lookupHashed/updateHashed consume it. */
+    void
+    prefetchHashed(std::uint64_t index) const
+    {
+        btb::simd::prefetchRead(&table[index]);
     }
 
     /** lookup() with the history pre-folded (hot path: the search

@@ -64,6 +64,7 @@ Btb2Engine::allocTracker(Addr block)
 void
 Btb2Engine::noteBtb1Miss(Addr miss_addr, Cycle now)
 {
+    nextEventStale = true;
     ++nMissReports;
     const Addr block = blockOf(miss_addr);
 
@@ -95,6 +96,7 @@ Btb2Engine::noteBtb1Miss(Addr miss_addr, Cycle now)
 void
 Btb2Engine::noteICacheMiss(Addr addr, Cycle now)
 {
+    nextEventStale = true;
     ++nIcReports;
     if (!prm.icacheFilter)
         return; // filter disabled: I-cache state is irrelevant
@@ -218,6 +220,7 @@ Btb2Engine::finishTracker(Tracker &t, Cycle now)
 void
 Btb2Engine::tick(Cycle now)
 {
+    nextEventStale = true;
     // Retire pipelined reads: write the hits into the BTBP.
     while (!pipe.empty() && pipe.front().due <= now) {
         const PendingWrite &pw = pipe.front();
@@ -296,16 +299,20 @@ Btb2Engine::tick(Cycle now)
     ++t.rowsDone;
     ++nRowReads;
     nextReadAt = issue_at + prm.rowReadInterval;
+    // The bulk read walks the schedule row by row; hint the next row's
+    // planes while this one is decoded into the pending-write pipe.
+    if (!t.schedule.empty())
+        btb2.prefetchProbe(t.schedule.front());
 
     const auto hits = btb2.readRow(row_addr);
     PendingWrite pw;
     pw.due = issue_at + prm.pipeDepth;
     for (const auto &h : hits) {
-        pw.entries[pw.n++] = *h.entry;
+        pw.entries[pw.n++] = h.entry;
         if (prm.semiExclusive)
             btb2.demote(h.row, h.way); // likely replaced by future victims
         if (prm.multiBlockTransfer)
-            t.targetBlocks[blockOf(h.entry->target)] += 1;
+            t.targetBlocks[blockOf(h.entry.target)] += 1;
     }
     if (pw.n != 0)
         pipe.push_back(pw);
@@ -339,7 +346,7 @@ Btb2Engine::tick(Cycle now)
 }
 
 Cycle
-Btb2Engine::nextEventAt() const
+Btb2Engine::computeNextEventAt() const
 {
     // All due stamps are now + pipeDepth with a constant depth, so the
     // deque is due-ordered and the front is the earliest retirement.
@@ -379,6 +386,7 @@ Btb2Engine::attachFaultInjector(fault::FaultInjector &inj)
 void
 Btb2Engine::reset()
 {
+    nextEventStale = true;
     for (auto &t : trk)
         t = Tracker{};
     pipe.clear();

@@ -152,8 +152,20 @@ class Btb2Engine : public MissSink
      * tracker, or the read-port cadence while a search has rows left.
      * kNoCycle when fully quiescent.  Externally-driven transitions
      * (noteBtb1Miss / noteICacheMiss) are the callers' wake-ups.
+     *
+     * Pure over the engine state, which only tick, the miss
+     * notifications, and reset mutate; the core's run loop polls this
+     * every cycle, so the tracker scan is cached between mutations.
      */
-    Cycle nextEventAt() const;
+    Cycle
+    nextEventAt() const
+    {
+        if (nextEventStale) {
+            cachedNextEvent = computeNextEventAt();
+            nextEventStale = false;
+        }
+        return cachedNextEvent;
+    }
 
     /** Drop all in-flight state (machine restart between runs). */
     void reset();
@@ -223,6 +235,7 @@ class Btb2Engine : public MissSink
   private:
     Tracker *findTracker(Addr block);
     Tracker *allocTracker(Addr block);
+    Cycle computeNextEventAt() const;
     void startSearch(Tracker &t, Cycle now);
     void scheduleFull(Tracker &t);
     void finishTracker(Tracker &t, Cycle now);
@@ -268,6 +281,8 @@ class Btb2Engine : public MissSink
     stats::Counter nPartialAbandoned;
     stats::Counter nPartialUpgraded;
     Cycle nextReadAt = 0; ///< eDRAM cadence gate
+    mutable Cycle cachedNextEvent = 0;   ///< memoized computeNextEventAt()
+    mutable bool nextEventStale = true;  ///< set by every state mutation
 
     stats::Counter nRowReads;
     stats::Counter nHits;

@@ -59,9 +59,26 @@ gangChunkFromEnv()
     return static_cast<std::size_t>(v);
 }
 
+std::size_t
+gangMicroChunkFromEnv()
+{
+    const char *s = std::getenv("ZBP_GANG_MICROCHUNK");
+    if (s == nullptr || *s == '\0')
+        return 0;
+    char *end = nullptr;
+    const long long v = std::strtoll(s, &end, 10);
+    if (end == s || *end != '\0' || v < 1) {
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true))
+            warn("ignoring bad ZBP_GANG_MICROCHUNK '", s, "'");
+        return 0;
+    }
+    return static_cast<std::size_t>(v);
+}
+
 GangRunner::GangRunner(std::vector<GangConfig> configs_, unsigned jobs)
     : configs(std::move(configs_)), nJobs(runner::resolveJobs(jobs)),
-      chunk(gangChunkFromEnv())
+      chunk(gangChunkFromEnv()), microChunk(gangMicroChunkFromEnv())
 {
     ZBP_ASSERT(!configs.empty(), "a gang needs at least one config");
 }
@@ -71,6 +88,12 @@ GangRunner::setChunk(std::size_t c)
 {
     ZBP_ASSERT(c >= 1, "gang chunk must be >= 1");
     chunk = c;
+}
+
+void
+GangRunner::setMicroChunk(std::size_t m)
+{
+    microChunk = m;
 }
 
 void
@@ -212,34 +235,59 @@ GangRunner::run(const std::vector<trace::TraceHandle> &traces)
 
         // Chunk-interleaved walk: every live member decodes the same
         // [prev, target) instruction window before the window moves.
-        for (std::size_t target = std::min(chunk, n);; target += chunk) {
-            bool any_live = false;
-            std::uint64_t live = 0;
-            const double chunk_ts = tw != nullptr ? tw->nowUs() : 0.0;
+        // With micro-chunking on, the window itself is walked in
+        // member-interleaved sub-windows so the members revisit a
+        // still-cache-hot trace slice instead of streaming the whole
+        // chunk alone; advance() cuts only at decode boundaries, so
+        // results are bit-identical either way.
+        const auto stepTo = [&](std::size_t upto) {
             for (std::size_t ci = 0; ci < nc; ++ci) {
                 GangMember &m = members[ci];
                 if (m.model == nullptr || m.done)
                     continue;
-                ++live;
                 const auto t0 = SteadyClock::now();
                 try {
-                    m.done = m.model->advance(std::min(target, n));
+                    m.done = m.model->advance(upto);
                 } catch (const std::exception &e) {
                     fail(ci, e.what());
                 }
                 m.seconds += std::chrono::duration<double>(
                         SteadyClock::now() - t0).count();
-                if (m.model != nullptr && !m.done)
-                    any_live = true;
             }
+        };
+        std::size_t prev = 0;
+        for (std::size_t target = std::min(chunk, n);; target += chunk) {
+            const std::size_t tgt = std::min(target, n);
+            std::uint64_t live = 0;
+            for (std::size_t ci = 0; ci < nc; ++ci)
+                if (members[ci].model != nullptr && !members[ci].done)
+                    ++live;
+            const double chunk_ts = tw != nullptr ? tw->nowUs() : 0.0;
+            if (microChunk != 0 && live > 1 &&
+                prev + microChunk < tgt) {
+                for (std::size_t sub = prev + microChunk;;
+                     sub += microChunk) {
+                    const std::size_t s = std::min(sub, tgt);
+                    stepTo(s);
+                    if (s == tgt)
+                        break;
+                }
+            } else {
+                stepTo(tgt);
+            }
+            bool any_live = false;
+            for (std::size_t ci = 0; ci < nc; ++ci)
+                if (members[ci].model != nullptr && !members[ci].done)
+                    any_live = true;
             if (tw != nullptr && live > 0)
                 tw->span(obs::TraceWriter::kPidRunner, lane, "gang",
                          "chunk", chunk_ts, tw->nowUs() - chunk_ts,
                          {{"target", obs::jsonNum(static_cast<
-                                   std::uint64_t>(std::min(target, n)))},
+                                   std::uint64_t>(tgt))},
                           {"live", obs::jsonNum(live)}});
             if (!any_live)
                 break;
+            prev = tgt;
         }
 
         for (std::size_t ci = 0; ci < nc; ++ci) {

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Fixed-capacity inline vector over raw storage.
+ *
+ * The search hot path returns hit/candidate lists by value many million
+ * times per simulated second, and almost all of them stay empty (the
+ * rowSig prefilter rejects most probes).  A std::array of elements with
+ * default member initializers would value-initialize the whole buffer
+ * on every construction — hundreds of bytes of stores per probe for
+ * lists that then hold nothing.  InlineVec keeps the payload in
+ * uninitialized byte storage: constructing one writes a single size
+ * field, and elements are copied in only when actually pushed.
+ *
+ * Restricted to trivially copyable, trivially destructible element
+ * types (the element planes are memmoved on insert).
+ */
+
+#ifndef ZBP_UTIL_INLINE_VEC_HH
+#define ZBP_UTIL_INLINE_VEC_HH
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+
+#include "zbp/common/log.hh"
+
+namespace zbp
+{
+
+template <typename T, std::size_t N>
+class InlineVec
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "InlineVec elements are memmoved");
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "InlineVec never runs element destructors");
+
+  public:
+    static constexpr std::size_t kCapacity = N;
+
+    using const_iterator = const T *;
+
+    std::size_t size() const { return n; }
+    bool empty() const { return n == 0; }
+
+    const T &operator[](std::size_t i) const { return data()[i]; }
+
+    const_iterator begin() const { return data(); }
+    const_iterator end() const { return data() + n; }
+
+    void
+    push_back(const T &v)
+    {
+        ZBP_ASSERT(n < N, "InlineVec overflow");
+        new (buf + n * sizeof(T)) T(v);
+        ++n;
+    }
+
+    /** Insert @p v before position @p pos, shifting the tail up. */
+    void
+    insertAt(std::size_t pos, const T &v)
+    {
+        ZBP_ASSERT(pos <= n && n < N, "InlineVec overflow");
+        if (pos < n)
+            std::memmove(buf + (pos + 1) * sizeof(T),
+                         buf + pos * sizeof(T), (n - pos) * sizeof(T));
+        new (buf + pos * sizeof(T)) T(v);
+        ++n;
+    }
+
+  private:
+    const T *
+    data() const
+    {
+        return std::launder(reinterpret_cast<const T *>(buf));
+    }
+
+    alignas(T) std::byte buf[N * sizeof(T)];
+    std::size_t n = 0;
+};
+
+} // namespace zbp
+
+#endif // ZBP_UTIL_INLINE_VEC_HH

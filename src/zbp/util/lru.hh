@@ -6,14 +6,19 @@
  * a BTB2 hit is *demoted to LRU* (so later victims overwrite it) and a
  * BTB1 victim is written into the BTB2's LRU way and *promoted to MRU*.
  * This class therefore exposes demote() as well as the usual touch().
+ *
+ * Storage is a fixed inline byte array, not a heap vector: structures
+ * keep one LruState per set, and touch() runs on every cache/BTB access
+ * of the simulation hot path.  Inline storage keeps the whole per-set
+ * recency table contiguous (no per-set pointer chase) and turns the
+ * reorder into a handful of in-register byte moves.
  */
 
 #ifndef ZBP_UTIL_LRU_HH
 #define ZBP_UTIL_LRU_HH
 
-#include <algorithm>
 #include <cstdint>
-#include <vector>
+#include <cstring>
 
 #include "zbp/common/log.hh"
 
@@ -24,27 +29,31 @@ namespace zbp
 class LruState
 {
   public:
-    explicit LruState(unsigned ways) : order(ways)
+    /** Widest supported set (the simulated structures top out at 8). */
+    static constexpr unsigned kMaxWays = 16;
+
+    explicit LruState(unsigned ways)
+        : nWays(static_cast<std::uint8_t>(ways))
     {
-        ZBP_ASSERT(ways >= 1, "LruState needs at least one way");
+        ZBP_ASSERT(ways >= 1 && ways <= kMaxWays,
+                   "LruState way count out of range");
         // Initially way 0 is LRU, way N-1 is MRU (arbitrary but fixed).
-        for (unsigned w = 0; w < ways; ++w)
-            order[w] = static_cast<std::uint8_t>(w);
+        reset();
     }
 
-    unsigned ways() const { return static_cast<unsigned>(order.size()); }
+    unsigned ways() const { return nWays; }
 
     /** The least recently used way (replacement victim). */
-    unsigned lru() const { return order.front(); }
+    unsigned lru() const { return order[0]; }
 
     /** The most recently used way. */
-    unsigned mru() const { return order.back(); }
+    unsigned mru() const { return order[nWays - 1]; }
 
     /** Promote @p way to MRU. */
     void
     touch(unsigned way)
     {
-        moveTo(way, order.size() - 1);
+        moveTo(way, nWays - 1u);
     }
 
     /** Demote @p way to LRU (paper: BTB2 hits become LRU so subsequent
@@ -59,7 +68,7 @@ class LruState
     void
     reset()
     {
-        for (unsigned w = 0; w < order.size(); ++w)
+        for (unsigned w = 0; w < nWays; ++w)
             order[w] = static_cast<std::uint8_t>(w);
     }
 
@@ -67,7 +76,7 @@ class LruState
     unsigned
     rank(unsigned way) const
     {
-        for (unsigned i = 0; i < order.size(); ++i)
+        for (unsigned i = 0; i < nWays; ++i)
             if (order[i] == way)
                 return i;
         panic("LruState::rank: way ", way, " not present");
@@ -75,18 +84,23 @@ class LruState
 
   private:
     void
-    moveTo(unsigned way, std::size_t pos)
+    moveTo(unsigned way, unsigned pos)
     {
-        ZBP_ASSERT(way < order.size(), "way out of range");
-        auto it = std::find(order.begin(), order.end(),
-                            static_cast<std::uint8_t>(way));
-        ZBP_ASSERT(it != order.end(), "corrupt LRU state");
-        order.erase(it);
-        order.insert(order.begin() + static_cast<std::ptrdiff_t>(pos),
-                     static_cast<std::uint8_t>(way));
+        ZBP_ASSERT(way < nWays, "way out of range");
+        unsigned cur = 0;
+        while (order[cur] != way) {
+            ++cur;
+            ZBP_ASSERT(cur < nWays, "corrupt LRU state");
+        }
+        if (cur < pos)
+            std::memmove(order + cur, order + cur + 1, pos - cur);
+        else if (cur > pos)
+            std::memmove(order + pos + 1, order + pos, cur - pos);
+        order[pos] = static_cast<std::uint8_t>(way);
     }
 
-    std::vector<std::uint8_t> order; ///< order[0]=LRU .. order.back()=MRU
+    std::uint8_t order[kMaxWays]; ///< order[0]=LRU .. order[nWays-1]=MRU
+    std::uint8_t nWays;
 };
 
 } // namespace zbp

@@ -76,6 +76,8 @@ class PathHistory
     void
     push(Addr taken_branch_ia)
     {
+        for (unsigned i = 0; i < nInc; ++i)
+            stepInc(inc[i], taken_branch_ia);
         head = head + 1 == depthVal ? 0 : head + 1;
         ring[head] = taken_branch_ia;
     }
@@ -177,11 +179,51 @@ class PathHistory
         }
     }
 
+    /**
+     * Register an incrementally-maintained copy of fold(@p k, @p bits).
+     *
+     * The fold is an XOR of age-rotated per-entry terms, and the
+     * rotation amount is linear in the age (5*age mod bits), so a push
+     * can update the accumulator exactly instead of re-walking the
+     * ring: remove the term aging out of the window, rotate the rest
+     * one age step (rotations compose modularly and distribute over
+     * XOR), and mix in the incoming entry at rotation 0.  After every
+     * push, foldAcc(slot) == fold(k, bits) bit for bit; the per-push
+     * cost is O(registered folds) instead of O(k) per extraction.
+     *
+     * @return the slot index to pass to foldAcc().
+     */
+    unsigned
+    registerFold(unsigned k, unsigned bits)
+    {
+        ZBP_ASSERT(nInc < kMaxIncFolds, "too many registered folds");
+        ZBP_ASSERT(k >= 1 && k <= depthVal, "fold depth out of range");
+        ZBP_ASSERT(bits >= 1 && bits <= 64, "fold width");
+        IncFold f;
+        f.k = k;
+        f.bits = bits;
+        f.m = bits >= 64 ? ~std::uint64_t{0}
+                         : ((std::uint64_t{1} << bits) - 1);
+        f.stepRot = 5u % bits;
+        f.leaveRot = (5u * (k - 1)) % bits;
+        f.acc = fold(k, bits);
+        inc[nInc] = f;
+        return nInc++;
+    }
+
+    /** The live accumulator of registered fold @p slot. */
+    std::uint64_t foldAcc(unsigned slot) const { return inc[slot].acc; }
+
+    unsigned registeredFolds() const { return nInc; }
+
     void
     clear()
     {
         ring.fill(0);
         head = 0;
+        // fold() over an all-zero ring is 0 for any (k, bits).
+        for (unsigned i = 0; i < nInc; ++i)
+            inc[i].acc = 0;
     }
 
     unsigned depth() const { return depthVal; }
@@ -200,12 +242,88 @@ class PathHistory
     {
         ring = s.ring;
         head = s.head;
+        // The snapshot carries no accumulators; rebuild them from the
+        // restored ring.
+        for (unsigned i = 0; i < nInc; ++i)
+            inc[i].acc = fold(inc[i].k, inc[i].bits);
+    }
+
+    /**
+     * Copy @p other's ring over this one.  When both sides registered
+     * the same fold set (the speculative/architectural history pair
+     * does), the accumulators are copied too instead of being refolded.
+     */
+    void
+    copyFrom(const PathHistory &other)
+    {
+        ring = other.ring;
+        head = other.head;
+        if (nInc == other.nInc) {
+            bool same = true;
+            for (unsigned i = 0; i < nInc; ++i)
+                same = same && inc[i].k == other.inc[i].k &&
+                       inc[i].bits == other.inc[i].bits;
+            if (same) {
+                for (unsigned i = 0; i < nInc; ++i)
+                    inc[i].acc = other.inc[i].acc;
+                return;
+            }
+        }
+        for (unsigned i = 0; i < nInc; ++i)
+            inc[i].acc = fold(inc[i].k, inc[i].bits);
     }
 
   private:
+    /** One incrementally-maintained fold (see registerFold). */
+    struct IncFold
+    {
+        unsigned k = 0;        ///< window depth
+        unsigned bits = 0;     ///< output width
+        unsigned stepRot = 0;  ///< 5 % bits (one age step)
+        unsigned leaveRot = 0; ///< 5*(k-1) % bits (the oldest term)
+        std::uint64_t m = 0;   ///< maskBits(bits)
+        std::uint64_t acc = 0; ///< == fold(k, bits) at all times
+    };
+
+    static constexpr unsigned kMaxIncFolds = 3;
+
+    /** fold()'s per-entry term before its age rotation. */
+    static std::uint64_t
+    foldTerm(Addr a, const IncFold &f)
+    {
+        std::uint64_t x = a >> 1;
+        if (f.bits < 64)
+            x ^= x >> f.bits;
+        return x & f.m;
+    }
+
+    static std::uint64_t
+    rotInto(std::uint64_t x, unsigned r, const IncFold &f)
+    {
+        if (r == 0)
+            return x;
+        return ((x << r) | (x >> (f.bits - r))) & f.m;
+    }
+
+    /** Advance one accumulator across a push of @p incoming. */
+    void
+    stepInc(IncFold &f, Addr incoming) const
+    {
+        // The entry aging out of the k-window sits at age k-1.
+        unsigned lidx = head + depthVal - (f.k - 1);
+        if (lidx >= depthVal)
+            lidx -= depthVal;
+        std::uint64_t acc =
+                f.acc ^ rotInto(foldTerm(ring[lidx], f), f.leaveRot, f);
+        acc = rotInto(acc, f.stepRot, f);
+        f.acc = acc ^ foldTerm(incoming, f);
+    }
+
     std::array<Addr, kMaxDepth> ring{};
     unsigned head = 0;
     unsigned depthVal;
+    std::array<IncFold, kMaxIncFolds> inc{};
+    unsigned nInc = 0;
 };
 
 } // namespace zbp

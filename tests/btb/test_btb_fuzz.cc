@@ -139,7 +139,7 @@ TEST_P(BtbFuzz, AgreesWithOracle)
             const auto o = oracle.lookup(ia);
             ASSERT_EQ(h.has_value(), o.has_value()) << "step " << step;
             if (h) {
-                ASSERT_EQ(h->entry->target, *o) << "step " << step;
+                ASSERT_EQ(h->entry.target, *o) << "step " << step;
                 // A lookup in the reference doesn't touch; DUT lookup
                 // doesn't either.
             }

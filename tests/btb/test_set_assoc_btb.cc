@@ -47,7 +47,7 @@ TEST(SetAssocBtb, InstallAndLookup)
     t.install(entry(0x100));
     const auto h = t.lookup(0x100);
     ASSERT_TRUE(h.has_value());
-    EXPECT_EQ(h->entry->ia, 0x100u);
+    EXPECT_EQ(h->entry.ia, 0x100u);
     EXPECT_EQ(t.validCount(), 1u);
 }
 
@@ -68,7 +68,7 @@ TEST(SetAssocBtb, UpdateInPlaceForSameBranch)
     const auto displaced = t.install(e2);
     EXPECT_FALSE(displaced.has_value());
     EXPECT_EQ(t.validCount(), 1u);
-    EXPECT_EQ(t.lookup(0x100)->entry->target, 0xBBBBu);
+    EXPECT_EQ(t.lookup(0x100)->entry.target, 0xBBBBu);
 }
 
 TEST(SetAssocBtb, LruReplacementReturnsVictim)
@@ -129,15 +129,15 @@ TEST(SetAssocBtb, SearchFromFindsBranchesAtOrAfter)
 
     auto hits = t.searchFrom(0x00);
     ASSERT_EQ(hits.size(), 2u);
-    EXPECT_EQ(hits[0].entry->ia, 0x04u); // ascending order
-    EXPECT_EQ(hits[1].entry->ia, 0x10u);
+    EXPECT_EQ(hits[0].entry.ia, 0x04u); // ascending order
+    EXPECT_EQ(hits[1].entry.ia, 0x10u);
 
     hits = t.searchFrom(0x04);
     ASSERT_EQ(hits.size(), 2u); // at-or-after includes 0x04
 
     hits = t.searchFrom(0x05);
     ASSERT_EQ(hits.size(), 1u);
-    EXPECT_EQ(hits[0].entry->ia, 0x10u);
+    EXPECT_EQ(hits[0].entry.ia, 0x10u);
 
     hits = t.searchFrom(0x11);
     EXPECT_TRUE(hits.empty());
@@ -195,7 +195,7 @@ TEST(SetAssocBtb, PartialTagsAlias)
     // 0x04 + 2*span has the same row, offset and (1-bit) tag.
     const auto h = t.lookup(0x04 + 2 * span);
     ASSERT_TRUE(h.has_value());
-    EXPECT_EQ(h->entry->ia, 0x04u); // the aliased victim's content
+    EXPECT_EQ(h->entry.ia, 0x04u); // the aliased victim's content
     // ...while one span away differs in the tag bit.
     EXPECT_FALSE(t.lookup(0x04 + span).has_value());
 }
@@ -217,8 +217,8 @@ TEST(SetAssocBtb, TwoBranchesSameRowCoexist)
     SetAssocBtb t("t", tinyConfig());
     t.install(entry(0x04, 0x1111));
     t.install(entry(0x10, 0x2222));
-    EXPECT_EQ(t.lookup(0x04)->entry->target, 0x1111u);
-    EXPECT_EQ(t.lookup(0x10)->entry->target, 0x2222u);
+    EXPECT_EQ(t.lookup(0x04)->entry.target, 0x1111u);
+    EXPECT_EQ(t.lookup(0x10)->entry.target, 0x2222u);
     EXPECT_EQ(t.validCount(), 2u);
 }
 

@@ -133,7 +133,7 @@ TEST(Hierarchy, SurpriseOnPresentEntryTrainsInPlace)
     h.resolveSurprise(0x40, InstKind::kCondBranch, true, 0x80, 100);
     const auto e = h.btbp().lookup(0x40);
     ASSERT_TRUE(e.has_value());
-    EXPECT_TRUE(e->entry->dir.strong()); // trained up
+    EXPECT_TRUE(e->entry.dir.strong()); // trained up
 }
 
 TEST(Hierarchy, PreloadInstallsIntoBtbp)
@@ -168,7 +168,7 @@ TEST(Hierarchy, MispredictGatesPhtOn)
     h.resolvePredicted(p, InstKind::kCondBranch, false, kNoAddr, 50);
     const auto e = h.btb1().lookup(0x10);
     ASSERT_TRUE(e.has_value());
-    EXPECT_TRUE(e->entry->phtAllowed);
+    EXPECT_TRUE(e->entry.phtAllowed);
 }
 
 TEST(Hierarchy, PhtOverridesGatedDirection)
@@ -198,8 +198,8 @@ TEST(Hierarchy, TargetChangeGatesCtbOn)
     h.resolvePredicted(p, InstKind::kReturn, true, 0xBBBB, 50);
     const auto e = h.btb1().lookup(0x10);
     ASSERT_TRUE(e.has_value());
-    EXPECT_TRUE(e->entry->ctbAllowed);
-    EXPECT_EQ(e->entry->target, 0xBBBBu);
+    EXPECT_TRUE(e->entry.ctbAllowed);
+    EXPECT_EQ(e->entry.target, 0xBBBBu);
 }
 
 TEST(Hierarchy, CtbOverridesGatedTarget)
@@ -246,7 +246,7 @@ TEST(Hierarchy, ResolveTrainsBimodal)
     const auto cands = h.searchFirstLevel(0x00);
     const auto p = h.makePrediction(cands[0], 1);
     h.resolvePredicted(p, InstKind::kCondBranch, true, 0xA, 10);
-    EXPECT_TRUE(h.btb1().lookup(0x10)->entry->dir.strong());
+    EXPECT_TRUE(h.btb1().lookup(0x10)->entry.dir.strong());
 }
 
 TEST(Hierarchy, ResetWipesEverything)

@@ -43,7 +43,7 @@ TEST_P(PipelineFuzz, InvariantsHoldOverRandomContents)
     // (Collect them by probing.)
     for (Addr ia = 0; ia < 0x10000; ia += 2)
         if (auto h = bp.btb1().lookup(ia))
-            branches[ia] = h->entry->target;
+            branches[ia] = h->entry.target;
 
     SearchParams sp;
     SearchPipeline pipe(sp, bp, nullptr);

@@ -94,6 +94,49 @@ TEST(HistoryState, FusedHashesMatchSeparateFolds)
     }
 }
 
+TEST(HistoryState, CachedHashesMatchFold3AtEveryStep)
+{
+    // A configured hash cache maintains the three path folds
+    // incrementally across push(); it must stay bit-identical to the
+    // uncached fold3 extraction after every push, clear, and copyFrom.
+    HistoryState cached, plain;
+    cached.configureHashCache(12, 11, 10);
+    std::uint64_t ia = 0x7fe0;
+    for (int i = 0; i < 200; ++i) {
+        const bool taken = (ia >> 7) & 1;
+        cached.push(ia, taken);
+        plain.push(ia, taken);
+        const HistoryHashes a = cached.hashes(12, 11, 10);
+        const HistoryHashes b = plain.hashes(12, 11, 10);
+        EXPECT_EQ(a.phtIndex, b.phtIndex) << "push " << i;
+        EXPECT_EQ(a.ctbIndex, b.ctbIndex) << "push " << i;
+        EXPECT_EQ(a.phtTagHash, b.phtTagHash) << "push " << i;
+        // Non-configured widths fall back to fold3 and must agree with
+        // the per-hash folds.
+        const HistoryHashes c = cached.hashes(10, 9, 8);
+        EXPECT_EQ(c.phtIndex, plain.phtIndex(10));
+        EXPECT_EQ(c.ctbIndex, plain.ctbIndex(9));
+        EXPECT_EQ(c.phtTagHash, plain.pathTagHash(8));
+        ia = ia * 2862933555777941757ull + 3037000493ull;
+        if (i == 80) {
+            cached.clear();
+            plain.clear();
+        }
+        if (i == 140) {
+            // Resynchronize a diverged copy (the restart flow); both
+            // sides configured -> accumulators are copied, not refolded.
+            HistoryState diverged;
+            diverged.configureHashCache(12, 11, 10);
+            diverged.push(0x9999, true);
+            diverged.copyFrom(cached);
+            const HistoryHashes d = diverged.hashes(12, 11, 10);
+            EXPECT_EQ(d.phtIndex, a.phtIndex);
+            EXPECT_EQ(d.ctbIndex, a.ctbIndex);
+            EXPECT_EQ(d.phtTagHash, a.phtTagHash);
+        }
+    }
+}
+
 TEST(HistoryState, DepthsMatchPaper)
 {
     // 12 previous predicted directions, 6 previous taken IAs for the

@@ -98,6 +98,40 @@ TEST(GangRunner, BitIdenticalToSerialAcrossChunkSizes)
     }
 }
 
+TEST(GangRunner, MicroChunkBitIdentical)
+{
+    const auto traces = smallTraces();
+    const auto gang = fig2Gang();
+
+    // Reference: default walk (micro-chunking off).
+    GangRunner ref_runner(gang, 1);
+    ref_runner.setSinkPath("");
+    ref_runner.setMicroChunk(0);
+    const auto ref = ref_runner.run(traces);
+
+    // Member-interleaved sub-windows of any size — degenerate (1),
+    // prime and misaligned (7), and equal to the default chunk
+    // (262144, i.e. one sub-window = the whole chunk) — must be
+    // bit-identical to the plain walk.
+    for (const std::size_t micro : {std::size_t{1}, std::size_t{7},
+                                    std::size_t{262144}}) {
+        GangRunner runner(gang, 1);
+        runner.setSinkPath("");
+        runner.setMicroChunk(micro);
+        const auto got = runner.run(traces);
+        ASSERT_EQ(got.size(), gang.size());
+        for (std::size_t ci = 0; ci < gang.size(); ++ci) {
+            for (std::size_t ti = 0; ti < traces.size(); ++ti) {
+                ASSERT_TRUE(got[ci][ti].ok)
+                        << got[ci][ti].error << " (micro " << micro
+                        << ")";
+                expectSameResult(got[ci][ti].result,
+                                 ref[ci][ti].result);
+            }
+        }
+    }
+}
+
 TEST(GangRunner, FailingMemberDoesNotSinkTheGang)
 {
     auto gang = fig2Gang();
