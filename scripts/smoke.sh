@@ -15,6 +15,10 @@
 #                                  # obs_smoke ctest target): one sweep
 #                                  # with ZBP_OBS_* set, then schema-
 #                                  # validate the timeline + sidecar
+#   scripts/smoke.sh --ckpt-only   # just the crash-recovery leg (the
+#                                  # ckpt_smoke ctest target): sweep
+#                                  # with ZBP_CKPT_* on, kill it mid-
+#                                  # run, resume, compare to golden
 #
 # Environment:
 #   ZBP_SMOKE_BUILD_DIR  build tree (default: <repo>/build)
@@ -32,9 +36,11 @@ scale="${ZBP_SMOKE_SCALE:-0.05}"
 bench_only=0
 cmp_only=0
 obs_only=0
+ckpt_only=0
 [[ "${1:-}" == "--bench-only" ]] && bench_only=1
 [[ "${1:-}" == "--cmp-only" ]] && cmp_only=1
 [[ "${1:-}" == "--obs-only" ]] && obs_only=1
+[[ "${1:-}" == "--ckpt-only" ]] && ckpt_only=1
 
 # CMP leg: a 4-core mini-run of the sharing sweep on the CmpRunner
 # path (per-core JSONL records + one sharing record per job), then a
@@ -127,6 +133,116 @@ run_obs_leg() {
     echo "smoke: obs OK (timeline valid, $obs_rows interval rows)"
 }
 
+# Compare two JSONL result files by (config, trace) -> (cycles,
+# instructions).  Torn trailing lines (a crash mid-write) are skipped,
+# matching loadResumeResults; duplicate keys keep the first record,
+# matching resume semantics.
+ckpt_compare() {
+    python3 - "$1" "$2" <<'PY'
+import json, sys
+
+def load(path):
+    recs = {}
+    for line in open(path):
+        line = line.strip()
+        if not line.startswith("{") or not line.endswith("}"):
+            continue
+        r = json.loads(line)
+        key = (r.get("config"), r.get("trace"))
+        if key not in recs:
+            recs[key] = (r.get("ok"), r.get("cycles"), r.get("instructions"))
+    return recs
+
+a, b = load(sys.argv[1]), load(sys.argv[2])
+if not a or a != b:
+    only_a = sorted(set(a) - set(b))
+    only_b = sorted(set(b) - set(a))
+    diff = sorted(k for k in set(a) & set(b) if a[k] != b[k])
+    print(f"ckpt smoke: result mismatch (golden {len(a)} records, "
+          f"got {len(b)}; missing {only_a}, extra {only_b}, "
+          f"differing {diff})", file=sys.stderr)
+    sys.exit(1)
+PY
+}
+
+# Crash-recovery leg: a golden fig2 sweep, then the same sweep with
+# periodic checkpointing enabled (must be invisible in the results and
+# leave no snapshots behind), then a kill -9 mid-sweep followed by a
+# resumed rerun that must reproduce the golden record set exactly.
+run_ckpt_leg() {
+    echo "== ckpt smoke: fig2_cpi with ZBP_CKPT_DIR + ZBP_CKPT_INTERVAL =="
+    local ckpt_bench="$build_dir/bench/fig2_cpi"
+    if [[ ! -x "$ckpt_bench" ]]; then
+        echo "smoke: missing $ckpt_bench (build the repo first)" >&2
+        exit 1
+    fi
+    ckpt_golden="$(mktemp /tmp/zbp_smoke_ckpt_gold_XXXXXX.jsonl)"
+    ckpt_results="$(mktemp /tmp/zbp_smoke_ckpt_XXXXXX.jsonl)"
+    ckpt_dir="$(mktemp -d /tmp/zbp_smoke_ckpt_dir_XXXXXX)"
+    trap 'rm -f ${results:-} ${resumed:-} ${tracefile:-} \
+        ${cmp_results:-} ${cmp_resumed:-} ${obs_trace:-} ${obs_out:-} \
+        "$ckpt_golden" "$ckpt_results"; \
+        rm -rf ${cache_dir:-} "$ckpt_dir"' EXIT
+    rm -f "$ckpt_golden" "$ckpt_results"
+
+    ZBP_LEN_SCALE="$scale" ZBP_JOBS="$jobs" \
+        ZBP_RESULTS_JSONL="$ckpt_golden" "$ckpt_bench" >/dev/null
+
+    # Leg 1: checkpointing on, uninterrupted.  Results must be
+    # bit-identical to the golden run and every snapshot consumed.
+    ZBP_LEN_SCALE="$scale" ZBP_JOBS="$jobs" \
+        ZBP_RESULTS_JSONL="$ckpt_results" \
+        ZBP_CKPT_DIR="$ckpt_dir" ZBP_CKPT_INTERVAL=20000 \
+        "$ckpt_bench" >/dev/null
+    ckpt_compare "$ckpt_golden" "$ckpt_results"
+    local leftover
+    leftover="$(find "$ckpt_dir" -name '*.ckpt' | wc -l)"
+    if [[ "$leftover" -ne 0 ]]; then
+        echo "smoke: $leftover snapshots left after a clean sweep" >&2
+        exit 1
+    fi
+    echo "smoke: ckpt OK (checkpointed sweep matches golden, 0 leftover)"
+
+    # Leg 2: SIGKILL the sweep once the first record lands, then rerun
+    # with the same checkpoint dir and the partial JSONL as both sink
+    # and resume file.  The merged record set must equal golden.  The
+    # victim runs single-threaded so the kill reliably lands with most
+    # of the sweep (and usually a mid-trace snapshot) outstanding.
+    echo "== ckpt kill-resume smoke: SIGKILL mid-sweep, then recover =="
+    rm -f "$ckpt_results"
+    ZBP_LEN_SCALE="$scale" ZBP_JOBS=1 \
+        ZBP_RESULTS_JSONL="$ckpt_results" \
+        ZBP_CKPT_DIR="$ckpt_dir" ZBP_CKPT_INTERVAL=5000 \
+        "$ckpt_bench" >/dev/null 2>&1 &
+    local victim=$!
+    local waited=0
+    while kill -0 "$victim" 2>/dev/null && (( waited < 3000 )); do
+        if [[ -s "$ckpt_results" ]]; then
+            break
+        fi
+        sleep 0.01
+        waited=$((waited + 1))
+    done
+    kill -9 "$victim" 2>/dev/null || true
+    wait "$victim" 2>/dev/null || true
+    local partial
+    partial="$(wc -l < "$ckpt_results" 2>/dev/null || echo 0)"
+    echo "smoke: killed sweep after $partial record(s)"
+
+    ZBP_LEN_SCALE="$scale" ZBP_JOBS="$jobs" \
+        ZBP_RESULTS_JSONL="$ckpt_results" \
+        ZBP_RESUME_JSONL="$ckpt_results" \
+        ZBP_CKPT_DIR="$ckpt_dir" ZBP_CKPT_INTERVAL=5000 \
+        "$ckpt_bench" >/dev/null
+    ckpt_compare "$ckpt_golden" "$ckpt_results"
+    leftover="$(find "$ckpt_dir" -name '*.ckpt' | wc -l)"
+    if [[ "$leftover" -ne 0 ]]; then
+        echo "smoke: $leftover snapshots left after recovery" >&2
+        exit 1
+    fi
+    echo "smoke: ckpt kill-resume OK (recovered record set matches golden)"
+}
+
 if [[ "$cmp_only" == 1 ]]; then
     run_cmp_leg
     echo "smoke: total wall-clock $((SECONDS - smoke_start))s"
@@ -135,6 +251,12 @@ fi
 
 if [[ "$obs_only" == 1 ]]; then
     run_obs_leg
+    echo "smoke: total wall-clock $((SECONDS - smoke_start))s"
+    exit 0
+fi
+
+if [[ "$ckpt_only" == 1 ]]; then
+    run_ckpt_leg
     echo "smoke: total wall-clock $((SECONDS - smoke_start))s"
     exit 0
 fi
@@ -243,12 +365,13 @@ if ! grep -q "13 cache hits, 0 generated" <<<"$warm_out"; then
 fi
 echo "smoke: trace cache OK (second run: 13 hits, 0 generated)"
 
-# The bench-only leg is the runner_smoke ctest target; the CMP and obs
-# legs have their own ctest targets (cmp_smoke, obs_smoke), so only the
-# full run stacks all of them.
+# The bench-only leg is the runner_smoke ctest target; the CMP, obs and
+# ckpt legs have their own ctest targets (cmp_smoke, obs_smoke,
+# ckpt_smoke), so only the full run stacks all of them.
 if [[ "$bench_only" == 0 ]]; then
     run_cmp_leg
     run_obs_leg
+    run_ckpt_leg
 fi
 
 echo "smoke: total wall-clock $((SECONDS - smoke_start))s"

@@ -34,6 +34,7 @@
 
 #include "zbp/btb/btb_entry.hh"
 #include "zbp/btb/simd.hh"
+#include "zbp/ckpt/ckpt.hh"
 #include "zbp/common/bitfield.hh"
 #include "zbp/fault/fault_injector.hh"
 #include "zbp/stats/stats.hh"
@@ -357,6 +358,14 @@ class SetAssocBtb
 
     /** Number of currently valid entries (O(size); for tests/stats). */
     std::uint64_t validCount() const;
+
+    /** Serialize every plane + LRU + counters into one checkpoint
+     * section (explicit-width fields; SIMD/scalar-build independent). */
+    void saveState(ckpt::Writer &w) const;
+
+    /** Overwrite from a checkpoint section; throws ckpt::CkptError on
+     * geometry mismatch or non-permutation LRU state. */
+    void restoreState(ckpt::Reader &r);
 
     void
     registerStats(stats::Group &g) const

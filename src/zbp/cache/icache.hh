@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "zbp/ckpt/ckpt.hh"
 #include "zbp/common/bitfield.hh"
 #include "zbp/common/types.hh"
 #include "zbp/stats/stats.hh"
@@ -96,6 +97,14 @@ class ICache
 
     /** Invalidate everything (used between benchmark repetitions). */
     void reset();
+
+    /** Serialize lines + LRU + miss records into one checkpoint
+     * section. */
+    void saveState(ckpt::Writer &w) const;
+
+    /** Overwrite from a checkpoint section; throws ckpt::CkptError on
+     * geometry mismatch or corrupt LRU state. */
+    void restoreState(ckpt::Reader &r);
 
     const ICacheParams &params() const { return prm; }
 

@@ -68,6 +68,37 @@ class SharedL2I
         std::fill(missesBy.begin(), missesBy.end(), 0);
     }
 
+    /** Serialize array state + per-core tallies into checkpoint
+     * sections (the ICache writes its own section first). */
+    void
+    saveState(ckpt::Writer &w) const
+    {
+        array.saveState(w);
+        w.beginSection(ckpt::tag::kSharedL2I);
+        w.putU32(static_cast<std::uint32_t>(hitsBy.size()));
+        for (std::size_t c = 0; c < hitsBy.size(); ++c) {
+            w.putU64(hitsBy[c]);
+            w.putU64(missesBy[c]);
+        }
+        w.endSection();
+    }
+
+    /** Overwrite from checkpoint sections; throws ckpt::CkptError on a
+     * core-count mismatch. */
+    void
+    restoreState(ckpt::Reader &r)
+    {
+        array.restoreState(r);
+        r.openSection(ckpt::tag::kSharedL2I);
+        if (r.getU32() != hitsBy.size())
+            throw ckpt::CkptError("shared L2I core count mismatch");
+        for (std::size_t c = 0; c < hitsBy.size(); ++c) {
+            hitsBy[c] = r.getU64();
+            missesBy[c] = r.getU64();
+        }
+        r.closeSection();
+    }
+
     std::uint64_t hits() const { return array.hits(); }
     std::uint64_t misses() const { return array.misses(); }
     const std::vector<std::uint64_t> &coreHits() const { return hitsBy; }

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Snapshot byte-stream implementation: CRC table, sectioned writer and
+ * reader, durable file publish, and the ZBP_CKPT_* environment
+ * contract.
+ */
+
+#include "zbp/ckpt/ckpt.hh"
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "zbp/common/log.hh"
+#include "zbp/util/atomic_file.hh"
+
+namespace zbp::ckpt
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'Z', 'B', 'P', 'C'};
+
+std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        t[i] = c;
+    }
+    return t;
+}
+
+const std::array<std::uint32_t, 256> &
+crcTable()
+{
+    static const std::array<std::uint32_t, 256> t = makeCrcTable();
+    return t;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t n)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    const auto &tab = crcTable();
+    std::uint32_t c = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < n; ++i)
+        c = tab[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+// ---- Writer ---------------------------------------------------------
+
+void
+Writer::putU32(std::uint32_t v)
+{
+    buf.push_back(static_cast<std::uint8_t>(v));
+    buf.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf.push_back(static_cast<std::uint8_t>(v >> 16));
+    buf.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void
+Writer::putU64(std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+Writer::putBytes(const void *data, std::size_t n)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    buf.insert(buf.end(), p, p + n);
+}
+
+void
+Writer::beginSection(std::uint32_t tag)
+{
+    ZBP_ASSERT(!inSection && !finished, "ckpt writer section misuse");
+    if (buf.empty()) {
+        putBytes(kMagic, sizeof(kMagic));
+        putU32(kFormatVersion);
+    }
+    putU32(tag);
+    putU64(0); // length back-patched by endSection()
+    payloadStart = buf.size();
+    inSection = true;
+}
+
+void
+Writer::endSection()
+{
+    ZBP_ASSERT(inSection, "ckpt writer: endSection without beginSection");
+    const std::uint64_t len = buf.size() - payloadStart;
+    for (int i = 0; i < 8; ++i)
+        buf[payloadStart - 8 + static_cast<std::size_t>(i)] =
+                static_cast<std::uint8_t>(len >> (8 * i));
+    putU32(crc32(buf.data() + payloadStart, static_cast<std::size_t>(len)));
+    inSection = false;
+}
+
+void
+Writer::finish()
+{
+    ZBP_ASSERT(!inSection && !finished, "ckpt writer finish misuse");
+    if (buf.empty()) {
+        putBytes(kMagic, sizeof(kMagic));
+        putU32(kFormatVersion);
+    }
+    putU32(kEndTag);
+    putU64(0);
+    const std::size_t start = buf.size();
+    putU32(crc32(buf.data() + start, 0));
+    finished = true;
+}
+
+// ---- Reader ---------------------------------------------------------
+
+Reader::Reader(const std::uint8_t *data, std::size_t n) : base(data), size(n)
+{
+    if (n < sizeof(kMagic) + 4)
+        throw CkptError("checkpoint truncated: no header");
+    if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0)
+        throw CkptError("checkpoint: bad magic");
+    pos = sizeof(kMagic);
+    std::uint32_t ver = static_cast<std::uint32_t>(data[pos]) |
+          static_cast<std::uint32_t>(data[pos + 1]) << 8 |
+          static_cast<std::uint32_t>(data[pos + 2]) << 16 |
+          static_cast<std::uint32_t>(data[pos + 3]) << 24;
+    pos += 4;
+    if (ver != kFormatVersion)
+        throw CkptError("checkpoint: format version " + std::to_string(ver) +
+                        " != supported " + std::to_string(kFormatVersion));
+}
+
+void
+Reader::need(std::size_t n) const
+{
+    const std::size_t limit = inSection ? payloadEnd : size;
+    if (pos + n > limit || pos + n < pos)
+        throw CkptError("checkpoint truncated: read past " +
+                        std::string(inSection ? "section payload" : "file"));
+}
+
+std::uint8_t
+Reader::getU8()
+{
+    need(1);
+    return base[pos++];
+}
+
+std::uint32_t
+Reader::getU32()
+{
+    need(4);
+    std::uint32_t v = static_cast<std::uint32_t>(base[pos]) |
+                      static_cast<std::uint32_t>(base[pos + 1]) << 8 |
+                      static_cast<std::uint32_t>(base[pos + 2]) << 16 |
+                      static_cast<std::uint32_t>(base[pos + 3]) << 24;
+    pos += 4;
+    return v;
+}
+
+std::uint64_t
+Reader::getU64()
+{
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(base[pos + static_cast<std::size_t>(i)])
+             << (8 * i);
+    pos += 8;
+    return v;
+}
+
+void
+Reader::getBytes(void *out, std::size_t n)
+{
+    need(n);
+    std::memcpy(out, base + pos, n);
+    pos += n;
+}
+
+void
+Reader::openSection(std::uint32_t tag)
+{
+    ZBP_ASSERT(!inSection, "ckpt reader: nested section");
+    const std::uint32_t got = getU32();
+    if (got != tag)
+        throw CkptError("checkpoint: expected section tag " +
+                        std::to_string(tag) + ", found " +
+                        std::to_string(got));
+    const std::uint64_t len = getU64();
+    if (len > size - pos || pos + len + 4 > size)
+        throw CkptError("checkpoint truncated: section payload");
+    const std::uint32_t want =
+            static_cast<std::uint32_t>(base[pos + len]) |
+            static_cast<std::uint32_t>(base[pos + len + 1]) << 8 |
+            static_cast<std::uint32_t>(base[pos + len + 2]) << 16 |
+            static_cast<std::uint32_t>(base[pos + len + 3]) << 24;
+    if (crc32(base + pos, static_cast<std::size_t>(len)) != want)
+        throw CkptError("checkpoint: section " + std::to_string(tag) +
+                        " CRC mismatch");
+    payloadEnd = pos + static_cast<std::size_t>(len);
+    inSection = true;
+}
+
+void
+Reader::closeSection()
+{
+    ZBP_ASSERT(inSection, "ckpt reader: closeSection without open");
+    if (pos != payloadEnd)
+        throw CkptError("checkpoint: section payload not fully consumed (" +
+                        std::to_string(payloadEnd - pos) + " bytes left)");
+    inSection = false;
+    pos += 4; // skip the CRC already verified by openSection()
+}
+
+void
+Reader::finish()
+{
+    openSection(kEndTag);
+    closeSection();
+    if (pos != size)
+        throw CkptError("checkpoint: trailing bytes after end section");
+}
+
+// ---- snapshot files -------------------------------------------------
+
+bool
+saveCkptFile(const std::string &path, const Writer &w)
+{
+    return writeFileAtomic(path, w.bytes().data(), w.bytes().size());
+}
+
+std::vector<std::uint8_t>
+loadCkptFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        throw CkptError("checkpoint: cannot open " + path + ": " +
+                        std::strerror(errno));
+    std::vector<std::uint8_t> buf;
+    std::uint8_t chunk[1 << 16];
+    std::size_t got;
+    while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
+        buf.insert(buf.end(), chunk, chunk + got);
+    const bool readError = std::ferror(f) != 0;
+    std::fclose(f);
+    if (readError)
+        throw CkptError("checkpoint: read error on " + path);
+    return buf;
+}
+
+// ---- runner environment contract ------------------------------------
+
+std::uint64_t
+ckptIntervalFromEnv()
+{
+    const char *v = std::getenv("ZBP_CKPT_INTERVAL");
+    if (v == nullptr || *v == '\0')
+        return 0;
+    char *end = nullptr;
+    const unsigned long long n = std::strtoull(v, &end, 10);
+    if (end == v || *end != '\0') {
+        warn("ignoring unparseable ZBP_CKPT_INTERVAL='", v, "'");
+        return 0;
+    }
+    return static_cast<std::uint64_t>(n);
+}
+
+std::string
+ckptDirFromEnv()
+{
+    const char *v = std::getenv("ZBP_CKPT_DIR");
+    return v == nullptr ? std::string() : std::string(v);
+}
+
+bool
+ckptFileExists(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return false;
+    std::fclose(f);
+    return true;
+}
+
+void
+removeCkptFile(const std::string &path)
+{
+    std::remove(path.c_str());
+}
+
+std::string
+ckptPathFor(const std::string &dir, const std::string &key)
+{
+    // FNV-1a, the same stable-name hash the runner uses for seeds.
+    std::uint64_t h = 1469598103934665603ull;
+    for (const char c : key) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 1099511628211ull;
+    }
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(h));
+    std::string p = dir;
+    if (!p.empty() && p.back() != '/')
+        p += '/';
+    p += "zbp-";
+    p += hex;
+    p += ".ckpt";
+    return p;
+}
+
+} // namespace zbp::ckpt

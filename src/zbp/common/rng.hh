@@ -95,6 +95,10 @@ class Rng
     /** Re-seed in place. */
     void seed(std::uint64_t s) { state = s; }
 
+    /** The raw SplitMix64 state, for checkpoint/restore: seed() with
+     * this value reproduces the exact draw sequence from here. */
+    std::uint64_t rawState() const { return state; }
+
   private:
     std::uint64_t state;
 };

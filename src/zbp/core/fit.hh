@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "zbp/ckpt/ckpt.hh"
 #include "zbp/common/types.hh"
 #include "zbp/stats/stats.hh"
 
@@ -94,6 +95,66 @@ class FastIndexTable
     {
         g.add("hits", nHits, "accelerated re-indexes");
         g.add("mismatches", nMismatch, "FIT target stale at prediction");
+    }
+
+    /** Serialize into one checkpoint section. */
+    void
+    saveState(ckpt::Writer &w) const
+    {
+        w.beginSection(ckpt::tag::kFit);
+        w.putU32(capacity);
+        w.putU32(count);
+        w.putU32(head);
+        w.putU32(tail);
+        for (unsigned i = 0; i < count; ++i) {
+            w.putU64(nodes[i].ia);
+            w.putU64(nodes[i].target);
+            w.putU32(nodes[i].prev);
+            w.putU32(nodes[i].next);
+        }
+        w.putU64(nHits.value());
+        w.putU64(nMismatch.value());
+        w.endSection();
+    }
+
+    /** Overwrite from a checkpoint section; throws CkptError on
+     * geometry mismatch or out-of-range link indices. */
+    void
+    restoreState(ckpt::Reader &r)
+    {
+        r.openSection(ckpt::tag::kFit);
+        if (r.getU32() != capacity)
+            throw ckpt::CkptError("FIT capacity mismatch");
+        const std::uint32_t n = r.getU32();
+        if (n > capacity)
+            throw ckpt::CkptError("FIT count out of range");
+        const auto link_ok = [n](std::uint32_t v) {
+            return v == kNone || v < n;
+        };
+        const std::uint32_t h = r.getU32();
+        const std::uint32_t t = r.getU32();
+        if (!link_ok(h) || !link_ok(t))
+            throw ckpt::CkptError("FIT list head/tail out of range");
+        std::vector<Node> fresh(capacity);
+        for (unsigned i = 0; i < n; ++i) {
+            fresh[i].ia = r.getU64();
+            fresh[i].target = r.getU64();
+            fresh[i].prev = r.getU32();
+            fresh[i].next = r.getU32();
+            if (!link_ok(fresh[i].prev) || !link_ok(fresh[i].next))
+                throw ckpt::CkptError("FIT node link out of range");
+        }
+        const std::uint64_t hits = r.getU64();
+        const std::uint64_t mism = r.getU64();
+        r.closeSection();
+        nodes = std::move(fresh);
+        count = n;
+        head = h;
+        tail = t;
+        nHits.reset();
+        nHits += hits;
+        nMismatch.reset();
+        nMismatch += mism;
     }
 
   private:

@@ -294,6 +294,85 @@ BranchPredictorHierarchy::reset()
 }
 
 void
+BranchPredictorHierarchy::saveState(ckpt::Writer &w) const
+{
+    w.beginSection(ckpt::tag::kHierarchy);
+    w.putBool(ownsBtb2());
+    w.putU32(static_cast<std::uint32_t>(installCycle.size()));
+    installCycle.forEach([&w](Addr ia, Cycle c) {
+        w.putU64(ia);
+        w.putU64(c);
+    });
+    w.putU64(nPredictions.value());
+    w.putU64(nPromotions.value());
+    w.putU64(nVictimsToBtb2.value());
+    w.putU64(nSurpriseInstalls.value());
+    w.putU64(nPreloads.value());
+    w.putU64(nPhtOverrides.value());
+    w.putU64(nCtbOverrides.value());
+    w.endSection();
+    btb1Ptr->saveState(w);
+    btbpPtr->saveState(w);
+    if (ownsBtb2())
+        btb2Ptr->saveState(w);
+    phtTable.saveState(w);
+    ctbTable.saveState(w);
+    sbht.saveState(w);
+    fitTable.saveState(w);
+    specHist.saveState(w);
+    archHist.saveState(w);
+}
+
+void
+BranchPredictorHierarchy::restoreState(ckpt::Reader &r)
+{
+    r.openSection(ckpt::tag::kHierarchy);
+    if (r.getBool() != ownsBtb2())
+        throw ckpt::CkptError("hierarchy BTB2 ownership mismatch");
+    const std::uint32_t nic = r.getU32();
+    std::vector<std::pair<Addr, Cycle>> ic(nic);
+    for (auto &[ia, c] : ic) {
+        ia = r.getU64();
+        c = r.getU64();
+    }
+    const std::uint64_t preds = r.getU64();
+    const std::uint64_t promos = r.getU64();
+    const std::uint64_t victims = r.getU64();
+    const std::uint64_t surprises = r.getU64();
+    const std::uint64_t preloads = r.getU64();
+    const std::uint64_t phtOv = r.getU64();
+    const std::uint64_t ctbOv = r.getU64();
+    r.closeSection();
+    btb1Ptr->restoreState(r);
+    btbpPtr->restoreState(r);
+    if (ownsBtb2())
+        btb2Ptr->restoreState(r);
+    phtTable.restoreState(r);
+    ctbTable.restoreState(r);
+    sbht.restoreState(r);
+    fitTable.restoreState(r);
+    specHist.restoreState(r);
+    archHist.restoreState(r);
+    installCycle.clear();
+    for (const auto &[ia, c] : ic)
+        installCycle.assign(ia, c);
+    nPredictions.reset();
+    nPredictions += preds;
+    nPromotions.reset();
+    nPromotions += promos;
+    nVictimsToBtb2.reset();
+    nVictimsToBtb2 += victims;
+    nSurpriseInstalls.reset();
+    nSurpriseInstalls += surprises;
+    nPreloads.reset();
+    nPreloads += preloads;
+    nPhtOverrides.reset();
+    nPhtOverrides += phtOv;
+    nCtbOverrides.reset();
+    nCtbOverrides += ctbOv;
+}
+
+void
 BranchPredictorHierarchy::registerStats(stats::Group &g) const
 {
     g.add("predictions", nPredictions, "dynamic predictions formed");

@@ -154,6 +154,16 @@ class BranchPredictorHierarchy
     /** Full wipe (between benchmark repetitions). */
     void reset();
 
+    /** Serialize every owned structure (the CMP-shared BTB2, when
+     * attached, is serialized by its owner, not here). */
+    void saveState(ckpt::Writer &w) const;
+
+    /** Overwrite from checkpoint sections; throws ckpt::CkptError on
+     * mismatch.  Components stage-and-commit individually, so a throw
+     * may leave earlier components restored — the caller discards the
+     * whole model on failure. */
+    void restoreState(ckpt::Reader &r);
+
     void registerStats(stats::Group &g) const;
 
     const MachineParams &params() const { return prm; }

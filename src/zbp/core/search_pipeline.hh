@@ -25,6 +25,7 @@
 #ifndef ZBP_CORE_SEARCH_PIPELINE_HH
 #define ZBP_CORE_SEARCH_PIPELINE_HH
 
+#include "zbp/ckpt/ckpt.hh"
 #include "zbp/core/hierarchy.hh"
 #include "zbp/core/params.hh"
 #include "zbp/core/prediction.hh"
@@ -48,6 +49,14 @@ class SearchPipeline
 
     /** Stop searching (between runs). */
     void halt();
+
+    /** Serialize queue + search cursor + counters into one checkpoint
+     * section. */
+    void saveState(ckpt::Writer &w) const;
+
+    /** Overwrite from a checkpoint section; throws ckpt::CkptError on
+     * out-of-range stored state. */
+    void restoreState(ckpt::Reader &r);
 
     /** Advance one cycle. */
     void tick(Cycle now);

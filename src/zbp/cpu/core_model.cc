@@ -1024,4 +1024,223 @@ CoreModel::finishRun()
     return r;
 }
 
+namespace
+{
+
+std::uint64_t
+traceNameHash(const std::string &name)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (const char c : name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+void
+savePrediction(ckpt::Writer &w, const core::Prediction &p)
+{
+    w.putU64(p.seq);
+    w.putU64(p.ia);
+    w.putBool(p.taken);
+    w.putU64(p.target);
+    w.putU64(p.availableAt);
+    w.putU8(static_cast<std::uint8_t>(p.source));
+    w.putBool(p.usedPht);
+    w.putBool(p.usedCtb);
+    w.putU64(p.hist.phtIndex);
+    w.putU64(p.hist.phtTagHash);
+    w.putU64(p.hist.ctbIndex);
+}
+
+core::Prediction
+loadPrediction(ckpt::Reader &r)
+{
+    core::Prediction p;
+    p.seq = r.getU64();
+    p.ia = r.getU64();
+    p.taken = r.getBool();
+    p.target = r.getU64();
+    p.availableAt = r.getU64();
+    const std::uint8_t src = r.getU8();
+    if (src > static_cast<std::uint8_t>(core::PredictionSource::kBtbp))
+        throw ckpt::CkptError("prediction source out of range");
+    p.source = static_cast<core::PredictionSource>(src);
+    p.usedPht = r.getBool();
+    p.usedCtb = r.getBool();
+    p.hist.phtIndex = r.getU64();
+    p.hist.phtTagHash = r.getU64();
+    p.hist.ctbIndex = r.getU64();
+    return p;
+}
+
+} // namespace
+
+void
+CoreModel::saveState(ckpt::Writer &w) const
+{
+    ZBP_ASSERT(runActive, "saveState() without an armed run");
+    w.beginSection(ckpt::tag::kCore);
+    w.putU64(traceNameHash(tr->name()));
+    w.putU64(tr->size());
+    w.putBool(l1d != nullptr);
+    w.putBool(eng != nullptr);
+    w.putBool(inj != nullptr);
+    w.putU64(fetchIdx);
+    w.putU64(decodeIdx);
+    w.putU32(static_cast<std::uint32_t>(fetchBuf.size()));
+    for (const FetchedInst &fi : fetchBuf) {
+        w.putU64(fi.idx);
+        w.putU64(fi.ready);
+    }
+    w.putU8(static_cast<std::uint8_t>(fetchStall));
+    w.putU64(fetchResumeAt);
+    w.putU64(fetchBlockedUntil);
+    w.putU64(lastFetchLine);
+    w.putU64(fetchSeqCursor);
+    w.putU64(decodeBlockedUntil);
+    w.putU64(lastRestartCycle);
+    w.putU32(static_cast<std::uint32_t>(events.size()));
+    for (const ResolveEvent &ev : events) {
+        w.putU64(ev.at);
+        w.putU8(static_cast<std::uint8_t>(ev.kind));
+        savePrediction(w, ev.pred);
+        w.putU64(ev.ia);
+        w.putU8(static_cast<std::uint8_t>(ev.ikind));
+        w.putBool(ev.taken);
+        w.putU64(ev.target);
+        w.putU64(ev.restartAddr);
+    }
+    w.putU64(nTaken);
+    w.putU64(nBranches);
+    w.putU64(nDataAccesses);
+    w.putU64(nWatchdogResets);
+    w.putU64(nResolves);
+    w.putU64(cycle);
+    w.putU64(maxCycles);
+    w.putU64(lastProgressAt);
+    w.putU64(lastDecodeIdx);
+    w.putU64(cancelPoll);
+    w.putU64(curNextIa);
+    w.endSection();
+    bp->saveState(w);
+    l1i->saveState(w);
+    if (l1d)
+        l1d->saveState(w);
+    sotTable->saveState(w);
+    if (eng)
+        eng->saveState(w);
+    pipe->saveState(w);
+    if (inj)
+        inj->saveState(w);
+    outcomes.saveState(w);
+}
+
+void
+CoreModel::restoreState(ckpt::Reader &r)
+{
+    ZBP_ASSERT(runActive, "restoreState() without an armed run");
+    r.openSection(ckpt::tag::kCore);
+    if (r.getU64() != traceNameHash(tr->name()) ||
+        r.getU64() != tr->size())
+        throw ckpt::CkptError("checkpoint was taken over a different "
+                              "trace");
+    if (r.getBool() != (l1d != nullptr) ||
+        r.getBool() != (eng != nullptr) ||
+        r.getBool() != (inj != nullptr))
+        throw ckpt::CkptError("checkpoint machine configuration "
+                              "mismatch");
+    const std::uint64_t fIdx = r.getU64();
+    const std::uint64_t dIdx = r.getU64();
+    if (fIdx > tr->size() || dIdx > tr->size())
+        throw ckpt::CkptError("checkpoint cursor beyond trace end");
+    const std::uint32_t nfb = r.getU32();
+    std::vector<FetchedInst> fb(nfb);
+    for (FetchedInst &fi : fb) {
+        fi.idx = r.getU64();
+        fi.ready = r.getU64();
+        if (fi.idx >= tr->size())
+            throw ckpt::CkptError("fetch buffer index beyond trace end");
+    }
+    const std::uint8_t fs = r.getU8();
+    if (fs > static_cast<std::uint8_t>(FetchStall::kWaitResume))
+        throw ckpt::CkptError("fetch stall state out of range");
+    const Cycle fra = r.getU64();
+    const Cycle fbu = r.getU64();
+    const Addr lfl = r.getU64();
+    const std::uint64_t fsc = r.getU64();
+    const Cycle dbu = r.getU64();
+    const Cycle lrc = r.getU64();
+    const std::uint32_t nev = r.getU32();
+    std::vector<ResolveEvent> evs(nev);
+    for (ResolveEvent &ev : evs) {
+        ev.at = r.getU64();
+        const std::uint8_t k = r.getU8();
+        if (k > static_cast<std::uint8_t>(ResolveEvent::Kind::kRestart))
+            throw ckpt::CkptError("resolve event kind out of range");
+        ev.kind = static_cast<ResolveEvent::Kind>(k);
+        ev.pred = loadPrediction(r);
+        ev.ia = r.getU64();
+        const std::uint8_t ik = r.getU8();
+        if (ik > static_cast<std::uint8_t>(trace::InstKind::kIndirect))
+            throw ckpt::CkptError("instruction kind out of range");
+        ev.ikind = static_cast<trace::InstKind>(ik);
+        ev.taken = r.getBool();
+        ev.target = r.getU64();
+        ev.restartAddr = r.getU64();
+    }
+    const std::uint64_t taken = r.getU64();
+    const std::uint64_t branches = r.getU64();
+    const std::uint64_t dataAcc = r.getU64();
+    const std::uint64_t wdResets = r.getU64();
+    const std::uint64_t resolves = r.getU64();
+    const Cycle cyc = r.getU64();
+    const Cycle maxCyc = r.getU64();
+    const Cycle progAt = r.getU64();
+    const std::uint64_t lastDi = r.getU64();
+    const std::uint64_t cpoll = r.getU64();
+    const Addr cni = r.getU64();
+    r.closeSection();
+
+    fetchIdx = static_cast<std::size_t>(fIdx);
+    decodeIdx = static_cast<std::size_t>(dIdx);
+    fetchBuf.clear();
+    for (const FetchedInst &fi : fb)
+        fetchBuf.push_back(fi);
+    fetchStall = static_cast<FetchStall>(fs);
+    fetchResumeAt = fra;
+    fetchBlockedUntil = fbu;
+    lastFetchLine = lfl;
+    fetchSeqCursor = fsc;
+    decodeBlockedUntil = dbu;
+    lastRestartCycle = lrc;
+    events.clear();
+    for (const ResolveEvent &ev : evs)
+        events.push_back(ev);
+    nTaken = taken;
+    nBranches = branches;
+    nDataAccesses = dataAcc;
+    nWatchdogResets = wdResets;
+    nResolves = resolves;
+    cycle = cyc;
+    maxCycles = maxCyc;
+    lastProgressAt = progAt;
+    lastDecodeIdx = static_cast<std::size_t>(lastDi);
+    cancelPoll = cpoll;
+    curNextIa = cni;
+
+    bp->restoreState(r);
+    l1i->restoreState(r);
+    if (l1d)
+        l1d->restoreState(r);
+    sotTable->restoreState(r);
+    if (eng)
+        eng->restoreState(r);
+    pipe->restoreState(r);
+    if (inj)
+        inj->restoreState(r);
+    outcomes.restoreState(r);
+}
+
 } // namespace zbp::cpu

@@ -191,6 +191,31 @@ class CoreModel
      * results (post-run accounting, invariant check, optional stats). */
     SimResult finishRun();
 
+    /** Instructions decoded so far in the armed run (the advance()
+     * progress cursor; checkpointing keys on it). */
+    std::size_t decodedInstructions() const { return decodeIdx; }
+
+    /** True between beginRun() and finishRun(). */
+    bool runInProgress() const { return runActive; }
+
+    /**
+     * Serialize the complete mid-run machine state — pipeline cursors,
+     * every predictor structure, caches, preload machinery, outcome
+     * books — into @p w.  Valid only between beginRun() and
+     * finishRun().  CMP-shared structures (BTB2/arbiter/L2I) are saved
+     * by their owner, not here.
+     */
+    void saveState(ckpt::Writer &w) const;
+
+    /**
+     * Overwrite the armed run's state from a checkpoint.  Call
+     * beginRun() with the same trace first; on success the model
+     * continues exactly as the saved machine would have.  Throws
+     * ckpt::CkptError on a corrupt or mismatched checkpoint — the
+     * model is then half-restored and must be discarded.
+     */
+    void restoreState(ckpt::Reader &r);
+
     /**
      * Attach a precomputed read-only sidecar for subsequent runs
      * (nullptr to detach).  The index must describe exactly the trace

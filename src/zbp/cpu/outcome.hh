@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <unordered_set>
 
+#include "zbp/ckpt/ckpt.hh"
 #include "zbp/common/types.hh"
 #include "zbp/stats/stats.hh"
 
@@ -114,6 +115,46 @@ class OutcomeTracker
         g.add("surpriseCapacity", counts[5], "bad surprise: capacity");
         g.add("surpriseBenign", counts[6], "harmless surprise");
         g.add("phantom", counts[7], "phantom predictions");
+    }
+
+    /** Serialize into one checkpoint section.  The seen-set iteration
+     * order is unspecified but irrelevant: membership is the only
+     * observable property. */
+    void
+    saveState(ckpt::Writer &w) const
+    {
+        w.beginSection(ckpt::tag::kOutcomes);
+        for (const auto &c : counts)
+            w.putU64(c.value());
+        w.putU64(total.value());
+        w.putU64(seen.size());
+        for (const Addr a : seen)
+            w.putU64(a);
+        w.endSection();
+    }
+
+    /** Overwrite from a checkpoint section. */
+    void
+    restoreState(ckpt::Reader &r)
+    {
+        r.openSection(ckpt::tag::kOutcomes);
+        std::uint64_t cs[kNumOutcomes];
+        for (auto &c : cs)
+            c = r.getU64();
+        const std::uint64_t tot = r.getU64();
+        const std::uint64_t n = r.getU64();
+        std::unordered_set<Addr> fresh;
+        fresh.reserve(static_cast<std::size_t>(n));
+        for (std::uint64_t i = 0; i < n; ++i)
+            fresh.insert(r.getU64());
+        r.closeSection();
+        for (std::size_t i = 0; i < kNumOutcomes; ++i) {
+            counts[i].reset();
+            counts[i] += cs[i];
+        }
+        total.reset();
+        total += tot;
+        seen = std::move(fresh);
     }
 
   private:

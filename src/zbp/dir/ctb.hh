@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "zbp/btb/simd.hh"
+#include "zbp/ckpt/ckpt.hh"
 #include "zbp/common/bitfield.hh"
 #include "zbp/common/types.hh"
 #include "zbp/dir/history.hh"
@@ -97,6 +98,37 @@ class Ctb
     }
 
     std::size_t size() const { return table.size(); }
+
+    /** Serialize into one checkpoint section. */
+    void
+    saveState(ckpt::Writer &w) const
+    {
+        w.beginSection(ckpt::tag::kCtb);
+        w.putU32(static_cast<std::uint32_t>(table.size()));
+        w.putU32(tagBits);
+        for (const Entry &e : table) {
+            w.putBool(e.valid);
+            w.putU32(e.tag);
+            w.putU64(e.target);
+        }
+        w.endSection();
+    }
+
+    /** Overwrite from a checkpoint section; throws CkptError on a
+     * geometry mismatch. */
+    void
+    restoreState(ckpt::Reader &r)
+    {
+        r.openSection(ckpt::tag::kCtb);
+        if (r.getU32() != table.size() || r.getU32() != tagBits)
+            throw ckpt::CkptError("CTB geometry mismatch");
+        for (Entry &e : table) {
+            e.valid = r.getBool();
+            e.tag = static_cast<std::uint16_t>(r.getU32());
+            e.target = r.getU64();
+        }
+        r.closeSection();
+    }
 
     /** Wire this table into @p inj: each lookup is an injection
      * opportunity on the indexed entry. */

@@ -15,6 +15,7 @@
 #ifndef ZBP_DIR_HISTORY_HH
 #define ZBP_DIR_HISTORY_HH
 
+#include "zbp/ckpt/ckpt.hh"
 #include "zbp/common/bitfield.hh"
 #include "zbp/common/types.hh"
 #include "zbp/util/shift_history.hh"
@@ -156,6 +157,39 @@ class HistoryState
     }
 
     std::uint64_t directionBits() const { return dirs.value(); }
+
+    /** Serialize into one checkpoint section.  The hash-cache
+     * configuration is construction-time state and not stored; restore
+     * refolds any registered accumulators from the restored ring. */
+    void
+    saveState(ckpt::Writer &w) const
+    {
+        w.beginSection(ckpt::tag::kHistory);
+        w.putU64(dirs.value());
+        const PathHistory::Snapshot s = path.snapshot();
+        for (const Addr a : s.ring)
+            w.putU64(a);
+        w.putU32(s.head);
+        w.endSection();
+    }
+
+    /** Overwrite from a checkpoint section; throws CkptError when the
+     * stored ring head is out of range. */
+    void
+    restoreState(ckpt::Reader &r)
+    {
+        r.openSection(ckpt::tag::kHistory);
+        const std::uint64_t d = r.getU64();
+        PathHistory::Snapshot s;
+        for (Addr &a : s.ring)
+            a = r.getU64();
+        s.head = r.getU32();
+        if (s.head >= path.depth())
+            throw ckpt::CkptError("history ring head out of range");
+        r.closeSection();
+        dirs.set(d);
+        path.restore(s);
+    }
 
   private:
     DirectionHistory dirs;

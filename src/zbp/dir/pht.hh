@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "zbp/btb/simd.hh"
+#include "zbp/ckpt/ckpt.hh"
 #include "zbp/common/bitfield.hh"
 #include "zbp/dir/history.hh"
 #include "zbp/fault/fault_injector.hh"
@@ -126,6 +127,40 @@ class Pht
     }
 
     std::size_t size() const { return table.size(); }
+
+    /** Serialize into one checkpoint section (ckpt.hh format notes). */
+    void
+    saveState(ckpt::Writer &w) const
+    {
+        w.beginSection(ckpt::tag::kPht);
+        w.putU32(static_cast<std::uint32_t>(table.size()));
+        w.putU32(tagBits);
+        for (const Entry &e : table) {
+            w.putBool(e.valid);
+            w.putU32(e.tag);
+            w.putU8(e.dir.raw());
+        }
+        w.endSection();
+    }
+
+    /** Overwrite from a checkpoint section; throws CkptError on any
+     * geometry mismatch or out-of-range stored state. */
+    void
+    restoreState(ckpt::Reader &r)
+    {
+        r.openSection(ckpt::tag::kPht);
+        if (r.getU32() != table.size() || r.getU32() != tagBits)
+            throw ckpt::CkptError("PHT geometry mismatch");
+        for (Entry &e : table) {
+            e.valid = r.getBool();
+            e.tag = static_cast<std::uint16_t>(r.getU32());
+            const std::uint8_t d = r.getU8();
+            if (d > Bimodal2::kMax)
+                throw ckpt::CkptError("PHT direction state out of range");
+            e.dir.set(d);
+        }
+        r.closeSection();
+    }
 
     /** Wire this table into @p inj: each lookup is an injection
      * opportunity on the indexed entry. */

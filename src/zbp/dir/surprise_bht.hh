@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "zbp/ckpt/ckpt.hh"
 #include "zbp/common/bitfield.hh"
 #include "zbp/common/types.hh"
 #include "zbp/stats/stats.hh"
@@ -62,6 +63,41 @@ class SurpriseBht
     }
 
     std::size_t size() const { return bits.size(); }
+
+    /** Serialize into one checkpoint section (8 bits per byte). */
+    void
+    saveState(ckpt::Writer &w) const
+    {
+        w.beginSection(ckpt::tag::kSurpriseBht);
+        w.putU32(static_cast<std::uint32_t>(bits.size()));
+        std::uint8_t acc = 0;
+        for (std::size_t i = 0; i < bits.size(); ++i) {
+            if (bits[i])
+                acc |= static_cast<std::uint8_t>(1u << (i & 7));
+            if ((i & 7) == 7 || i + 1 == bits.size()) {
+                w.putU8(acc);
+                acc = 0;
+            }
+        }
+        w.endSection();
+    }
+
+    /** Overwrite from a checkpoint section; throws CkptError on a size
+     * mismatch. */
+    void
+    restoreState(ckpt::Reader &r)
+    {
+        r.openSection(ckpt::tag::kSurpriseBht);
+        if (r.getU32() != bits.size())
+            throw ckpt::CkptError("surprise BHT size mismatch");
+        std::uint8_t acc = 0;
+        for (std::size_t i = 0; i < bits.size(); ++i) {
+            if ((i & 7) == 0)
+                acc = r.getU8();
+            bits[i] = (acc & (1u << (i & 7))) != 0;
+        }
+        r.closeSection();
+    }
 
   private:
     std::size_t

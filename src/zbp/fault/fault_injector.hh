@@ -33,6 +33,7 @@
 #include <functional>
 #include <vector>
 
+#include "zbp/ckpt/ckpt.hh"
 #include "zbp/common/rng.hh"
 #include "zbp/common/types.hh"
 
@@ -170,6 +171,44 @@ class FaultInjector
     /** Re-arm for a fresh run: reseed the Rng, clear counters, rewind
      * the targeted schedule. */
     void reset();
+
+    /** Serialize the Rng stream position, schedule cursor and counters
+     * (the schedule itself is construction state). */
+    void
+    saveState(ckpt::Writer &w) const
+    {
+        w.beginSection(ckpt::tag::kFault);
+        w.putU64(rng.rawState());
+        w.putU64(static_cast<std::uint64_t>(nextTargeted));
+        w.putU64(nInjected);
+        for (const std::uint64_t c : perSite)
+            w.putU64(c);
+        w.putU64(nowCycle);
+        w.endSection();
+    }
+
+    /** Overwrite from a checkpoint section; throws ckpt::CkptError when
+     * the stored schedule cursor exceeds this run's schedule. */
+    void
+    restoreState(ckpt::Reader &r)
+    {
+        r.openSection(ckpt::tag::kFault);
+        const std::uint64_t raw = r.getU64();
+        const std::uint64_t nt = r.getU64();
+        if (nt > schedule.size())
+            throw ckpt::CkptError("fault schedule cursor out of range");
+        const std::uint64_t inj = r.getU64();
+        std::array<std::uint64_t, kSiteCount> ps{};
+        for (std::uint64_t &c : ps)
+            c = r.getU64();
+        const Cycle now = r.getU64();
+        r.closeSection();
+        rng.seed(raw);
+        nextTargeted = static_cast<std::size_t>(nt);
+        nInjected = inj;
+        perSite = ps;
+        nowCycle = now;
+    }
 
     /** Attach the obs timeline: each applied fault is emitted as an
      * instant on lane @p lane of the microarch track.  Injection

@@ -46,6 +46,14 @@ IntervalWriter::close()
 }
 
 void
+IntervalWriter::flush()
+{
+    std::lock_guard<std::mutex> lk(mu);
+    if (f != nullptr)
+        std::fflush(f);
+}
+
+void
 IntervalWriter::writeBatch(const std::string &trace,
                            const std::string &config, unsigned core,
                            const std::vector<const char *> &probes,

@@ -58,6 +58,10 @@ class IntervalWriter
 
     void close(); ///< flush + close; idempotent
 
+    /** fflush() the open file without closing it: rows written so far
+     * survive an abnormal exit (crash, SIGKILL) of the process. */
+    void flush();
+
     /** Append @p rows for one (trace, config, core) identity. */
     void writeBatch(const std::string &trace, const std::string &config,
                     unsigned core, const std::vector<const char *> &probes,

@@ -106,4 +106,14 @@ obsShutdown()
         g.intervals->close();
 }
 
+void
+obsFlush()
+{
+    GlobalObs &g = instance();
+    if (g.tracer)
+        g.tracer->flush();
+    if (g.intervals)
+        g.intervals->flush();
+}
+
 } // namespace zbp::obs

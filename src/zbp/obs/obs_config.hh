@@ -63,6 +63,11 @@ std::uint64_t globalIntervalInsts();
  * at this point instead of at process exit. */
 void obsShutdown();
 
+/** Flush both global writers without closing them.  Runners call this
+ * when a job fails or a watchdog fires, so observability collected up
+ * to the failure survives even if the process dies right after. */
+void obsFlush();
+
 } // namespace zbp::obs
 
 #endif // ZBP_OBS_OBS_CONFIG_HH

@@ -124,6 +124,14 @@ TraceWriter::close()
     closed = true;
 }
 
+void
+TraceWriter::flush()
+{
+    std::lock_guard<std::mutex> lk(mu);
+    if (!closed && f != nullptr)
+        std::fflush(f);
+}
+
 std::uint32_t
 TraceWriter::newLane(std::uint32_t pid, const std::string &name)
 {

@@ -68,6 +68,10 @@ class TraceWriter
      * destructor; call earlier to validate the file mid-process. */
     void close();
 
+    /** fflush() the open file without writing the footer: events so far
+     * survive an abnormal exit (Perfetto tolerates the missing `]`). */
+    void flush();
+
     /** Allocate a timeline lane (a tid) under @p pid and emit its
      * thread_name metadata.  Thread-safe. */
     std::uint32_t newLane(std::uint32_t pid, const std::string &name);

@@ -40,6 +40,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "zbp/ckpt/ckpt.hh"
 #include "zbp/common/types.hh"
 #include "zbp/fault/fault_injector.hh"
 #include "zbp/stats/stats.hh"
@@ -102,6 +103,13 @@ class Btb2Arbiter
 
     /** Drop all reservations and counters (fresh machine). */
     void reset();
+
+    /** Serialize reservations + counters into one checkpoint section. */
+    void saveState(ckpt::Writer &w) const;
+
+    /** Overwrite from a checkpoint section; throws ckpt::CkptError on a
+     * geometry mismatch. */
+    void restoreState(ckpt::Reader &r);
 
     const Btb2ArbiterParams &params() const { return prm; }
     unsigned bankOf(Addr row) const

@@ -394,4 +394,168 @@ Btb2Engine::reset()
     nextReadAt = 0;
 }
 
+namespace
+{
+
+/** BtbEntry flags+direction packed into one byte (bits 0..2 the three
+ * bools, bits 3..4 the 2-bit bimodal state). */
+std::uint8_t
+packEntryMeta(const btb::BtbEntry &e)
+{
+    return static_cast<std::uint8_t>(
+            (e.valid ? 1u : 0u) | (e.phtAllowed ? 2u : 0u) |
+            (e.ctbAllowed ? 4u : 0u) | (unsigned{e.dir.raw()} << 3));
+}
+
+void
+unpackEntryMeta(std::uint8_t m, btb::BtbEntry &e)
+{
+    e.valid = (m & 1u) != 0;
+    e.phtAllowed = (m & 2u) != 0;
+    e.ctbAllowed = (m & 4u) != 0;
+    e.dir.set(static_cast<std::uint8_t>((m >> 3) & Bimodal2::kMax));
+}
+
+} // namespace
+
+void
+Btb2Engine::saveState(ckpt::Writer &w) const
+{
+    w.beginSection(ckpt::tag::kBtb2Engine);
+    w.putU32(static_cast<std::uint32_t>(trk.size()));
+    for (const Tracker &t : trk) {
+        w.putU8(static_cast<std::uint8_t>(t.phase));
+        w.putU64(t.block);
+        w.putU64(t.missAddr);
+        w.putBool(t.btb1MissValid);
+        w.putBool(t.icMissValid);
+        w.putU64(t.startableAt);
+        w.putU64(t.searchStartAt);
+        w.putU32(static_cast<std::uint32_t>(t.schedule.size()));
+        for (std::size_t i = 0; i < t.schedule.size(); ++i)
+            w.putU64(t.schedule.at(i));
+        w.putU32(t.rowsDone);
+        w.putU32(t.chainDepth);
+        w.putU32(static_cast<std::uint32_t>(t.targetBlocks.size()));
+        for (const auto &[blk, votes] : t.targetBlocks) {
+            w.putU64(blk);
+            w.putU32(votes);
+        }
+    }
+    w.putU32(static_cast<std::uint32_t>(pipe.size()));
+    for (const PendingWrite &pw : pipe) {
+        w.putU64(pw.due);
+        w.putU32(pw.n);
+        for (unsigned i = 0; i < pw.n; ++i) {
+            w.putU64(pw.entries[i].ia);
+            w.putU64(pw.entries[i].target);
+            w.putU8(packEntryMeta(pw.entries[i]));
+        }
+    }
+    w.putU32(rrNext);
+    w.putU64(nextReadAt);
+    w.putU64(nMissReports.value());
+    w.putU64(nIcReports.value());
+    w.putU64(nAlloc.value());
+    w.putU64(nDropBusy.value());
+    w.putU64(nFull.value());
+    w.putU64(nPartial.value());
+    w.putU64(nPartialAbandoned.value());
+    w.putU64(nPartialUpgraded.value());
+    w.putU64(nRowReads.value());
+    w.putU64(nHits.value());
+    w.putU64(nChained.value());
+    w.endSection();
+}
+
+void
+Btb2Engine::restoreState(ckpt::Reader &r)
+{
+    r.openSection(ckpt::tag::kBtb2Engine);
+    if (r.getU32() != trk.size())
+        throw ckpt::CkptError("BTB2 engine tracker count mismatch");
+    std::vector<Tracker> fresh(trk.size());
+    for (Tracker &t : fresh) {
+        const std::uint8_t ph = r.getU8();
+        if (ph > static_cast<std::uint8_t>(Tracker::Phase::kFull))
+            throw ckpt::CkptError("BTB2 engine tracker phase out of range");
+        t.phase = static_cast<Tracker::Phase>(ph);
+        t.block = r.getU64();
+        t.missAddr = r.getU64();
+        t.btb1MissValid = r.getBool();
+        t.icMissValid = r.getBool();
+        t.startableAt = r.getU64();
+        t.searchStartAt = r.getU64();
+        const std::uint32_t nrows = r.getU32();
+        if (nrows > RowSchedule::kCapacity)
+            throw ckpt::CkptError("BTB2 engine row schedule too long");
+        t.schedule.clear();
+        for (std::uint32_t i = 0; i < nrows; ++i)
+            t.schedule.push_back(r.getU64());
+        t.rowsDone = r.getU32();
+        t.chainDepth = r.getU32();
+        const std::uint32_t ntb = r.getU32();
+        for (std::uint32_t i = 0; i < ntb; ++i) {
+            const Addr blk = r.getU64();
+            t.targetBlocks[blk] = r.getU32();
+        }
+    }
+    const std::uint32_t npw = r.getU32();
+    std::vector<PendingWrite> fpipe(npw);
+    for (PendingWrite &pw : fpipe) {
+        pw.due = r.getU64();
+        pw.n = r.getU32();
+        if (pw.n > btb::kMaxBtbWays)
+            throw ckpt::CkptError("BTB2 engine pending write too wide");
+        for (unsigned i = 0; i < pw.n; ++i) {
+            pw.entries[i].ia = r.getU64();
+            pw.entries[i].target = r.getU64();
+            unpackEntryMeta(r.getU8(), pw.entries[i]);
+        }
+    }
+    const std::uint32_t rr = r.getU32();
+    const Cycle nra = r.getU64();
+    const std::uint64_t miss = r.getU64();
+    const std::uint64_t ic = r.getU64();
+    const std::uint64_t alloc = r.getU64();
+    const std::uint64_t drop = r.getU64();
+    const std::uint64_t full = r.getU64();
+    const std::uint64_t part = r.getU64();
+    const std::uint64_t abnd = r.getU64();
+    const std::uint64_t upgr = r.getU64();
+    const std::uint64_t reads = r.getU64();
+    const std::uint64_t hits = r.getU64();
+    const std::uint64_t chained = r.getU64();
+    r.closeSection();
+    trk = std::move(fresh);
+    pipe.clear();
+    for (PendingWrite &pw : fpipe)
+        pipe.push_back(std::move(pw));
+    rrNext = rr;
+    nextReadAt = nra;
+    nMissReports.reset();
+    nMissReports += miss;
+    nIcReports.reset();
+    nIcReports += ic;
+    nAlloc.reset();
+    nAlloc += alloc;
+    nDropBusy.reset();
+    nDropBusy += drop;
+    nFull.reset();
+    nFull += full;
+    nPartial.reset();
+    nPartial += part;
+    nPartialAbandoned.reset();
+    nPartialAbandoned += abnd;
+    nPartialUpgraded.reset();
+    nPartialUpgraded += upgr;
+    nRowReads.reset();
+    nRowReads += reads;
+    nHits.reset();
+    nHits += hits;
+    nChained.reset();
+    nChained += chained;
+    nextEventStale = true;
+}
+
 } // namespace zbp::preload

@@ -76,6 +76,14 @@ class RowSchedule
     Addr front() const { return rows[head]; }
     void pop_front() { ++head; }
 
+    /** The @p i-th remaining row (0 = front), for serialization. */
+    Addr
+    at(std::size_t i) const
+    {
+        ZBP_ASSERT(i < size(), "row schedule index out of range");
+        return rows[head + i];
+    }
+
     void
     push_back(Addr a)
     {
@@ -169,6 +177,14 @@ class Btb2Engine : public MissSink
 
     /** Drop all in-flight state (machine restart between runs). */
     void reset();
+
+    /** Serialize trackers, pipeline and counters into one checkpoint
+     * section. */
+    void saveState(ckpt::Writer &w) const;
+
+    /** Overwrite from a checkpoint section; throws ckpt::CkptError on
+     * mismatch or out-of-range stored state. */
+    void restoreState(ckpt::Reader &r);
 
     /**
      * Wire the bulk-transfer path into @p inj as Site::kTransfer: each

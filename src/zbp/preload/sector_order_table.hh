@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "zbp/ckpt/ckpt.hh"
 #include "zbp/common/bitfield.hh"
 #include "zbp/common/types.hh"
 #include "zbp/fault/fault_injector.hh"
@@ -139,6 +140,14 @@ class SectorOrderTable
     const BlockPattern *probe(Addr block_addr) const;
 
     void reset();
+
+    /** Serialize table + live tracking state into one checkpoint
+     * section. */
+    void saveState(ckpt::Writer &w) const;
+
+    /** Overwrite from a checkpoint section; throws ckpt::CkptError on
+     * geometry mismatch or corrupt LRU state. */
+    void restoreState(ckpt::Reader &r);
 
     /** Wire this table into @p inj: each order() query is an injection
      * opportunity on the queried set (a corrupted pattern only steers

@@ -10,6 +10,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "zbp/ckpt/ckpt.hh"
 #include "zbp/common/log.hh"
 #include "zbp/obs/obs_config.hh"
 #include "zbp/runner/executor.hh"
@@ -306,6 +307,63 @@ extractBool(const std::string &line, const std::string &key, bool &out)
     return false;
 }
 
+/**
+ * Run @p model over @p t with optional crash resume and periodic
+ * checkpointing.  An empty @p ckpt_path is exactly model->run(t) —
+ * zero overhead when checkpointing is off.  Otherwise: an existing
+ * valid snapshot is restored and the run continues mid-trace
+ * (bit-identical to an uninterrupted run); a corrupt, truncated or
+ * mismatched snapshot is discarded — the half-restored model is
+ * rebuilt via @p rebuild and the run starts from scratch; with
+ * @p interval > 0 a snapshot is atomically published every
+ * @p interval decoded instructions.  The snapshot is removed once the
+ * run completes, so a finished job can never satisfy a later resume.
+ */
+template <typename RebuildFn>
+cpu::SimResult
+runCoreCheckpointed(std::unique_ptr<cpu::CoreModel> &model,
+                    const trace::Trace &t, const std::string &ckpt_path,
+                    std::uint64_t interval, RebuildFn &&rebuild)
+{
+    if (ckpt_path.empty())
+        return model->run(t);
+    model->beginRun(t);
+    if (ckpt::ckptFileExists(ckpt_path)) {
+        try {
+            const auto bytes = ckpt::loadCkptFile(ckpt_path);
+            ckpt::Reader r(bytes.data(), bytes.size());
+            model->restoreState(r);
+            r.finish();
+            inform("resumed '", t.name(), "' from checkpoint at ",
+                   model->decodedInstructions(), " instructions");
+        } catch (const ckpt::CkptError &e) {
+            warn("discarding unusable checkpoint '", ckpt_path, "' (",
+                 e.what(), "); running '", t.name(), "' from scratch");
+            ckpt::removeCkptFile(ckpt_path);
+            model = rebuild(); // a half-restored model is poison
+            model->beginRun(t);
+        }
+    }
+    if (interval == 0) {
+        model->advance(t.size());
+    } else {
+        for (;;) {
+            const std::size_t done = model->decodedInstructions();
+            const std::size_t step = static_cast<std::size_t>(
+                    std::min<std::uint64_t>(interval, t.size() - done));
+            if (model->advance(done + step))
+                break;
+            ckpt::Writer w;
+            model->saveState(w);
+            w.finish();
+            ckpt::saveCkptFile(ckpt_path, w);
+        }
+    }
+    cpu::SimResult r = model->finishRun();
+    ckpt::removeCkptFile(ckpt_path);
+    return r;
+}
+
 /** Per-worker-thread lane on the orchestration track, allocated on
  * first use.  The writer is the process-wide singleton, so a lane
  * outlives any one JobRunner and can be cached per thread. */
@@ -348,6 +406,13 @@ loadResumeResults(const std::string &path)
     while (std::getline(is, line)) {
         if (line.empty())
             continue;
+        // Torn trailing line from a killed writer: a JSONL record is one
+        // complete object per line, so anything not brace-delimited is
+        // garbage from an interrupted write — skip it (the job re-runs).
+        if (line.front() != '{' || line.back() != '}') {
+            ++malformed;
+            continue;
+        }
         std::string config, tname;
         std::uint64_t seed = 0;
         bool ok = false;
@@ -505,6 +570,8 @@ JobRunner::run(const std::vector<SimJob> &jobs)
     obs::TraceWriter *const tw = obs::globalTraceWriter();
     obs::IntervalWriter *const iw = obs::globalIntervalWriter();
     const std::uint64_t obs_interval = obs::globalIntervalInsts();
+    const std::string ckpt_dir = ckpt::ckptDirFromEnv();
+    const std::uint64_t ckpt_interval = ckpt::ckptIntervalFromEnv();
     const auto submit_at = std::chrono::steady_clock::now();
     std::atomic<std::uint64_t> nStarted{0};
 
@@ -571,17 +638,29 @@ JobRunner::run(const std::vector<SimJob> &jobs)
                                  tw->nowUs() - l0_ts,
                                  {{"path", obs::jsonStr(job.tracePath)}});
                 }
-                cpu::CoreModel model(job.cfg);
-                if (iw != nullptr)
-                    model.attachObs(iw, obs_interval, job.configName);
-                if (tw != nullptr)
-                    model.attachTracer(tw);
                 std::atomic<bool> cancelled{false};
                 TimeoutWatchdog::Scope scope(dog, cancelled);
-                model.setCancelFlag(&cancelled);
+                const auto build_model = [&] {
+                    auto m = std::make_unique<cpu::CoreModel>(job.cfg);
+                    if (iw != nullptr)
+                        m->attachObs(iw, obs_interval, job.configName);
+                    if (tw != nullptr)
+                        m->attachTracer(tw);
+                    m->setCancelFlag(&cancelled);
+                    return m;
+                };
+                auto model = build_model();
+                const std::string ckpt_path = ckpt_dir.empty()
+                        ? std::string()
+                        : ckpt::ckptPathFor(
+                                  ckpt_dir,
+                                  resumeKey(job.configName, jobTraceId(job),
+                                            job.seed));
                 const auto r0 = std::chrono::steady_clock::now();
                 const double r0_ts = tw != nullptr ? tw->nowUs() : 0.0;
-                out.result = model.run(*tp);
+                out.result = runCoreCheckpointed(model, *tp, ckpt_path,
+                                                 ckpt_interval,
+                                                 build_model);
                 out.telemetry.runSeconds =
                         std::chrono::duration<double>(
                                 std::chrono::steady_clock::now() - r0)
@@ -632,6 +711,11 @@ JobRunner::run(const std::vector<SimJob> &jobs)
         }
         out.seconds = std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - t0).count();
+        if (!out.ok) {
+            // Abnormal exit: push everything observability has buffered
+            // to disk while the process is still alive to do it.
+            obs::obsFlush();
+        }
         out.telemetry.retries = out.attempts - 1;
         if (dog.enabled())
             out.telemetry.timeoutMargin = dog.seconds() - out.seconds;

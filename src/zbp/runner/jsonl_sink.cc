@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include <unistd.h>
+
 #include "zbp/common/log.hh"
 
 namespace zbp::runner
@@ -81,8 +83,14 @@ JsonlSink::JsonlSink(const std::string &path) : filePath(path)
 
 JsonlSink::~JsonlSink()
 {
-    if (f != nullptr)
-        std::fclose(f);
+    if (f == nullptr)
+        return;
+    // fsync before close so completed records survive a machine crash
+    // right after a sweep; a process kill mid-write at worst leaves a
+    // torn trailing line, which loadResumeResults detects and skips.
+    std::fflush(f);
+    ::fsync(::fileno(f));
+    std::fclose(f);
 }
 
 std::string

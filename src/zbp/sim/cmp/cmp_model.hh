@@ -131,6 +131,26 @@ class CmpModel
     CmpResult finishRun();
 
     unsigned cores() const { return static_cast<unsigned>(cs.size()); }
+
+    /** Longest armed trace (the natural advance() completion target). */
+    std::size_t maxInsts() const { return maxLen; }
+
+    /** The common decode frontier (instructions) of the armed run. */
+    std::size_t decodedWindow() const { return window; }
+
+    /** True between beginRun() and finishRun(). */
+    bool runInProgress() const { return runActive; }
+
+    /** Serialize the whole CMP — window state, shared BTB2/arbiter/
+     * L2I/injector, then every core — into @p w.  Valid only between
+     * beginRun() and finishRun(). */
+    void saveState(ckpt::Writer &w) const;
+
+    /** Overwrite the armed run from a checkpoint (beginRun() with the
+     * same traces first).  Throws ckpt::CkptError on mismatch or
+     * corruption — the model is then half-restored and must be
+     * discarded. */
+    void restoreState(ckpt::Reader &r);
     cpu::CoreModel &core(unsigned i) { return *cs.at(i); }
     preload::Btb2Arbiter *arbiter() { return arb.get(); }
     btb::SetAssocBtb *sharedBtb2() { return btb2.get(); }

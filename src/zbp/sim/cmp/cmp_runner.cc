@@ -4,9 +4,11 @@
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <unordered_map>
 
 #include "zbp/cache/dmiss_map.hh"
+#include "zbp/ckpt/ckpt.hh"
 #include "zbp/common/log.hh"
 #include "zbp/obs/obs_config.hh"
 #include "zbp/runner/executor.hh"
@@ -128,6 +130,64 @@ loadSharingRecord(const std::string &path, const std::string &config,
     return false;
 }
 
+/**
+ * Run a CMP model to completion with optional periodic checkpointing
+ * and resume — the CMP twin of the per-core helper in job_runner.cc.
+ * With no checkpoint path this is exactly model->run().  @p rebuild
+ * reconstructs a fully-wired model after a corrupt restore (a failed
+ * restoreState leaves the model half-mutated).
+ */
+template <typename RebuildFn>
+CmpResult
+runCmpCheckpointed(std::unique_ptr<CmpModel> &model,
+                   const std::vector<const trace::Trace *> &tps,
+                   const std::string &ckpt_path, std::uint64_t interval,
+                   RebuildFn &&rebuild)
+{
+    if (ckpt_path.empty())
+        return model->run(tps);
+    model->beginRun(tps);
+    if (ckpt::ckptFileExists(ckpt_path)) {
+        try {
+            const auto bytes = ckpt::loadCkptFile(ckpt_path);
+            ckpt::Reader r(bytes.data(), bytes.size());
+            model->restoreState(r);
+            r.finish();
+            inform("resumed CMP job from checkpoint at ",
+                   model->decodedWindow(), " instructions");
+        } catch (const ckpt::CkptError &e) {
+            warn("discarding unusable CMP checkpoint '", ckpt_path,
+                 "' (", e.what(), "); running from scratch");
+            ckpt::removeCkptFile(ckpt_path);
+            model = rebuild();
+            model->beginRun(tps);
+        }
+    }
+    if (interval == 0) {
+        model->advance(model->maxInsts());
+    } else {
+        for (;;) {
+            const std::size_t done = model->decodedWindow();
+            const std::size_t total = model->maxInsts();
+            // The window frontier moves in stepInsts strides and may
+            // overshoot the requested target, so clamp defensively.
+            const std::size_t step = done >= total
+                    ? 0
+                    : static_cast<std::size_t>(std::min<std::uint64_t>(
+                              interval, total - done));
+            if (model->advance(done + step))
+                break;
+            ckpt::Writer w;
+            model->saveState(w);
+            w.finish();
+            ckpt::saveCkptFile(ckpt_path, w);
+        }
+    }
+    CmpResult r = model->finishRun();
+    ckpt::removeCkptFile(ckpt_path);
+    return r;
+}
+
 unsigned
 positiveFromEnv(const char *var)
 {
@@ -241,6 +301,8 @@ CmpRunner::run(const std::vector<CmpJob> &jobs)
     obs::TraceWriter *const tw = obs::globalTraceWriter();
     obs::IntervalWriter *const iw = obs::globalIntervalWriter();
     const std::uint64_t obs_interval = obs::globalIntervalInsts();
+    const std::string ckpt_dir = ckpt::ckptDirFromEnv();
+    const std::uint64_t ckpt_interval = ckpt::ckptIntervalFromEnv();
     const auto submit_at = SteadyClock::now();
     std::atomic<std::uint64_t> nStarted{0};
 
@@ -305,12 +367,6 @@ CmpRunner::run(const std::vector<CmpJob> &jobs)
 
         const auto t0 = SteadyClock::now();
         try {
-            CmpModel model(job.cfg);
-            if (iw != nullptr)
-                model.attachObs(iw, obs_interval, job.name);
-            if (tw != nullptr)
-                model.attachTracer(tw);
-
             // Shared read-only sidecars, deduplicated by trace: a
             // homogeneous mix indexes its one trace once, not once per
             // core.  The job's cores share one machine configuration,
@@ -326,21 +382,42 @@ CmpRunner::run(const std::vector<CmpJob> &jobs)
                 auto &idx = indexes[tp];
                 if (!idx)
                     idx = std::make_unique<trace::TraceIndex>(*tp);
-                model.setTraceIndex(i, idx.get());
                 if (job.cfg.dcacheEnabled) {
                     auto &map = dmaps[tp];
                     if (map.empty())
                         map = cache::computeDataMissMap(*tp,
                                                         job.cfg.dcache);
-                    model.setDataMissMap(i, &map);
                 }
             }
 
-            out.result = model.run(tps);
+            const auto buildModel = [&] {
+                auto m = std::make_unique<CmpModel>(job.cfg);
+                if (iw != nullptr)
+                    m->attachObs(iw, obs_interval, job.name);
+                if (tw != nullptr)
+                    m->attachTracer(tw);
+                for (unsigned i = 0; i < n; ++i) {
+                    m->setTraceIndex(i, indexes[tps[i]].get());
+                    if (job.cfg.dcacheEnabled)
+                        m->setDataMissMap(i, &dmaps[tps[i]]);
+                }
+                return m;
+            };
+            auto model = buildModel();
+            const std::string ckpt_path = ckpt_dir.empty()
+                    ? std::string()
+                    : ckpt::ckptPathFor(ckpt_dir,
+                                        "cmp\x1f" + job.name + "\x1f" +
+                                                mix);
+            out.result = runCmpCheckpointed(model, tps, ckpt_path,
+                                            ckpt_interval, buildModel);
             out.ok = true;
         } catch (const std::exception &e) {
             out.ok = false;
             out.error = e.what();
+            // The process may be dying with the job; push buffered
+            // observability rows to disk first.
+            obs::obsFlush();
         }
         out.seconds = std::chrono::duration<double>(SteadyClock::now() -
                                                     t0).count();

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "zbp/cache/dmiss_map.hh"
+#include "zbp/ckpt/ckpt.hh"
 #include "zbp/common/log.hh"
 #include "zbp/cpu/core_model.hh"
 #include "zbp/obs/obs_config.hh"
@@ -140,6 +141,20 @@ GangRunner::run(const std::vector<trace::TraceHandle> &traces)
     obs::TraceWriter *const tw = obs::globalTraceWriter();
     obs::IntervalWriter *const iw = obs::globalIntervalWriter();
     const std::uint64_t obs_interval = obs::globalIntervalInsts();
+    const std::string ckpt_dir = ckpt::ckptDirFromEnv();
+    const std::uint64_t ckpt_interval = ckpt::ckptIntervalFromEnv();
+    // One snapshot per (gang, trace): the members advance in lockstep,
+    // so a single file holds the frontier plus every member's machine.
+    const auto gangCkptKey = [&](const std::string &trace_name) {
+        std::string key = "gang";
+        for (const GangConfig &gc : configs) {
+            key += '\x1f';
+            key += gc.name;
+        }
+        key += '\x1f';
+        key += trace_name;
+        return key;
+    };
     const auto submit_at = SteadyClock::now();
     std::atomic<std::uint64_t> nStarted{0};
 
@@ -193,6 +208,22 @@ GangRunner::run(const std::vector<trace::TraceHandle> &traces)
             out.error = what;
             members[ci].model = nullptr;
             models[ci].reset();
+            // The process may be about to die with the gang; make sure
+            // observability rows collected so far reach the disk.
+            obs::obsFlush();
+        };
+
+        const auto buildMember = [&](std::size_t ci) {
+            models[ci] = std::make_unique<cpu::CoreModel>(configs[ci].cfg);
+            models[ci]->setTraceIndex(&index);
+            models[ci]->setDataMissMap(dmissFor(configs[ci].cfg));
+            if (iw != nullptr)
+                models[ci]->attachObs(iw, obs_interval, configs[ci].name);
+            if (tw != nullptr)
+                models[ci]->attachTracer(tw);
+            models[ci]->beginRun(t);
+            members[ci].model = models[ci].get();
+            members[ci].done = false;
         };
 
         for (std::size_t ci = 0; ci < nc; ++ci) {
@@ -213,17 +244,7 @@ GangRunner::run(const std::vector<trace::TraceHandle> &traces)
             }
             const auto t0 = SteadyClock::now();
             try {
-                models[ci] = std::make_unique<cpu::CoreModel>(
-                        configs[ci].cfg);
-                models[ci]->setTraceIndex(&index);
-                models[ci]->setDataMissMap(dmissFor(configs[ci].cfg));
-                if (iw != nullptr)
-                    models[ci]->attachObs(iw, obs_interval,
-                                          configs[ci].name);
-                if (tw != nullptr)
-                    models[ci]->attachTracer(tw);
-                models[ci]->beginRun(t);
-                members[ci].model = models[ci].get();
+                buildMember(ci);
             } catch (const std::exception &e) {
                 fail(ci, e.what());
             }
@@ -232,6 +253,64 @@ GangRunner::run(const std::vector<trace::TraceHandle> &traces)
             members[ci].seconds += setup_s;
             results[ci][ti].telemetry.loadSeconds = setup_s;
         }
+
+        // Mid-trace resume: a gang snapshot stores the shared frontier,
+        // each member's presence/done flags, and every live member's
+        // full machine state.  The member set must match exactly — a
+        // checkpoint taken with a different gang composition (e.g. a
+        // member since satisfied from the resume JSONL) is unusable.
+        std::size_t prev = 0;
+        const std::string ckpt_path = ckpt_dir.empty()
+                ? std::string()
+                : ckpt::ckptPathFor(ckpt_dir, gangCkptKey(t.name()));
+        if (!ckpt_path.empty() && ckpt::ckptFileExists(ckpt_path)) {
+            try {
+                const auto bytes = ckpt::loadCkptFile(ckpt_path);
+                ckpt::Reader r(bytes.data(), bytes.size());
+                r.openSection(ckpt::tag::kGang);
+                if (r.getU32() != nc)
+                    throw ckpt::CkptError("gang member count mismatch");
+                const std::uint64_t saved_prev = r.getU64();
+                if (saved_prev > n)
+                    throw ckpt::CkptError("gang frontier out of range");
+                std::vector<std::uint8_t> flags(nc);
+                for (std::uint8_t &fl : flags)
+                    fl = r.getU8();
+                r.closeSection();
+                for (std::size_t ci = 0; ci < nc; ++ci)
+                    if (((flags[ci] & 1u) != 0) !=
+                        (members[ci].model != nullptr))
+                        throw ckpt::CkptError("gang member set mismatch");
+                for (std::size_t ci = 0; ci < nc; ++ci) {
+                    if (members[ci].model == nullptr)
+                        continue;
+                    members[ci].model->restoreState(r);
+                    members[ci].done = (flags[ci] & 2u) != 0;
+                }
+                r.finish();
+                prev = static_cast<std::size_t>(saved_prev);
+                inform("resumed gang over '", t.name(),
+                       "' from checkpoint at ", prev, " instructions");
+            } catch (const ckpt::CkptError &e) {
+                warn("discarding unusable gang checkpoint '", ckpt_path,
+                     "' (", e.what(), "); running '", t.name(),
+                     "' from scratch");
+                ckpt::removeCkptFile(ckpt_path);
+                prev = 0;
+                // A failed restore leaves earlier members half-mutated;
+                // rebuild every modelled member from scratch.
+                for (std::size_t ci = 0; ci < nc; ++ci) {
+                    if (members[ci].model == nullptr)
+                        continue;
+                    try {
+                        buildMember(ci);
+                    } catch (const std::exception &e2) {
+                        fail(ci, e2.what());
+                    }
+                }
+            }
+        }
+        std::uint64_t next_ckpt_at = prev + ckpt_interval;
 
         // Chunk-interleaved walk: every live member decodes the same
         // [prev, target) instruction window before the window moves.
@@ -255,9 +334,8 @@ GangRunner::run(const std::vector<trace::TraceHandle> &traces)
                         SteadyClock::now() - t0).count();
             }
         };
-        std::size_t prev = 0;
-        for (std::size_t target = std::min(chunk, n);; target += chunk) {
-            const std::size_t tgt = std::min(target, n);
+        for (;;) {
+            const std::size_t tgt = std::min(prev + chunk, n);
             std::uint64_t live = 0;
             for (std::size_t ci = 0; ci < nc; ++ci)
                 if (members[ci].model != nullptr && !members[ci].done)
@@ -287,6 +365,38 @@ GangRunner::run(const std::vector<trace::TraceHandle> &traces)
                           {"live", obs::jsonNum(live)}});
             if (!any_live)
                 break;
+            if (!ckpt_path.empty() && ckpt_interval > 0 &&
+                tgt >= next_ckpt_at) {
+                // Snapshot only while the member set is intact: once a
+                // member has failed, a new snapshot would record a
+                // different composition than a clean re-run builds.
+                bool intact = true;
+                for (std::size_t ci = 0; ci < nc; ++ci)
+                    if (members[ci].model == nullptr &&
+                        !results[ci][ti].resumed)
+                        intact = false;
+                if (intact) {
+                    ckpt::Writer w;
+                    w.beginSection(ckpt::tag::kGang);
+                    w.putU32(static_cast<std::uint32_t>(nc));
+                    w.putU64(tgt);
+                    for (std::size_t ci = 0; ci < nc; ++ci) {
+                        std::uint8_t fl = 0;
+                        if (members[ci].model != nullptr)
+                            fl |= 1u;
+                        if (members[ci].done)
+                            fl |= 2u;
+                        w.putU8(fl);
+                    }
+                    w.endSection();
+                    for (std::size_t ci = 0; ci < nc; ++ci)
+                        if (members[ci].model != nullptr)
+                            members[ci].model->saveState(w);
+                    w.finish();
+                    ckpt::saveCkptFile(ckpt_path, w);
+                }
+                next_ckpt_at = tgt + ckpt_interval;
+            }
             prev = tgt;
         }
 
@@ -318,6 +428,8 @@ GangRunner::run(const std::vector<trace::TraceHandle> &traces)
             meter.jobDone(configs[ci].name + "/" + t.name(),
                           out.seconds);
         }
+        if (!ckpt_path.empty())
+            ckpt::removeCkptFile(ckpt_path);
         if (tw != nullptr)
             tw->span(obs::TraceWriter::kPidRunner, lane, "gang",
                      std::string("gang:") + t.name(), gang_ts,

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Durable atomic file publication: write to a same-directory temporary,
+ * fsync the data, rename over the destination, then fsync the directory
+ * so the rename itself survives a crash.
+ *
+ * Every "write a file other processes (or a post-crash re-run) will
+ * read" path in the repo funnels through here: the content-addressed
+ * trace cache, checkpoint snapshots, and any future sidecar publish.
+ * The temporary lives in the destination's directory — never /tmp — so
+ * the final rename can never fail with EXDEV (rename across
+ * filesystems), and a crash mid-write leaves only a "<dest>.tmp.<pid>"
+ * stray, never a torn destination.
+ */
+
+#ifndef ZBP_UTIL_ATOMIC_FILE_HH
+#define ZBP_UTIL_ATOMIC_FILE_HH
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "zbp/common/log.hh"
+
+namespace zbp
+{
+
+/** Same-directory temporary path for an atomic publish of @p dest;
+ * includes the pid so concurrent writers never collide on the tmp. */
+inline std::string
+atomicTmpPath(const std::string &dest)
+{
+    return dest + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+}
+
+/** fsync the directory containing @p path so a completed rename is
+ * durable.  Best-effort: some filesystems reject directory fsync; the
+ * rename is still atomic, just not yet journalled. */
+inline void
+fsyncParentDir(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir = slash == std::string::npos
+                                    ? std::string(".")
+                                    : path.substr(0, slash == 0 ? 1 : slash);
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd < 0)
+        return;
+    ::fsync(dfd);
+    ::close(dfd);
+}
+
+/**
+ * Publish @p tmp (an already-written same-directory temporary, still
+ * open nowhere) as @p dest: fsync the data, rename, fsync the
+ * directory.  Returns false (with a warning and the tmp removed) on any
+ * failure, so callers degrade to "no file published" rather than a torn
+ * one.
+ */
+inline bool
+publishFile(const std::string &tmp, const std::string &dest)
+{
+    const int fd = ::open(tmp.c_str(), O_RDONLY);
+    if (fd < 0) {
+        warn("publishFile: cannot reopen ", tmp, " for fsync: ",
+             std::strerror(errno));
+        std::remove(tmp.c_str());
+        return false;
+    }
+    const bool synced = ::fsync(fd) == 0;
+    ::close(fd);
+    if (!synced) {
+        warn("publishFile: fsync(", tmp, ") failed: ", std::strerror(errno));
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), dest.c_str()) != 0) {
+        warn("publishFile: rename ", tmp, " -> ", dest, " failed: ",
+             std::strerror(errno));
+        std::remove(tmp.c_str());
+        return false;
+    }
+    fsyncParentDir(dest);
+    return true;
+}
+
+/**
+ * Atomically and durably replace @p dest with @p size bytes at
+ * @p data.  Returns false (warned, nothing torn) on failure.
+ */
+inline bool
+writeFileAtomic(const std::string &dest, const void *data, std::size_t size)
+{
+    const std::string tmp = atomicTmpPath(dest);
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) {
+        warn("writeFileAtomic: cannot open ", tmp, ": ",
+             std::strerror(errno));
+        return false;
+    }
+    const bool wrote = size == 0 || std::fwrite(data, 1, size, f) == size;
+    const bool closed = std::fclose(f) == 0;
+    if (!wrote || !closed) {
+        warn("writeFileAtomic: short write to ", tmp);
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return publishFile(tmp, dest);
+}
+
+} // namespace zbp
+
+#endif // ZBP_UTIL_ATOMIC_FILE_HH

@@ -69,6 +69,17 @@ class FlatAddrMap
 
     std::size_t size() const { return count; }
 
+    /** Visit every (key, value) pair in unspecified order (snapshot
+     * serialization; re-population goes through assign()). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const Slot &s : slots)
+            if (s.used)
+                fn(s.key, s.value);
+    }
+
   private:
     struct Slot
     {

@@ -72,6 +72,35 @@ class LruState
             order[w] = static_cast<std::uint8_t>(w);
     }
 
+    /** The way at recency position @p i (0 = LRU), for serialization. */
+    unsigned
+    orderAt(unsigned i) const
+    {
+        ZBP_ASSERT(i < nWays, "LruState::orderAt out of range");
+        return order[i];
+    }
+
+    /**
+     * Overwrite the recency order from @p ways (position 0 = LRU).
+     * Returns false — state unchanged — unless @p ways is a valid
+     * permutation of 0..ways()-1, so a corrupt snapshot can never
+     * install an order rank()/moveTo() would panic on.
+     */
+    bool
+    setOrder(const std::uint8_t *ways, unsigned n)
+    {
+        if (n != nWays)
+            return false;
+        unsigned seen = 0;
+        for (unsigned i = 0; i < n; ++i) {
+            if (ways[i] >= nWays || (seen & (1u << ways[i])) != 0)
+                return false;
+            seen |= 1u << ways[i];
+        }
+        std::memcpy(order, ways, n);
+        return true;
+    }
+
     /** Recency rank of @p way: 0 = LRU .. ways-1 = MRU. */
     unsigned
     rank(unsigned way) const

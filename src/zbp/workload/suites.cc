@@ -14,6 +14,7 @@
 #include "zbp/common/log.hh"
 #include "zbp/obs/obs_config.hh"
 #include "zbp/trace/trace_io.hh"
+#include "zbp/util/atomic_file.hh"
 
 namespace zbp::workload
 {
@@ -218,10 +219,12 @@ cachePathFor(const char *dir, const SuiteSpec &spec, double scale)
     return std::string(dir) + "/" + spec.name + "-" + hex + ".zbpt";
 }
 
-/** Publish @p t at @p path atomically: write a uniquely-named tmp file
- * in the same directory, then rename over the target.  Racing writers
- * produce identical bytes, so last-rename-wins is harmless; a failure
- * only costs the caching, never the result. */
+/** Publish @p t at @p path atomically and durably: write a
+ * uniquely-named tmp file in the same directory, then fsync + rename
+ * over the target (zbp::publishFile).  Racing writers produce identical
+ * bytes, so last-rename-wins is harmless; a failure only costs the
+ * caching, never the result.  The tmp name folds in the thread identity
+ * on top of the pid because cache writers race within one process. */
 void
 saveCacheFileAtomic(const trace::Trace &t, const std::string &path)
 {
@@ -233,7 +236,8 @@ saveCacheFileAtomic(const trace::Trace &t, const std::string &path)
     const std::uint64_t id =
             (std::hash<std::thread::id>{}(std::this_thread::get_id()) << 16) ^
             token.fetch_add(1, std::memory_order_relaxed);
-    const std::string tmp = path + ".tmp." + std::to_string(id);
+    const std::string tmp =
+            atomicTmpPath(path) + "." + std::to_string(id);
     try {
         trace::saveTraceFile(t, tmp);
     } catch (const trace::TraceIoError &e) {
@@ -241,11 +245,7 @@ saveCacheFileAtomic(const trace::Trace &t, const std::string &path)
         fs::remove(tmp, ec);
         return;
     }
-    fs::rename(tmp, path, ec);
-    if (ec) {
-        warn("trace cache: cannot publish '", path, "': ", ec.message());
-        fs::remove(tmp, ec);
-    }
+    publishFile(tmp, path); // warns and removes the tmp on failure
 }
 
 } // namespace

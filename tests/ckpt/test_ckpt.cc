@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Format-level tests for the checkpoint snapshot container: writer/
+ * reader round-trips, CRC + bounds enforcement on every corruption
+ * class (truncation, bit flips, wrong tags, trailing garbage), the
+ * atomic file helpers, and the ZBP_CKPT_* environment contract.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "zbp/ckpt/ckpt.hh"
+
+namespace zbp::ckpt
+{
+namespace
+{
+
+/** Scoped setenv/unsetenv so env-contract tests cannot leak state. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *var, const char *value) : name(var)
+    {
+        const char *old = std::getenv(var);
+        if (old != nullptr) {
+            hadOld = true;
+            oldValue = old;
+        }
+        if (value != nullptr)
+            ::setenv(var, value, 1);
+        else
+            ::unsetenv(var);
+    }
+
+    ~ScopedEnv()
+    {
+        if (hadOld)
+            ::setenv(name.c_str(), oldValue.c_str(), 1);
+        else
+            ::unsetenv(name.c_str());
+    }
+
+  private:
+    std::string name;
+    std::string oldValue;
+    bool hadOld = false;
+};
+
+/** A small two-section snapshot exercising every scalar width. */
+std::vector<std::uint8_t>
+sampleSnapshot()
+{
+    Writer w;
+    w.beginSection(tag::kBtb);
+    w.putU8(0x5A);
+    w.putU32(0xDEADBEEFu);
+    w.putU64(0x0123456789ABCDEFull);
+    w.putBool(true);
+    w.endSection();
+    w.beginSection(tag::kCore);
+    const char payload[] = "machine state bytes";
+    w.putU64(sizeof(payload));
+    w.putBytes(payload, sizeof(payload));
+    w.endSection();
+    w.finish();
+    return w.bytes();
+}
+
+/** Consume sampleSnapshot() exactly; throws CkptError on any damage. */
+void
+readSample(const std::vector<std::uint8_t> &bytes)
+{
+    Reader r(bytes.data(), bytes.size());
+    r.openSection(tag::kBtb);
+    if (r.getU8() != 0x5A || r.getU32() != 0xDEADBEEFu ||
+        r.getU64() != 0x0123456789ABCDEFull || !r.getBool())
+        throw CkptError("sample payload mismatch");
+    r.closeSection();
+    r.openSection(tag::kCore);
+    const std::uint64_t n = r.getU64();
+    std::vector<char> buf(static_cast<std::size_t>(n));
+    r.getBytes(buf.data(), buf.size());
+    r.closeSection();
+    r.finish();
+}
+
+TEST(CkptFormat, RoundTripAllScalarWidths)
+{
+    EXPECT_NO_THROW(readSample(sampleSnapshot()));
+}
+
+TEST(CkptFormat, WrongTagRejected)
+{
+    const auto bytes = sampleSnapshot();
+    Reader r(bytes.data(), bytes.size());
+    EXPECT_THROW(r.openSection(tag::kPht), CkptError);
+}
+
+TEST(CkptFormat, UnderAndOverReadRejected)
+{
+    const auto bytes = sampleSnapshot();
+    {
+        // Under-consume: closeSection must insist on exact consumption.
+        Reader r(bytes.data(), bytes.size());
+        r.openSection(tag::kBtb);
+        r.getU8();
+        EXPECT_THROW(r.closeSection(), CkptError);
+    }
+    {
+        // Over-read: the payload bound stops a runaway read.  The
+        // section payload is 14 bytes, so the second u64 crosses it.
+        Reader r(bytes.data(), bytes.size());
+        r.openSection(tag::kBtb);
+        r.getU64();
+        EXPECT_THROW(r.getU64(), CkptError);
+    }
+}
+
+TEST(CkptFormat, BadMagicAndVersionRejected)
+{
+    auto bytes = sampleSnapshot();
+    auto bad = bytes;
+    bad[0] ^= 0xFF;
+    EXPECT_THROW(Reader(bad.data(), bad.size()), CkptError);
+    bad = bytes;
+    bad[4] ^= 0xFF; // format version
+    EXPECT_THROW(Reader(bad.data(), bad.size()), CkptError);
+}
+
+TEST(CkptFormat, EveryTruncationRejected)
+{
+    const auto bytes = sampleSnapshot();
+    for (std::size_t n = 0; n < bytes.size(); ++n) {
+        SCOPED_TRACE(n);
+        const std::vector<std::uint8_t> cut(
+                bytes.begin(),
+                bytes.begin() + static_cast<std::ptrdiff_t>(n));
+        EXPECT_THROW(readSample(cut), CkptError);
+    }
+}
+
+TEST(CkptFormat, EverySingleBitFlipRejected)
+{
+    const auto bytes = sampleSnapshot();
+    for (std::size_t byte = 0; byte < bytes.size(); ++byte) {
+        for (unsigned bit = 0; bit < 8; ++bit) {
+            auto bad = bytes;
+            bad[byte] ^= static_cast<std::uint8_t>(1u << bit);
+            SCOPED_TRACE(byte * 8 + bit);
+            EXPECT_THROW(readSample(bad), CkptError);
+        }
+    }
+}
+
+TEST(CkptFormat, TrailingGarbageRejected)
+{
+    auto bytes = sampleSnapshot();
+    bytes.push_back(0x00);
+    EXPECT_THROW(readSample(bytes), CkptError);
+}
+
+TEST(CkptFile, SaveLoadRoundTripAndRemoval)
+{
+    const std::string path = ::testing::TempDir() + "/zbp_ckpt_rt.ckpt";
+    std::remove(path.c_str());
+    EXPECT_FALSE(ckptFileExists(path));
+    EXPECT_THROW(loadCkptFile(path), CkptError);
+
+    Writer w;
+    w.beginSection(tag::kJob);
+    w.putU64(42);
+    w.endSection();
+    w.finish();
+    ASSERT_TRUE(saveCkptFile(path, w));
+    EXPECT_TRUE(ckptFileExists(path));
+
+    const auto bytes = loadCkptFile(path);
+    EXPECT_EQ(bytes, w.bytes());
+
+    removeCkptFile(path);
+    EXPECT_FALSE(ckptFileExists(path));
+}
+
+TEST(CkptEnv, IntervalAndDirContract)
+{
+    {
+        ScopedEnv i("ZBP_CKPT_INTERVAL", nullptr);
+        ScopedEnv d("ZBP_CKPT_DIR", nullptr);
+        EXPECT_EQ(ckptIntervalFromEnv(), 0u);
+        EXPECT_TRUE(ckptDirFromEnv().empty());
+    }
+    {
+        ScopedEnv i("ZBP_CKPT_INTERVAL", "250000");
+        ScopedEnv d("ZBP_CKPT_DIR", "/tmp/ckpts");
+        EXPECT_EQ(ckptIntervalFromEnv(), 250000u);
+        EXPECT_EQ(ckptDirFromEnv(), "/tmp/ckpts");
+    }
+    {
+        ScopedEnv i("ZBP_CKPT_INTERVAL", "not-a-number");
+        EXPECT_EQ(ckptIntervalFromEnv(), 0u);
+    }
+}
+
+TEST(CkptEnv, PathForIsStableAndDistinguishesKeys)
+{
+    const std::string a = ckptPathFor("/ckpts", "cfg\x1ftrace\x1f" "1");
+    const std::string b = ckptPathFor("/ckpts", "cfg\x1ftrace\x1f" "1");
+    const std::string c = ckptPathFor("/ckpts", "cfg\x1ftrace\x1f" "2");
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_EQ(a.rfind("/ckpts/zbp-", 0), 0u) << a;
+    EXPECT_NE(a.find(".ckpt"), std::string::npos) << a;
+}
+
+} // namespace
+} // namespace zbp::ckpt
