@@ -13,10 +13,15 @@
 #   scripts/perf.sh            # run, print, and write BENCH_sim.json
 #
 # Environment:
-#   ZBP_PERF_BUILD_DIR  build tree (default: <repo>/build)
-#   ZBP_PERF_SCALE      trace length scale (default: 0.25 — changing it
-#                       invalidates the baseline comparison)
-#   ZBP_PERF_OUT        output path (default: <repo>/BENCH_sim.json)
+#   ZBP_PERF_BUILD_DIR    build tree (default: <repo>/build)
+#   ZBP_PERF_SCALE        trace length scale (default: 0.25 — changing
+#                         it invalidates the baseline comparison)
+#   ZBP_PERF_OUT          output path (default: <repo>/BENCH_sim.json)
+#   ZBP_PERF_SAMPLE_SCALE length scale for the sampled-simulation row
+#                         (default: 25 — the acceptance point: sampled
+#                         wall must stay within 2x the fig2 sweep above)
+#   ZBP_PERF_SAMPLE_JOBS  worker count for the sampled row (default: 8;
+#                         unlike the pinned sweeps this row is parallel)
 
 set -euo pipefail
 
@@ -27,7 +32,8 @@ out="${ZBP_PERF_OUT:-$repo_root/BENCH_sim.json}"
 
 bench="$build_dir/bench/fig2_cpi"
 cmp_bench="$build_dir/bench/cmp_sharing"
-for b in "$bench" "$cmp_bench"; do
+sample_bench="$build_dir/bench/sampled_sim"
+for b in "$bench" "$cmp_bench" "$sample_bench"; do
     if [[ ! -x "$b" ]]; then
         echo "perf: missing $b (build the repo first)" >&2
         exit 1
@@ -40,8 +46,10 @@ trap 'rm -rf "$results" "$cache_dir"' EXIT
 rm -f "$results"
 
 echo "== perf: fig2_cpi, ZBP_JOBS=1, ZBP_LEN_SCALE=$scale =="
-BENCH="$bench" CMP_BENCH="$cmp_bench" RESULTS="$results" \
-    SCALE="$scale" OUT="$out" CACHE_DIR="$cache_dir" \
+BENCH="$bench" CMP_BENCH="$cmp_bench" SAMPLE_BENCH="$sample_bench" \
+    RESULTS="$results" SCALE="$scale" OUT="$out" CACHE_DIR="$cache_dir" \
+    SAMPLE_SCALE="${ZBP_PERF_SAMPLE_SCALE:-25}" \
+    SAMPLE_JOBS="${ZBP_PERF_SAMPLE_JOBS:-8}" \
     python3 - <<'EOF'
 import json
 import os
@@ -50,6 +58,9 @@ import time
 
 bench = os.environ["BENCH"]
 cmp_bench = os.environ["CMP_BENCH"]
+sample_bench = os.environ["SAMPLE_BENCH"]
+sample_scale = os.environ["SAMPLE_SCALE"]
+sample_jobs = os.environ["SAMPLE_JOBS"]
 results = os.environ["RESULTS"]
 scale = os.environ["SCALE"]
 out = os.environ["OUT"]
@@ -162,6 +173,48 @@ cmp = {
         "cmp-hetero-c4-b4#shared"]["conflictFraction"],
 }
 
+# Sampled-simulation row: one 25x-long trace (ZBP_PERF_SAMPLE_SCALE),
+# functional warm-up fan-out plus parallel detailed intervals, against
+# the monolithic exact reference the bench runs alongside.  The
+# acceptance window is relative to the headline sweep: a sampled run
+# over a 100x-class trace must fit in 2x the fig2-0.25 wall clock,
+# with stitched CPI within 2% of exact.  (No trace cache: a 25x trace
+# image would be GB-scale; in-memory generation is cheaper.)
+env = dict(os.environ, ZBP_JOBS=sample_jobs, ZBP_LEN_SCALE=sample_scale)
+t0 = time.monotonic()
+proc = subprocess.run([sample_bench], check=True, env=env,
+                      stdout=subprocess.PIPE, text=True)
+sample_leg_wall = time.monotonic() - t0
+summary = None
+for line in proc.stdout.splitlines():
+    if line.startswith("sampled-summary: "):
+        summary = json.loads(line[len("sampled-summary: "):])
+if summary is None:
+    raise SystemExit("perf: sampled_sim printed no sampled-summary line")
+
+wall_budget = 2 * current["wall_seconds"]
+sampled = {
+    "trace": summary["trace"],
+    "len_scale": float(sample_scale),
+    "jobs": int(sample_jobs),
+    "instructions": summary["instructions"],
+    "mode": summary["mode"],
+    "intervals": summary["intervals"],
+    "coverage": summary["coverage"],
+    "functional_insts_per_second": summary["warmup_insts_per_sec"],
+    "interval_insts_per_second": summary["interval_insts_per_sec"],
+    "sampled_wall_seconds": summary["sampled_wall_seconds"],
+    "exact_wall_seconds": summary["exact_wall_seconds"],
+    "speedup_vs_exact": summary["speedup_vs_exact"],
+    "exact_cpi": summary["exact_cpi"],
+    "sampled_cpi": summary["sampled_cpi"],
+    "cpi_error_pct": summary["cpi_error_pct"],
+    "cpi_error_bar": summary["cpi_error_bar"],
+    "wall_budget_seconds": round(wall_budget, 3),
+    "within_wall_budget": summary["sampled_wall_seconds"] <= wall_budget,
+    "cpi_within_2pct": abs(summary["cpi_error_pct"]) <= 2.0,
+}
+
 # Single-thread baseline measured on the pre-optimisation tree
 # (per-cycle loop, heap-allocating hit lists, unconditional stats
 # text), same machine class, same pinned workload.
@@ -185,6 +238,7 @@ doc = {
     "fused_sweep": fused_sweep,
     "simd": simd,
     "cmp": cmp,
+    "sampled": sampled,
 }
 with open(out, "w") as f:
     json.dump(doc, f, indent=2)
@@ -207,5 +261,15 @@ print(f"perf: cmp 4-core/4-bank {cmp['wall_seconds']}s, "
       f"{cmp['cycles_per_second']:.3g} simulated cycles/s, conflict "
       f"fraction homog {cmp['conflict_fraction_homog']:.4f} / hetero "
       f"{cmp['conflict_fraction_hetero']:.4f}")
+print(f"perf: sampled {sampled['trace']}@{sample_scale}x "
+      f"({sampled['instructions']} insts) {sampled['mode']} "
+      f"{sampled['sampled_wall_seconds']}s vs exact "
+      f"{sampled['exact_wall_seconds']}s "
+      f"({sampled['speedup_vs_exact']}x), CPI error "
+      f"{sampled['cpi_error_pct']:+.3f}% "
+      f"[budget {sampled['wall_budget_seconds']}s: "
+      f"{'ok' if sampled['within_wall_budget'] else 'OVER'}, "
+      f"2% bound: "
+      f"{'ok' if sampled['cpi_within_2pct'] else 'EXCEEDED'}]")
 print(f"perf: wrote {out}")
 EOF

@@ -19,6 +19,12 @@
 #                                  # ckpt_smoke ctest target): sweep
 #                                  # with ZBP_CKPT_* on, kill it mid-
 #                                  # run, resume, compare to golden
+#   scripts/smoke.sh --sample-only # just the sampled-simulation leg
+#                                  # (the sample_smoke ctest target):
+#                                  # exact-tiling bit-identity on a
+#                                  # small trace, then a sampled run at
+#                                  # 10x the smoke scale with a JSONL
+#                                  # resume replay
 #
 # Environment:
 #   ZBP_SMOKE_BUILD_DIR  build tree (default: <repo>/build)
@@ -37,10 +43,12 @@ bench_only=0
 cmp_only=0
 obs_only=0
 ckpt_only=0
+sample_only=0
 [[ "${1:-}" == "--bench-only" ]] && bench_only=1
 [[ "${1:-}" == "--cmp-only" ]] && cmp_only=1
 [[ "${1:-}" == "--obs-only" ]] && obs_only=1
 [[ "${1:-}" == "--ckpt-only" ]] && ckpt_only=1
+[[ "${1:-}" == "--sample-only" ]] && sample_only=1
 
 # CMP leg: a 4-core mini-run of the sharing sweep on the CmpRunner
 # path (per-core JSONL records + one sharing record per job), then a
@@ -243,6 +251,73 @@ run_ckpt_leg() {
     echo "smoke: ckpt kill-resume OK (recovered record set matches golden)"
 }
 
+# Sampled-simulation leg: first the correctness anchor — an exact-mode
+# sampled run whose tiling intervals must stitch bit-identically to the
+# monolithic reference (the bench exits non-zero on mismatch) — then a
+# fast sampled run at 10x the smoke scale writing per-interval JSONL
+# records, replayed against its own results file: the resume pass must
+# satisfy every interval from the checkpoint and write zero new records.
+run_sample_leg() {
+    echo "== sample smoke: sampled_sim exact-tiling cross-check, ZBP_LEN_SCALE=$scale =="
+    local sample_bench="$build_dir/bench/sampled_sim"
+    if [[ ! -x "$sample_bench" ]]; then
+        echo "smoke: missing $sample_bench (build the repo first)" >&2
+        exit 1
+    fi
+    sample_results="$(mktemp /tmp/zbp_smoke_sample_XXXXXX.jsonl)"
+    sample_resumed="$(mktemp /tmp/zbp_smoke_sample_resume_XXXXXX.jsonl)"
+    trap 'rm -f ${results:-} ${resumed:-} ${tracefile:-} \
+        ${cmp_results:-} ${cmp_resumed:-} ${obs_trace:-} ${obs_out:-} \
+        ${ckpt_golden:-} ${ckpt_results:-} \
+        "$sample_results" "$sample_resumed"; \
+        rm -rf ${cache_dir:-} ${ckpt_dir:-}' EXIT
+    rm -f "$sample_results" "$sample_resumed"
+
+    local check_out
+    check_out="$(ZBP_LEN_SCALE="$scale" ZBP_JOBS="$jobs" \
+        ZBP_SAMPLE_CHECK_EXACT=1 "$sample_bench")"
+    if ! grep -q "exact-tiling cross-check: bit-identical" \
+            <<<"$check_out"; then
+        echo "smoke: exact-tiling stitch is not bit-identical:" >&2
+        grep "cross-check" <<<"$check_out" >&2 || true
+        exit 1
+    fi
+    echo "smoke: sample OK (exact-tiling stitch bit-identical)"
+
+    local sample_scale
+    sample_scale="$(python3 -c "print(10 * $scale)")"
+    echo "== sample resume smoke: 10x sampled run (ZBP_LEN_SCALE=$sample_scale), then replay =="
+    ZBP_LEN_SCALE="$sample_scale" ZBP_JOBS="$jobs" \
+        ZBP_RESULTS_JSONL="$sample_results" "$sample_bench" >/dev/null
+
+    local sample_records
+    sample_records="$(wc -l < "$sample_results")"
+    if [[ "$sample_records" -lt 2 ]]; then
+        echo "smoke: expected >=2 interval records, got $sample_records" >&2
+        exit 1
+    fi
+    if ! grep -q '"config":"sampled-fast#iv0"' "$sample_results"; then
+        echo "smoke: missing interval record in $sample_results" >&2
+        exit 1
+    fi
+    if grep -q '"ok":false' "$sample_results"; then
+        echo "smoke: failed intervals recorded in $sample_results:" >&2
+        grep '"ok":false' "$sample_results" >&2
+        exit 1
+    fi
+
+    ZBP_LEN_SCALE="$sample_scale" ZBP_JOBS="$jobs" \
+        ZBP_RESULTS_JSONL="$sample_resumed" \
+        ZBP_RESUME_JSONL="$sample_results" "$sample_bench" >/dev/null
+    local sample_new
+    sample_new="$(wc -l < "$sample_resumed" 2>/dev/null || echo 0)"
+    if [[ "$sample_new" -ne 0 ]]; then
+        echo "smoke: sample resume re-ran $sample_new intervals, expected 0" >&2
+        exit 1
+    fi
+    echo "smoke: sample resume OK ($sample_records intervals satisfied from checkpoint)"
+}
+
 if [[ "$cmp_only" == 1 ]]; then
     run_cmp_leg
     echo "smoke: total wall-clock $((SECONDS - smoke_start))s"
@@ -257,6 +332,12 @@ fi
 
 if [[ "$ckpt_only" == 1 ]]; then
     run_ckpt_leg
+    echo "smoke: total wall-clock $((SECONDS - smoke_start))s"
+    exit 0
+fi
+
+if [[ "$sample_only" == 1 ]]; then
+    run_sample_leg
     echo "smoke: total wall-clock $((SECONDS - smoke_start))s"
     exit 0
 fi
@@ -365,13 +446,15 @@ if ! grep -q "13 cache hits, 0 generated" <<<"$warm_out"; then
 fi
 echo "smoke: trace cache OK (second run: 13 hits, 0 generated)"
 
-# The bench-only leg is the runner_smoke ctest target; the CMP, obs and
-# ckpt legs have their own ctest targets (cmp_smoke, obs_smoke,
-# ckpt_smoke), so only the full run stacks all of them.
+# The bench-only leg is the runner_smoke ctest target; the CMP, obs,
+# ckpt and sample legs have their own ctest targets (cmp_smoke,
+# obs_smoke, ckpt_smoke, sample_smoke), so only the full run stacks all
+# of them.
 if [[ "$bench_only" == 0 ]]; then
     run_cmp_leg
     run_obs_leg
     run_ckpt_leg
+    run_sample_leg
 fi
 
 echo "smoke: total wall-clock $((SECONDS - smoke_start))s"

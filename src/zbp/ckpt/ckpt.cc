@@ -234,6 +234,179 @@ Reader::finish()
         throw CkptError("checkpoint: trailing bytes after end section");
 }
 
+// ---- in-memory snapshots --------------------------------------------
+
+std::string
+tagName(std::uint32_t t)
+{
+    switch (t) {
+    case tag::kBtb: return "btb";
+    case tag::kPht: return "pht";
+    case tag::kCtb: return "ctb";
+    case tag::kSurpriseBht: return "surprise-bht";
+    case tag::kHistory: return "history";
+    case tag::kFit: return "fit";
+    case tag::kSearchPipe: return "search-pipe";
+    case tag::kHierarchy: return "hierarchy";
+    case tag::kBtb2Engine: return "btb2-engine";
+    case tag::kICache: return "icache";
+    case tag::kSharedL2I: return "shared-l2i";
+    case tag::kSot: return "sot";
+    case tag::kFault: return "fault";
+    case tag::kOutcomes: return "outcomes";
+    case tag::kCore: return "core";
+    case tag::kArbiter: return "arbiter";
+    case tag::kCmp: return "cmp";
+    case tag::kJob: return "job";
+    case tag::kGang: return "gang";
+    case kEndTag: return "(end)";
+    default: break;
+    }
+    char hex[16];
+    std::snprintf(hex, sizeof(hex), "0x%02X", t);
+    return hex;
+}
+
+namespace
+{
+
+/** One raw section frame: tag + payload span inside an image. */
+struct RawSection
+{
+    std::uint32_t tag;
+    const std::uint8_t *payload;
+    std::size_t len;
+};
+
+std::uint32_t
+peekU32(const std::uint8_t *p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           static_cast<std::uint32_t>(p[1]) << 8 |
+           static_cast<std::uint32_t>(p[2]) << 16 |
+           static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::uint64_t
+peekU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+/** Walk the frame structure of a snapshot image (header + tag/len/crc
+ * framing only — payload contents and CRCs are not validated here; the
+ * diff compares payload bytes directly). */
+std::vector<RawSection>
+walkSections(const SnapshotBuffer &snap)
+{
+    const std::uint8_t *p = snap.bytes().data();
+    const std::size_t n = snap.sizeBytes();
+    if (n < sizeof(kMagic) + 4)
+        throw CkptError("snapshot diff: image truncated, no header");
+    if (std::memcmp(p, kMagic, sizeof(kMagic)) != 0)
+        throw CkptError("snapshot diff: bad magic");
+    std::size_t pos = sizeof(kMagic) + 4;
+    std::vector<RawSection> out;
+    while (pos < n) {
+        if (pos + 12 > n)
+            throw CkptError("snapshot diff: truncated section header");
+        const std::uint32_t t = peekU32(p + pos);
+        const std::uint64_t len = peekU64(p + pos + 4);
+        pos += 12;
+        if (len > n - pos || pos + len + 4 > n)
+            throw CkptError("snapshot diff: truncated section payload");
+        if (t == kEndTag)
+            break;
+        out.push_back({t, p + pos, static_cast<std::size_t>(len)});
+        pos += static_cast<std::size_t>(len) + 4;
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<SectionDiff>
+diffSnapshots(const SnapshotBuffer &a, const SnapshotBuffer &b)
+{
+    const std::vector<RawSection> sa = walkSections(a);
+    const std::vector<RawSection> sb = walkSections(b);
+    std::vector<SectionDiff> out;
+    const std::size_t n = sa.size() > sb.size() ? sa.size() : sb.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        SectionDiff d;
+        d.index = i;
+        if (i >= sb.size()) {
+            d.kind = SectionDiff::Kind::kOnlyA;
+            d.tagA = sa[i].tag;
+            d.tagB = kEndTag;
+            d.lenA = sa[i].len;
+        } else if (i >= sa.size()) {
+            d.kind = SectionDiff::Kind::kOnlyB;
+            d.tagA = kEndTag;
+            d.tagB = sb[i].tag;
+            d.lenB = sb[i].len;
+        } else {
+            d.tagA = sa[i].tag;
+            d.tagB = sb[i].tag;
+            d.lenA = sa[i].len;
+            d.lenB = sb[i].len;
+            if (sa[i].tag != sb[i].tag) {
+                d.kind = SectionDiff::Kind::kTagMismatch;
+            } else if (sa[i].len == sb[i].len &&
+                       std::memcmp(sa[i].payload, sb[i].payload,
+                                   sa[i].len) == 0) {
+                d.kind = SectionDiff::Kind::kMatch;
+            } else {
+                d.kind = SectionDiff::Kind::kDiffers;
+                const std::size_t m =
+                        sa[i].len < sb[i].len ? sa[i].len : sb[i].len;
+                std::size_t off = 0;
+                while (off < m && sa[i].payload[off] == sb[i].payload[off])
+                    ++off;
+                d.firstByteDiff = off;
+            }
+        }
+        out.push_back(d);
+    }
+    return out;
+}
+
+std::string
+diffSummary(const SnapshotBuffer &a, const SnapshotBuffer &b)
+{
+    std::string s;
+    for (const SectionDiff &d : diffSnapshots(a, b)) {
+        if (d.kind == SectionDiff::Kind::kMatch)
+            continue;
+        s += "  section[" + std::to_string(d.index) + "] ";
+        switch (d.kind) {
+        case SectionDiff::Kind::kDiffers:
+            s += tagName(d.tagA) + ": payloads differ (" +
+                 std::to_string(d.lenA) + " vs " + std::to_string(d.lenB) +
+                 " bytes, first mismatch at offset " +
+                 std::to_string(d.firstByteDiff) + ")";
+            break;
+        case SectionDiff::Kind::kTagMismatch:
+            s += "tag mismatch: " + tagName(d.tagA) + " vs " +
+                 tagName(d.tagB);
+            break;
+        case SectionDiff::Kind::kOnlyA:
+            s += tagName(d.tagA) + ": only in first image";
+            break;
+        case SectionDiff::Kind::kOnlyB:
+            s += tagName(d.tagB) + ": only in second image";
+            break;
+        case SectionDiff::Kind::kMatch:
+            break;
+        }
+        s += "\n";
+    }
+    return s;
+}
+
 // ---- snapshot files -------------------------------------------------
 
 bool

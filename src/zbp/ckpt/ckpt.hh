@@ -151,6 +151,95 @@ class Reader
     bool inSection = false;
 };
 
+// ---- in-memory snapshots --------------------------------------------
+
+/**
+ * An in-memory snapshot image: byte-for-byte what saveCkptFile would
+ * publish, but held in a buffer so a warm-up pass can fan snapshots out
+ * to parallel interval jobs without touching the filesystem.  The image
+ * is immutable once captured; any number of Readers can be opened over
+ * it (restore does not consume the buffer).
+ */
+class SnapshotBuffer
+{
+  public:
+    SnapshotBuffer() = default;
+
+    /** Capture the image of @p w, which must be finish()ed. */
+    static SnapshotBuffer
+    capture(const Writer &w)
+    {
+        return SnapshotBuffer(w.bytes());
+    }
+
+    /** Adopt a raw image (e.g. from loadCkptFile); validity is judged
+     * by the Reader, not here. */
+    explicit SnapshotBuffer(std::vector<std::uint8_t> image)
+        : buf(std::move(image))
+    {}
+
+    bool empty() const { return buf.empty(); }
+    std::size_t sizeBytes() const { return buf.size(); }
+    const std::vector<std::uint8_t> &bytes() const { return buf; }
+
+    /** A reader over this image; the buffer must outlive it.  Throws
+     * CkptError on a bad header, like any Reader. */
+    Reader
+    reader() const
+    {
+        return Reader(buf.data(), buf.size());
+    }
+
+    bool
+    operator==(const SnapshotBuffer &o) const
+    {
+        return buf == o.buf;
+    }
+
+  private:
+    std::vector<std::uint8_t> buf;
+};
+
+/** One row of a per-section snapshot comparison. */
+struct SectionDiff
+{
+    enum class Kind
+    {
+        kMatch,   ///< same tag, same payload bytes
+        kDiffers, ///< same tag, payload bytes differ
+        kTagMismatch, ///< different tag at this position
+        kOnlyA,   ///< section present only in the first snapshot
+        kOnlyB,   ///< section present only in the second snapshot
+    };
+
+    std::size_t index = 0;    ///< position in the section sequence
+    std::uint32_t tagA = 0;   ///< kEndTag when absent in A
+    std::uint32_t tagB = 0;   ///< kEndTag when absent in B
+    Kind kind = Kind::kMatch;
+    std::size_t lenA = 0;     ///< payload bytes in A
+    std::size_t lenB = 0;     ///< payload bytes in B
+    std::size_t firstByteDiff = 0; ///< payload offset of first mismatch
+};
+
+/** Human-readable name for a section tag ("core", "btb", ...); hex for
+ * unknown tags. */
+std::string tagName(std::uint32_t tag);
+
+/**
+ * Structural comparison of two snapshot images: walk both section
+ * sequences in parallel and report, per position, whether the payloads
+ * match byte for byte.  This is the debugging surface behind the
+ * byte-identity tests — a mismatch names the component (tag) instead of
+ * "images differ".  Throws CkptError when either image has a bad
+ * header or a truncated section frame.
+ */
+std::vector<SectionDiff> diffSnapshots(const SnapshotBuffer &a,
+                                       const SnapshotBuffer &b);
+
+/** One-line-per-mismatch rendering of diffSnapshots (empty string when
+ * the images are identical). */
+std::string diffSummary(const SnapshotBuffer &a, const SnapshotBuffer &b);
+
 // ---- snapshot files -------------------------------------------------
 
 /** Durably publish @p w (which must be finish()ed) at @p path via the

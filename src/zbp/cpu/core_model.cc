@@ -936,6 +936,231 @@ CoreModel::advance(std::size_t decode_target)
     return decodeIdx >= t.size();
 }
 
+void
+CoreModel::functionalOne(const trace::Instruction &inst)
+{
+    // Mirrors decodeOne's state updates (SOT, prediction, training,
+    // outcome books) with estimated instead of simulated timing.  The
+    // cursor has NOT been advanced yet: decodeIdx is this instruction's
+    // index (decodeOne sees decodeIdx - 1 after its increment).
+    if (tidx != nullptr)
+        sotTable->instructionCompletedPacked(tidx->blockSector(decodeIdx));
+    else
+        sotTable->instructionCompleted(inst.ia);
+    curNextIa = tidx ? tidx->nextIa(decodeIdx) : inst.nextIa();
+
+    // I-cache: touch the line(s) the instruction spans, charging the
+    // fill latency as a straight-line estimate (no overlap modelling).
+    const std::uint32_t line_bytes = prm.icache.lineBytes;
+    const Addr first_line = alignDown(inst.ia, line_bytes);
+    const Addr last_line = alignDown(inst.ia + inst.length - 1, line_bytes);
+    for (Addr line = first_line; line <= last_line; line += line_bytes) {
+        if (line == lastFetchLine)
+            continue;
+        lastFetchLine = line;
+        if (!l1i->access(line, cycle))
+            cycle += prm.icache.missLatency;
+    }
+
+    ++decodeIdx;
+
+    if (inst.branch()) {
+        ++nBranches;
+        if (inst.taken)
+            ++nTaken;
+        const Addr actual_target = inst.taken ? inst.target : kNoAddr;
+        const core::CandidateList cands = bp->searchFirstLevel(inst.ia);
+        const core::Candidate *mine = nullptr;
+        for (const core::Candidate &c : cands) {
+            if (c.perceivedIa == inst.ia) {
+                mine = &c;
+                break;
+            }
+        }
+        if (mine != nullptr) {
+            // Predicted branch.  With no prediction-latency modelling a
+            // first-level hit is never "late", so the surprise-latency
+            // path of handlePredictedBranch cannot occur here — one of
+            // the documented fast-mode approximations.
+            (void)outcomes.seenBefore(inst.ia);
+            const core::Prediction p = bp->makePrediction(*mine, 0);
+            const bool dir_ok = p.taken == inst.taken;
+            const bool tgt_ok =
+                    !inst.taken || !p.taken || p.target == inst.target;
+            outcomes.record(dir_ok && tgt_ok
+                                    ? Outcome::kCorrect
+                                    : (dir_ok ? Outcome::kMispredictTarget
+                                              : Outcome::kMispredictDir));
+            bp->resolvePredicted(p, inst.kind, inst.taken, actual_target,
+                                 cycle);
+            ++nResolves;
+            if (!(dir_ok && tgt_ok)) {
+                // makePrediction pushed the predicted direction onto the
+                // speculative history; a correct prediction leaves it in
+                // lockstep with the architectural push above, so only a
+                // mispredict needs the restart resync — exactly when the
+                // detailed model schedules one.
+                bp->restartSpeculation();
+                lastRestartCycle = cycle;
+                cycle += prm.cpu.decodeToResolve + prm.cpu.restartPenalty;
+            }
+        } else {
+            // Surprise branch: classify against the same books, then
+            // compress the whole miss-report -> tracker -> bulk-transfer
+            // flow into one immediate preload.
+            const bool guess =
+                    bp->surpriseBht().guessTaken(inst.ia, inst.kind);
+            const bool bad = guess || inst.taken;
+            outcomes.record(bad ? classifySurprise(inst, false, cycle)
+                                : Outcome::kSurpriseBenign);
+            // With no search pipeline running there is no fruitless-
+            // search miss detection; a decode-time surprise is the
+            // functional stand-in for a BTB1 miss report under either
+            // miss definition, so the preload is not gated on
+            // decodeTimeMissReports here.
+            if (eng)
+                eng->functionalPreload(inst.ia, cycle);
+            bp->resolveSurprise(inst.ia, inst.kind, inst.taken,
+                                actual_target, cycle);
+            ++nResolves;
+            if (bad) {
+                bp->restartSpeculation();
+                lastRestartCycle = cycle;
+                const bool direct =
+                        inst.kind == trace::InstKind::kCondBranch ||
+                        inst.kind == trace::InstKind::kUncondBranch ||
+                        inst.kind == trace::InstKind::kCall;
+                if (guess && direct && inst.taken)
+                    cycle += 2; // decode-time redirect: refill bubble
+                else
+                    cycle += prm.cpu.decodeToResolve +
+                             prm.cpu.restartPenalty;
+            }
+        }
+    }
+
+    if (inst.dataAddr != kNoAddr && l1d) {
+        ++nDataAccesses;
+        bool hit;
+        if (dmiss != nullptr) {
+            hit = (*dmiss)[decodeIdx - 1] == 0;
+            l1d->recordPrecomputed(hit);
+        } else {
+            hit = l1d->access(inst.dataAddr, cycle);
+        }
+        if (!hit)
+            cycle += prm.dcache.missLatency + prm.cpu.dcacheMissExtra;
+    } else if (prm.cpu.dataStallProb > 0.0) {
+        std::uint64_t h = inst.ia * 0x9E3779B97F4A7C15ull +
+                          decodeIdx * 0xBF58476D1CE4E5B9ull;
+        h ^= h >> 29;
+        const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+        if (u < prm.cpu.dataStallProb)
+            cycle += prm.cpu.dataStallCycles;
+    }
+
+    // Decode bandwidth: one cycle per decodeWidth instructions.  Keyed
+    // on the absolute cursor so chunked functional calls compose.
+    if (decodeIdx % prm.cpu.decodeWidth == 0)
+        ++cycle;
+}
+
+void
+CoreModel::functionalResync()
+{
+    // Re-establish the drained-machine invariants a detailed advance()
+    // (or saveState/restoreState round-trip) expects: empty fetch
+    // buffer, empty event queue, fetch aligned with decode, and the
+    // search pipeline restarted at the resume point.
+    fetchBuf.clear();
+    fetchIdx = decodeIdx;
+    fetchStall = FetchStall::kNone;
+    fetchResumeAt = kNoCycle;
+    fetchBlockedUntil = cycle;
+    decodeBlockedUntil = cycle;
+    lastFetchLine = kNoAddr;
+    lastProgressAt = cycle;
+    lastDecodeIdx = decodeIdx;
+    if (decodeIdx < tr->size()) {
+        // The restart flushes the prediction queue; fetchSeqCursor only
+        // ever holds consumed seqs, all below anything the pipeline
+        // will emit next, so it needs no adjustment.
+        pipe->restart((*tr)[decodeIdx].ia, cycle);
+        bp->restartSpeculation();
+        lastRestartCycle = cycle;
+    }
+}
+
+bool
+CoreModel::advanceFunctional(std::size_t decode_target)
+{
+    ZBP_ASSERT(runActive, "advanceFunctional() without beginRun()");
+    if (!events.empty() || !fetchBuf.empty())
+        throw std::logic_error(
+                "advanceFunctional() requires a drained machine: call it "
+                "after beginRun() or another advanceFunctional(), not "
+                "after a detailed advance() mid-trace");
+    if (sharedL2i != nullptr || sharedArb != nullptr)
+        throw std::logic_error("advanceFunctional() does not support "
+                               "CMP-shared structures");
+    if (inj != nullptr)
+        throw std::logic_error("advanceFunctional() does not support "
+                               "fault injection (timing-driven)");
+    const trace::Trace &t = *tr;
+    const std::size_t target = std::min(decode_target, t.size());
+    while (decodeIdx < target) {
+        if (cancel != nullptr && ((++cancelPoll & 0xFFF) == 0) &&
+            cancel->load(std::memory_order_relaxed)) {
+            functionalResync();
+            throw SimCancelled(
+                    "simulation cancelled (functional) at instruction " +
+                    std::to_string(decodeIdx) + " of " +
+                    std::to_string(t.size()));
+        }
+        functionalOne(t[decodeIdx]);
+    }
+    functionalResync();
+    return decodeIdx >= t.size();
+}
+
+SimResult
+CoreModel::interimResult() const
+{
+    ZBP_ASSERT(runActive, "interimResult() without an armed run");
+    SimResult r;
+    r.traceName = tr->name();
+    r.cycles = cycle;
+    r.instructions = decodeIdx;
+    r.cpi = decodeIdx == 0 ? 0.0
+                           : static_cast<double>(cycle) /
+                                     static_cast<double>(decodeIdx);
+    r.branches = nBranches;
+    r.takenBranches = nTaken;
+    r.correct = outcomes.count(Outcome::kCorrect);
+    r.mispredictDir = outcomes.count(Outcome::kMispredictDir);
+    r.mispredictTarget = outcomes.count(Outcome::kMispredictTarget);
+    r.surpriseCompulsory = outcomes.count(Outcome::kSurpriseCompulsory);
+    r.surpriseLatency = outcomes.count(Outcome::kSurpriseLatency);
+    r.surpriseCapacity = outcomes.count(Outcome::kSurpriseCapacity);
+    r.surpriseBenign = outcomes.count(Outcome::kSurpriseBenign);
+    r.phantoms = outcomes.count(Outcome::kPhantom);
+    r.watchdogResets = nWatchdogResets;
+    r.resolves = nResolves;
+    r.faultsInjected = inj ? inj->injected() : 0;
+    r.icacheMisses = l1i->misses();
+    r.dcacheMisses = l1d ? l1d->misses() : 0;
+    r.dataAccesses = nDataAccesses;
+    r.btb1MissReports = pipe->missReportCount();
+    r.predictionsMade = pipe->predictionCount();
+    if (eng) {
+        r.btb2RowReads = eng->rowReads();
+        r.btb2Transfers = eng->hitsTransferred();
+        r.btb2FullSearches = eng->fullSearchCount();
+        r.btb2PartialSearches = eng->partialSearchCount();
+    }
+    return r;
+}
+
 SimResult
 CoreModel::finishRun()
 {

@@ -191,6 +191,42 @@ class CoreModel
      * results (post-run accounting, invariant check, optional stats). */
     SimResult finishRun();
 
+    // ---- functional warm-up mode (sampled simulation) ---------------
+    //
+    // advanceFunctional drives the same per-instruction decode-path
+    // state updates as advance() — SOT pattern tracking, I-cache line
+    // touches, first-level search + prediction + resolve-time training,
+    // surprise handling with an immediate bulk preload, D-cache operand
+    // accesses, outcome books — but with no per-cycle tick: no fetch
+    // buffer, no prediction queue timing, no arbiter waits, no tracker
+    // pipeline.  `cycle` advances by a decode-bandwidth + penalty
+    // *estimate*, so predictor/BTB/cache *content* tracks a detailed
+    // run closely while instruction rate is an order of magnitude
+    // higher.  State that only exists in flight (queued predictions,
+    // pending resolves) is kept drained, so saveState() snapshots taken
+    // between calls restore into a detailed run cleanly.
+
+    /**
+     * Functionally execute until @p decode_target instructions have
+     * been decoded (clamped to the trace length); returns true when the
+     * whole trace is decoded.  Requires a drained machine: call it only
+     * after beginRun() or a previous advanceFunctional(), never after a
+     * detailed advance() mid-trace (throws std::logic_error on in-
+     * flight state, CMP-shared structures, or fault injection — all
+     * timing-coupled).  Throws SimCancelled like advance().
+     */
+    bool advanceFunctional(std::size_t decode_target);
+
+    /**
+     * The counters of the armed run so far, as a SimResult (cycles and
+     * instructions reflect the current cursor; no pending-resolve
+     * adjustment, no invariant check, no stats text).  Interval
+     * stitching subtracts two of these: every counter is monotone, so
+     * fieldwise deltas over an exact tiling telescope to the monolithic
+     * result.
+     */
+    SimResult interimResult() const;
+
     /** Instructions decoded so far in the armed run (the advance()
      * progress cursor; checkpointing keys on it). */
     std::size_t decodedInstructions() const { return decodeIdx; }
@@ -323,6 +359,8 @@ class CoreModel
                              bool late_prediction, Cycle now);
     void scheduleRestart(Addr addr, Cycle at);
     void redirectFetchAfter(Cycle resume_at);
+    void functionalOne(const trace::Instruction &inst);
+    void functionalResync();
 
     /**
      * Idle-skip support: the earliest cycle after @p now at which any

@@ -345,6 +345,55 @@ Btb2Engine::tick(Cycle now)
     }
 }
 
+void
+Btb2Engine::functionalPreload(Addr miss_addr, Cycle now)
+{
+    ZBP_ASSERT(arb == nullptr,
+               "functional preload has no arbiter support (CMP mode is "
+               "detailed-only)");
+    nextEventStale = true;
+    ++nMissReports;
+    const bool ic_valid = prm.icacheFilter
+            ? icache.blockMissedRecently(miss_addr, now)
+            : true;
+    const std::uint32_t row_bytes = btb2.config().rowBytes;
+    const unsigned rows = rowsPerSector();
+    const auto readRowNow = [&](Addr row_addr) {
+        ++nRowReads;
+        for (const auto &h : btb2.readRow(row_addr)) {
+            btbp.install(h.entry);
+            ++nHits;
+            if (prm.semiExclusive)
+                btb2.demote(h.row, h.way);
+        }
+    };
+    if (ic_valid) {
+        // Fully active: all rows of the 4 KB block in SOT priority
+        // order (the order no longer affects what lands in the BTBP —
+        // everything does, instantly — but it keeps the SOT's own
+        // hit/miss books moving like a detailed run's).
+        ++nFull;
+        const SectorOrder order = sot.order(miss_addr);
+        const Addr base = blockOf(miss_addr) << 12;
+        for (unsigned i = 0; i < kSectorsPerBlock; ++i) {
+            const Addr sector_base =
+                    base + Addr{order.sectors[i]} * kSectorBytes;
+            for (unsigned r = 0; r < rows; ++r)
+                readRowNow(sector_base + Addr{r} * row_bytes);
+        }
+    } else {
+        // Partial search of the miss sector.  The detailed machinery
+        // would abandon the tracker when no I-cache miss pairs up; the
+        // rows are read (and transferred) either way, so the compressed
+        // flow books it abandoned immediately.
+        ++nPartial;
+        ++nPartialAbandoned;
+        const Addr sector_base = alignDown(miss_addr, kSectorBytes);
+        for (unsigned r = 0; r < rows * prm.partialSectors; ++r)
+            readRowNow(sector_base + Addr{r} * row_bytes);
+    }
+}
+
 Cycle
 Btb2Engine::computeNextEventAt() const
 {

@@ -155,6 +155,21 @@ class Btb2Engine : public MissSink
     void tick(Cycle now);
 
     /**
+     * Functional warm-up: compress the whole miss-report -> tracker ->
+     * bulk-transfer flow for a BTB1 miss at @p miss_addr into one call.
+     * The same rows the detailed machinery would eventually read are
+     * read now (full steered search when the I-cache recently missed in
+     * the block — judged directly from the I-cache, bypassing the
+     * trackers — else the partial sector search), every hit lands in
+     * the BTBP immediately, and the same row-read/hit/search counters
+     * advance.  No tracker is allocated and no pipeline entry is
+     * queued, so the engine stays quiescent and serializable between
+     * calls.  No arbiter support (CMP mode is detailed-only); the
+     * transfer-path fault hook is not exercised.
+     */
+    void functionalPreload(Addr miss_addr, Cycle now);
+
+    /**
      * Earliest future cycle at which tick() can change state: the next
      * pipeline retirement, the earliest activation of a waiting
      * tracker, or the read-port cadence while a search has rows left.

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Sampled-simulation parameters (temporal sampling: one warm-up pass
+ * fans out restore points, detailed measurement intervals run in
+ * parallel — see DESIGN.md §13) and their ZBP_SAMPLE_* environment
+ * contract:
+ *
+ *  - ZBP_SAMPLE_MODE=exact|fast  warm-up fidelity (default fast)
+ *  - ZBP_SAMPLE_INTERVAL=N       instructions between restore points
+ *  - ZBP_SAMPLE_WARMUP=N         detailed warm-up instructions per
+ *                                interval, excluded from measurement
+ *                                (fast mode only)
+ *  - ZBP_SAMPLE_MEASURE=N        measured instructions per interval
+ *                                (fast mode only; 0 = INTERVAL/10)
+ *
+ * `exact` runs the warm-up pass with the detailed model and tiles the
+ * whole trace with measurement windows: the stitched counters are
+ * bit-identical to a monolithic CoreModel::run (pinned by tests) and
+ * the speedup comes only from running intervals in parallel.  `fast`
+ * runs the warm-up functionally (CoreModel::advanceFunctional), then
+ * each interval re-warms the timing pipeline over ZBP_SAMPLE_WARMUP
+ * detailed instructions before measuring a window of
+ * ZBP_SAMPLE_MEASURE; the stitched CPI is a sampled estimate with a
+ * coverage ratio and an error bar.
+ */
+
+#ifndef ZBP_SAMPLE_SAMPLE_PARAMS_HH
+#define ZBP_SAMPLE_SAMPLE_PARAMS_HH
+
+#include <cstdint>
+
+namespace zbp::sample
+{
+
+/** Warm-up fidelity of the sampled run (see file comment). */
+enum class SampleMode : std::uint8_t
+{
+    kExact, ///< detailed warm-up, windows tile the trace, stitched
+            ///< counters bit-identical to a monolithic run
+    kFast,  ///< functional warm-up, per-interval detailed re-warm,
+            ///< measured windows sample the trace (CPI estimate)
+};
+
+/** "exact" / "fast". */
+const char *to_string(SampleMode m);
+
+struct SampleParams
+{
+    SampleMode mode = SampleMode::kFast;
+
+    /** Instructions between restore points (interval length). */
+    std::uint64_t intervalInsts = 1'000'000;
+
+    /** Detailed warm-up instructions at the head of each interval,
+     * simulated but excluded from the measured window (fast mode; the
+     * exact mode has no warm-up — its snapshots are already exact). */
+    std::uint64_t warmupInsts = 50'000;
+
+    /** Measured instructions per interval in fast mode; 0 selects
+     * intervalInsts / 10.  Exact mode always measures the whole
+     * interval. */
+    std::uint64_t measureInsts = 0;
+
+    /** The effective measured-window length for this mode. */
+    std::uint64_t measured() const;
+
+    /** Throws std::invalid_argument on an unusable combination
+     * (intervalInsts == 0, or a fast-mode warm-up + window that does
+     * not fit inside one interval). */
+    void validate() const;
+};
+
+/** Parse the ZBP_SAMPLE_* environment on top of the defaults above
+ * (one warning per malformed value, which is then ignored). */
+SampleParams sampleParamsFromEnv();
+
+} // namespace zbp::sample
+
+#endif // ZBP_SAMPLE_SAMPLE_PARAMS_HH

@@ -1,0 +1,322 @@
+/**
+ * @file
+ * The temporal-parallel sampled runner.  The load-bearing guarantee is
+ * exact mode: intervals tile the trace, every interval restores a
+ * fan-out snapshot, and the stitched counters are bit-identical to one
+ * monolithic CoreModel::run — independent of worker count.  Fast mode
+ * is pinned as an estimator: bounded coverage, a CPI estimate with an
+ * error bar, and interval-granular resume through the standard
+ * ZBP_RESULTS_JSONL / ZBP_RESUME_JSONL contract.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "zbp/cpu/core_model.hh"
+#include "zbp/sample/sample_params.hh"
+#include "zbp/sample/sample_runner.hh"
+#include "zbp/sample/snapshot_fanout.hh"
+#include "zbp/sim/configs.hh"
+#include "zbp/workload/generator.hh"
+#include "zbp/workload/program_builder.hh"
+
+namespace zbp::sample
+{
+namespace
+{
+
+trace::Trace
+makeTrace(std::uint64_t seed, std::size_t len)
+{
+    workload::BuildParams bp;
+    bp.seed = seed;
+    bp.numFunctions = 80;
+    const auto prog = workload::buildProgram(bp);
+    workload::GenParams gp;
+    gp.seed = seed + 1;
+    gp.length = len;
+    return workload::generateTrace(prog, gp,
+                                   "sr-" + std::to_string(seed));
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + "/zbp_sample_" + name + ".jsonl";
+}
+
+void
+expectSameCounters(const cpu::SimResult &a, const cpu::SimResult &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cpi, b.cpi);
+    EXPECT_EQ(a.branches, b.branches);
+    EXPECT_EQ(a.takenBranches, b.takenBranches);
+    EXPECT_EQ(a.correct, b.correct);
+    EXPECT_EQ(a.mispredictDir, b.mispredictDir);
+    EXPECT_EQ(a.mispredictTarget, b.mispredictTarget);
+    EXPECT_EQ(a.surpriseCompulsory, b.surpriseCompulsory);
+    EXPECT_EQ(a.surpriseLatency, b.surpriseLatency);
+    EXPECT_EQ(a.surpriseCapacity, b.surpriseCapacity);
+    EXPECT_EQ(a.surpriseBenign, b.surpriseBenign);
+    EXPECT_EQ(a.phantoms, b.phantoms);
+    EXPECT_EQ(a.icacheMisses, b.icacheMisses);
+    EXPECT_EQ(a.dcacheMisses, b.dcacheMisses);
+    EXPECT_EQ(a.dataAccesses, b.dataAccesses);
+    EXPECT_EQ(a.btb1MissReports, b.btb1MissReports);
+    EXPECT_EQ(a.btb2RowReads, b.btb2RowReads);
+    EXPECT_EQ(a.btb2Transfers, b.btb2Transfers);
+    EXPECT_EQ(a.btb2FullSearches, b.btb2FullSearches);
+    EXPECT_EQ(a.btb2PartialSearches, b.btb2PartialSearches);
+    EXPECT_EQ(a.predictionsMade, b.predictionsMade);
+    EXPECT_EQ(a.watchdogResets, b.watchdogResets);
+    EXPECT_EQ(a.resolves, b.resolves);
+    EXPECT_EQ(a.faultsInjected, b.faultsInjected);
+}
+
+TEST(SamplePlan, ExactModeTilesTheTrace)
+{
+    SampleParams p;
+    p.mode = SampleMode::kExact;
+    p.intervalInsts = 1'000;
+    const auto plan = planIntervals(3'500, p);
+    ASSERT_EQ(plan.size(), 4u);
+    std::size_t expectBegin = 0;
+    for (const auto &iv : plan) {
+        EXPECT_EQ(iv.snapshotAt, iv.measureBegin);
+        EXPECT_EQ(iv.measureBegin, expectBegin);
+        expectBegin = iv.measureEnd;
+    }
+    EXPECT_EQ(plan.back().measureEnd, 3'500u);
+}
+
+TEST(SamplePlan, FastModeWindowsSitInsideIntervals)
+{
+    SampleParams p;
+    p.mode = SampleMode::kFast;
+    p.intervalInsts = 1'000;
+    p.warmupInsts = 200;
+    p.measureInsts = 100;
+    const auto plan = planIntervals(10'000, p);
+    ASSERT_EQ(plan.size(), 10u);
+    for (const auto &iv : plan) {
+        EXPECT_EQ(iv.snapshotAt, iv.index * 1'000);
+        EXPECT_EQ(iv.measureBegin, iv.snapshotAt + 200);
+        EXPECT_EQ(iv.measureEnd, iv.measureBegin + 100);
+    }
+
+    // A tail interval whose warm-up swallows the remaining trace has
+    // nothing to measure and is dropped.
+    const auto short_plan = planIntervals(10'100, p);
+    EXPECT_EQ(short_plan.size(), 10u);
+}
+
+TEST(SamplePlan, RejectsUnusableGeometry)
+{
+    SampleParams p;
+    p.intervalInsts = 0;
+    EXPECT_THROW(planIntervals(1'000, p), std::invalid_argument);
+
+    p.intervalInsts = 100;
+    p.mode = SampleMode::kFast;
+    p.warmupInsts = 90;
+    p.measureInsts = 20; // 90 + 20 > 100
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+
+    p.warmupInsts = 50;
+    EXPECT_NO_THROW(p.validate());
+    EXPECT_THROW(planIntervals(0, p), std::invalid_argument);
+}
+
+TEST(SampleParamsTest, MeasuredDefaultsToTenthOfInterval)
+{
+    SampleParams p;
+    p.mode = SampleMode::kFast;
+    p.intervalInsts = 5'000;
+    p.measureInsts = 0;
+    EXPECT_EQ(p.measured(), 500u);
+    p.measureInsts = 123;
+    EXPECT_EQ(p.measured(), 123u);
+    p.mode = SampleMode::kExact;
+    EXPECT_EQ(p.measured(), 5'000u);
+}
+
+TEST(SampleRunnerTest, ExactStitchBitIdenticalToMonolithicRun)
+{
+    const trace::Trace t = makeTrace(51, 24'000);
+    const struct
+    {
+        const char *name;
+        core::MachineParams cfg;
+    } configs[] = {
+        {"no-btb2", sim::configNoBtb2()},
+        {"btb2", sim::configBtb2()},
+    };
+    SampleParams p;
+    p.mode = SampleMode::kExact;
+    p.intervalInsts = 5'000; // 5 intervals, ragged tail
+
+    for (const auto &c : configs) {
+        SCOPED_TRACE(c.name);
+        cpu::CoreModel golden(c.cfg);
+        const cpu::SimResult mono = golden.run(t);
+
+        for (const unsigned jobs : {1u, 4u}) {
+            SCOPED_TRACE(jobs);
+            SampleRunner sr(p, jobs);
+            sr.setSinkPath("");
+            sr.setResumePath("");
+            const SampleReport rep = sr.run(c.name, c.cfg, t);
+
+            EXPECT_TRUE(rep.exact);
+            EXPECT_EQ(rep.intervals, (t.size() + 4'999) / 5'000);
+            EXPECT_DOUBLE_EQ(rep.coverage, 1.0);
+            expectSameCounters(mono, rep.stitched);
+        }
+    }
+}
+
+TEST(SampleRunnerTest, FastModeEstimatesWithBoundedCoverage)
+{
+    const trace::Trace t = makeTrace(52, 30'000);
+    const core::MachineParams cfg = sim::configBtb2();
+
+    cpu::CoreModel golden(cfg);
+    const cpu::SimResult mono = golden.run(t);
+
+    SampleParams p;
+    p.mode = SampleMode::kFast;
+    p.intervalInsts = 5'000;
+    p.warmupInsts = 1'000;
+    p.measureInsts = 1'000;
+
+    SampleRunner sr(p, 4);
+    sr.setSinkPath("");
+    sr.setResumePath("");
+    const SampleReport rep = sr.run("btb2", cfg, t);
+
+    // Window boundaries shift by up to decodeWidth-1 instructions
+    // (advance() overshoot), so compare against the plan with slack.
+    const auto plan = planIntervals(t.size(), p);
+    std::size_t planned = 0;
+    for (const auto &iv : plan)
+        planned += iv.measureEnd - iv.measureBegin;
+
+    EXPECT_FALSE(rep.exact);
+    EXPECT_EQ(rep.intervals, plan.size());
+    EXPECT_NEAR(static_cast<double>(rep.stitched.instructions),
+                static_cast<double>(planned),
+                3.0 * static_cast<double>(plan.size()));
+    EXPECT_NEAR(rep.coverage,
+                static_cast<double>(planned) /
+                        static_cast<double>(t.size()),
+                0.01);
+    EXPECT_GT(rep.estimatedCpi, 0.0);
+    EXPECT_GE(rep.cpiErrorBar, 0.0);
+    EXPECT_GT(rep.warmupInstsPerSec, 0.0);
+    // Sanity, not precision (the 2% acceptance bound is measured on
+    // the benchmark-scale traces): the estimate lands in the right
+    // ballpark of the true CPI.
+    EXPECT_GT(rep.estimatedCpi, 0.5 * mono.cpi);
+    EXPECT_LT(rep.estimatedCpi, 2.0 * mono.cpi);
+}
+
+TEST(SampleRunnerTest, IntervalRecordsFollowTheJsonlContract)
+{
+    const trace::Trace t = makeTrace(53, 12'000);
+    const core::MachineParams cfg = sim::configNoBtb2();
+    const std::string sink = tempPath("records");
+    std::remove(sink.c_str());
+
+    SampleParams p;
+    p.mode = SampleMode::kExact;
+    p.intervalInsts = (t.size() + 2) / 3; // exactly 3 intervals
+    SampleRunner sr(p, 2);
+    sr.setSinkPath(sink);
+    sr.setResumePath("");
+    const SampleReport rep = sr.run("base", cfg, t);
+    EXPECT_EQ(rep.intervals, 3u);
+    EXPECT_EQ(rep.resumedIntervals, 0u);
+
+    std::ifstream in(sink);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    std::size_t lines = 0;
+    bool sawIv0 = false, sawIv2 = false;
+    while (std::getline(in, line)) {
+        ++lines;
+        sawIv0 = sawIv0 ||
+                 line.find("\"config\":\"base#iv0\"") != std::string::npos;
+        sawIv2 = sawIv2 ||
+                 line.find("\"config\":\"base#iv2\"") != std::string::npos;
+        EXPECT_NE(line.find("\"ok\":true"), std::string::npos);
+    }
+    EXPECT_EQ(lines, 3u);
+    EXPECT_TRUE(sawIv0);
+    EXPECT_TRUE(sawIv2);
+    std::remove(sink.c_str());
+}
+
+TEST(SampleRunnerTest, ResumeSatisfiesIntervalsFromPriorResults)
+{
+    const trace::Trace t = makeTrace(54, 16'000);
+    const core::MachineParams cfg = sim::configBtb2();
+    const std::string first = tempPath("resume_first");
+    const std::string second = tempPath("resume_second");
+    std::remove(first.c_str());
+    std::remove(second.c_str());
+
+    SampleParams p;
+    p.mode = SampleMode::kExact;
+    p.intervalInsts = 4'000;
+
+    SampleRunner sr(p, 2);
+    sr.setSinkPath(first);
+    sr.setResumePath("");
+    const SampleReport rep1 = sr.run("btb2", cfg, t);
+    EXPECT_EQ(rep1.resumedIntervals, 0u);
+
+    SampleRunner sr2(p, 2);
+    sr2.setSinkPath(second);
+    sr2.setResumePath(first);
+    const SampleReport rep2 = sr2.run("btb2", cfg, t);
+    EXPECT_EQ(rep2.resumedIntervals, rep2.intervals);
+
+    // Nothing re-ran, so nothing was re-written to the new sink.
+    std::ifstream in(second);
+    EXPECT_TRUE(!in.good() || in.peek() == std::ifstream::traits_type::eof());
+
+    // The resumed stitch carries the record's canonical counter set.
+    EXPECT_EQ(rep1.stitched.cycles, rep2.stitched.cycles);
+    EXPECT_EQ(rep1.stitched.instructions, rep2.stitched.instructions);
+    EXPECT_EQ(rep1.stitched.branches, rep2.stitched.branches);
+    EXPECT_EQ(rep1.stitched.correct, rep2.stitched.correct);
+    EXPECT_EQ(rep1.stitched.btb2RowReads, rep2.stitched.btb2RowReads);
+    EXPECT_EQ(rep1.stitched.resolves, rep2.stitched.resolves);
+
+    std::remove(first.c_str());
+    std::remove(second.c_str());
+}
+
+TEST(SampleRunnerTest, EmptyTraceRejected)
+{
+    SampleParams p;
+    SampleRunner sr(p, 1);
+    sr.setSinkPath("");
+    sr.setResumePath("");
+    const trace::Trace t("empty");
+    EXPECT_THROW(sr.run("x", sim::configNoBtb2(), t),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace zbp::sample
